@@ -1,0 +1,106 @@
+// Command flexwan-plan runs FlexWAN's network planning (Algorithm 1) on
+// a built-in workload and prints the provisioning decisions.
+//
+// Usage:
+//
+//	flexwan-plan -topology tbackbone -scheme flexwan -scale 2
+//	flexwan-plan -topology cernet -scheme radwan -wavelengths
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexwan/internal/plan"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/transponder"
+	"flexwan/internal/workload"
+)
+
+func main() {
+	topo := flag.String("topology", "tbackbone", "workload: tbackbone | cernet (ignored with -file)")
+	file := flag.String("file", "", "read the network from a JSON file instead of a built-in workload")
+	scheme := flag.String("scheme", "flexwan", "transponders: flexwan | radwan | 100g")
+	scale := flag.Float64("scale", 1, "bandwidth capacity scale")
+	seed := flag.Int64("seed", 1, "workload seed")
+	k := flag.Int("k", plan.DefaultK, "candidate optical paths per IP link")
+	epsilon := flag.Float64("epsilon", plan.DefaultEpsilon, "spectrum weight in the objective")
+	dump := flag.Bool("wavelengths", false, "print every provisioned wavelength")
+	flag.Parse()
+
+	var n workload.Network
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexwan-plan:", err)
+			os.Exit(1)
+		}
+		n, err = workload.ReadNetwork(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexwan-plan:", err)
+			os.Exit(1)
+		}
+	} else {
+		switch *topo {
+		case "tbackbone":
+			n = workload.TBackbone(*seed)
+		case "cernet":
+			n = workload.Cernet(*seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+			os.Exit(2)
+		}
+	}
+	n = n.Scale(*scale)
+
+	var catalog transponder.Catalog
+	switch *scheme {
+	case "flexwan":
+		catalog = transponder.SVT()
+	case "radwan":
+		catalog = transponder.RADWAN()
+	case "100g":
+		catalog = transponder.Fixed100G()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	problem := plan.Problem{
+		Optical: n.Optical,
+		IP:      n.IP,
+		Catalog: catalog,
+		Grid:    spectrum.DefaultGrid(),
+		K:       *k,
+		Epsilon: *epsilon,
+	}
+	result, err := plan.Solve(problem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexwan-plan:", err)
+		os.Exit(1)
+	}
+	if err := plan.Verify(problem, result); err != nil {
+		fmt.Fprintln(os.Stderr, "flexwan-plan: verification failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("topology %s (%d sites, %d fibers), %d IP links, %.0f Gbps total demand at %gx\n",
+		n.Name, n.Optical.NumNodes(), n.Optical.NumFibers(), len(n.IP.Links),
+		float64(n.IP.TotalDemandGbps()), *scale)
+	fmt.Printf("scheme %s: %d transponder pairs, %.0f GHz spectrum, objective %.2f, mean %.2f b/s/Hz\n",
+		catalog.Name, result.Transponders(), result.SpectrumGHz(),
+		result.Objective(*epsilon), result.MeanSpectralEfficiency())
+	if !result.Feasible() {
+		fmt.Printf("INFEASIBLE: %d links unserved: %v\n", len(result.Unserved), result.Unserved)
+		os.Exit(1)
+	}
+	if *dump {
+		for _, w := range result.Wavelengths {
+			fmt.Printf("  %-6s path#%d %4d Gbps @ %6.1f GHz  %5.0f km (reach %5.0f)  pixels %v\n",
+				w.LinkID, w.PathIndex, w.Mode.DataRateGbps, w.Mode.SpacingGHz,
+				w.Path.LengthKm, w.Mode.ReachKm, w.Interval)
+		}
+	}
+}

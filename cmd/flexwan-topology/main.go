@@ -1,0 +1,57 @@
+// Command flexwan-topology exports the built-in evaluation workloads as
+// JSON network files (the format flexwan-plan's -file flag consumes), so
+// users can inspect or edit them and feed variants back into the tools.
+//
+// Usage:
+//
+//	flexwan-topology -topology cernet > cernet.json
+//	flexwan-topology -topology tbackbone -seed 7 -scale 2 > t2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexwan/internal/workload"
+)
+
+func main() {
+	topo := flag.String("topology", "tbackbone", "workload: tbackbone | cernet")
+	seed := flag.Int64("seed", 1, "workload seed")
+	scale := flag.Float64("scale", 1, "demand scale factor")
+	stats := flag.Bool("stats", false, "print summary statistics to stderr")
+	flag.Parse()
+
+	var n workload.Network
+	switch *topo {
+	case "tbackbone":
+		n = workload.TBackbone(*seed)
+	case "cernet":
+		n = workload.Cernet(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	n = n.Scale(*scale)
+
+	if *stats {
+		lengths := n.PathLengthsKm()
+		shortest, longest := lengths[0], lengths[0]
+		for _, l := range lengths {
+			if l < shortest {
+				shortest = l
+			}
+			if l > longest {
+				longest = l
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d sites, %d fibers, %d IP links, %d Gbps total demand, paths %.0f–%.0f km\n",
+			n.Name, n.Optical.NumNodes(), n.Optical.NumFibers(), len(n.IP.Links),
+			n.IP.TotalDemandGbps(), shortest, longest)
+	}
+	if err := workload.WriteNetwork(os.Stdout, n); err != nil {
+		fmt.Fprintln(os.Stderr, "flexwan-topology:", err)
+		os.Exit(1)
+	}
+}

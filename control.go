@@ -1,0 +1,135 @@
+package flexwan
+
+import (
+	"flexwan/internal/controller"
+	"flexwan/internal/device"
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+	"flexwan/internal/telemetry"
+	"flexwan/internal/workload"
+)
+
+// Standard device model (internal/devmodel).
+type (
+	// DeviceDescriptor identifies one managed optical device.
+	DeviceDescriptor = devmodel.Descriptor
+	// DeviceClass is the device class in the standard model.
+	DeviceClass = devmodel.Class
+	// TransponderConfig is the standard transponder document.
+	TransponderConfig = devmodel.TransponderConfig
+	// TransponderState is the standard transponder state document.
+	TransponderState = devmodel.TransponderState
+	// WSSConfig is the standard WSS passband document.
+	WSSConfig = devmodel.WSSConfig
+	// Passband is one WSS filter-port passband.
+	Passband = devmodel.Passband
+	// AmplifierState is the standard amplifier state document.
+	AmplifierState = devmodel.AmplifierState
+)
+
+// Device classes.
+const (
+	ClassTransponder = devmodel.ClassTransponder
+	ClassWSS         = devmodel.ClassWSS
+	ClassAmplifier   = devmodel.ClassAmplifier
+)
+
+// Simulated hardware agents (internal/device).
+type (
+	// Fabric is the shared physical-layer simulation.
+	Fabric = device.Fabric
+	// TransponderAgent is a simulated transponder device.
+	TransponderAgent = device.Transponder
+	// WSSAgent is a simulated wavelength-selective switch.
+	WSSAgent = device.WSS
+	// AmplifierAgent is a simulated EDFA.
+	AmplifierAgent = device.Amplifier
+	// Alarm is an asynchronous device event.
+	Alarm = device.Alarm
+)
+
+// Hardware constructors.
+var (
+	NewFabric           = device.NewFabric
+	NewTransponderAgent = device.NewTransponder
+	NewWSSAgent         = device.NewWSS
+	NewFixedGridWSS     = device.NewFixedGridWSS
+	NewAmplifierAgent   = device.NewAmplifier
+)
+
+// Management protocol (internal/netconf).
+type (
+	// ManagementClient is a controller-side device session.
+	ManagementClient = netconf.Client
+	// ManagementServer is a device-side endpoint.
+	ManagementServer = netconf.Server
+)
+
+// Management protocol operations and entry points.
+var (
+	DialDevice = netconf.Dial
+)
+
+// NETCONF-like protocol operations.
+const (
+	OpGetConfig  = netconf.OpGetConfig
+	OpEditConfig = netconf.OpEditConfig
+	OpGetState   = netconf.OpGetState
+)
+
+// Data stream (internal/telemetry).
+type (
+	// TelemetryStore is the online KPI time-series store.
+	TelemetryStore = telemetry.Store
+	// TelemetryPoint is one sample.
+	TelemetryPoint = telemetry.Point
+	// TelemetryCollector polls devices and detects fiber events.
+	TelemetryCollector = telemetry.Collector
+	// TelemetrySource is one device under collection.
+	TelemetrySource = telemetry.Source
+	// FiberEvent is a detected optical-layer event.
+	FiberEvent = telemetry.Event
+)
+
+// Telemetry constructors.
+var (
+	NewTelemetryStore = telemetry.NewStore
+	NewCollector      = telemetry.NewCollector
+)
+
+// Centralized controller (internal/controller).
+type (
+	// Controller is the centralized optical controller.
+	Controller = controller.Controller
+	// ControllerConfig assembles the controller's global view.
+	ControllerConfig = controller.Config
+	// DevMgr is the device manager.
+	DevMgr = controller.DevMgr
+	// AuditReport is a network-wide configuration audit outcome.
+	AuditReport = controller.AuditReport
+)
+
+// NewController builds a centralized controller.
+var NewController = controller.New
+
+// Workloads (internal/workload).
+type (
+	// Network bundles an optical topology with its IP demand layer.
+	Network = workload.Network
+)
+
+// Evaluation workload generators and network I/O.
+var (
+	// TBackbone generates the synthetic production backbone.
+	TBackbone = workload.TBackbone
+	// Cernet builds the public CERNET topology with generated demands.
+	Cernet = workload.Cernet
+	// ReadNetwork parses a network from JSON.
+	ReadNetwork = workload.ReadNetwork
+	// WriteNetwork serializes a network to JSON.
+	WriteNetwork = workload.WriteNetwork
+)
+
+// FabricFromTopology builds a fabric mirroring an optical topology's
+// fiber plant.
+var FabricFromTopology = device.FabricFromTopology

@@ -1,0 +1,90 @@
+package flexwan_test
+
+import (
+	"fmt"
+
+	"flexwan"
+)
+
+// Example plans a two-link backbone with FlexWAN's spacing-variable
+// transponders and prints the hardware bill.
+func Example() {
+	optical := flexwan.NewOptical()
+	optical.AddFiber("f1", "A", "B", 250)
+	optical.AddFiber("f2", "B", "C", 900)
+
+	ip := &flexwan.IPTopology{}
+	ip.AddLink(flexwan.IPLink{ID: "ab", A: "A", B: "B", DemandGbps: 800})
+	ip.AddLink(flexwan.IPLink{ID: "ac", A: "A", B: "C", DemandGbps: 400})
+
+	result, err := flexwan.Plan(flexwan.PlanProblem{
+		Optical: optical,
+		IP:      ip,
+		Catalog: flexwan.SVT(),
+		Grid:    flexwan.DefaultGrid(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d transponder pairs, %.0f GHz\n", result.Transponders(), result.SpectrumGHz())
+	// Output: 2 transponder pairs, 238 GHz
+}
+
+// ExampleCatalog_MaxRateAt shows the rate-vs-distance staircase behind
+// the paper's Figure 2(b).
+func ExampleCatalog_MaxRateAt() {
+	svt, bvt := flexwan.SVT(), flexwan.RADWAN()
+	for _, km := range []float64{200, 1000, 2000} {
+		fmt.Printf("%4.0f km: SVT %d Gbps, BVT %d Gbps\n", km, svt.MaxRateAt(km), bvt.MaxRateAt(km))
+	}
+	// Output:
+	//  200 km: SVT 800 Gbps, BVT 300 Gbps
+	// 1000 km: SVT 500 Gbps, BVT 300 Gbps
+	// 2000 km: SVT 300 Gbps, BVT 200 Gbps
+}
+
+// ExampleRestore walks the paper's Figure 4: after a cut forces the
+// wavelength onto a path twice as long, the SVT widens its channel
+// spacing and revives the full data rate.
+func ExampleRestore() {
+	optical := flexwan.NewOptical()
+	optical.AddFiber("primary", "A", "B", 600)
+	optical.AddFiber("west", "A", "C", 500)
+	optical.AddFiber("east", "C", "B", 700)
+	ip := &flexwan.IPTopology{}
+	ip.AddLink(flexwan.IPLink{ID: "ab", A: "A", B: "B", DemandGbps: 300})
+
+	problem := flexwan.PlanProblem{
+		Optical: optical, IP: ip, Catalog: flexwan.SVT(), Grid: flexwan.DefaultGrid(),
+	}
+	base, err := flexwan.Plan(problem)
+	if err != nil {
+		panic(err)
+	}
+	res, err := flexwan.Restore(flexwan.RestoreProblem{
+		Optical: optical, IP: ip, Catalog: flexwan.SVT(), Grid: flexwan.DefaultGrid(),
+		Base:     base,
+		Scenario: flexwan.Scenario{ID: "cut", CutFibers: []string{"primary"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	r := res.Restored[0]
+	fmt.Printf("revived %d of %d Gbps at %.1f GHz spacing over a %.0f km path\n",
+		res.RestoredGbps, res.AffectedGbps, r.Mode.SpacingGHz, r.Path.LengthKm)
+	// Output: revived 300 of 300 Gbps at 87.5 GHz spacing over a 1200 km path
+}
+
+// ExampleGrid_PixelsFor shows channel spacing landing on the pixel-wise
+// WSS grid.
+func ExampleGrid_PixelsFor() {
+	grid := flexwan.DefaultGrid()
+	for _, ghz := range []float64{50, 87.5, 150} {
+		n, _ := grid.PixelsFor(ghz)
+		fmt.Printf("%.1f GHz -> %d pixels\n", ghz, n)
+	}
+	// Output:
+	// 50.0 GHz -> 4 pixels
+	// 87.5 GHz -> 7 pixels
+	// 150.0 GHz -> 12 pixels
+}

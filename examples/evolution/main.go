@@ -1,0 +1,100 @@
+// Command evolution demonstrates FlexWAN's smooth backbone evolution
+// (§9 of the paper) through the core service layer: demands grow month by
+// month and new links appear, but live wavelengths are never disturbed —
+// each change only adds channels, and the spectrum-sliced OLS absorbs
+// every new channel width without hardware replacement. The demo also
+// pre-computes the restoration playbook and reports spectrum headroom
+// after each change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexwan"
+)
+
+func main() {
+	optical := flexwan.NewOptical()
+	for _, f := range []struct {
+		id   string
+		a, b flexwan.NodeID
+		km   float64
+	}{
+		{"f1", "A", "B", 600},
+		{"f2", "A", "C", 500},
+		{"f3", "C", "B", 700},
+		{"f4", "B", "D", 300},
+		{"f5", "C", "D", 450},
+	} {
+		if err := optical.AddFiber(f.id, f.a, f.b, f.km); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ip := &flexwan.IPTopology{}
+	for _, l := range []flexwan.IPLink{
+		{ID: "ab", A: "A", B: "B", DemandGbps: 800},
+		{ID: "bd", A: "B", B: "D", DemandGbps: 400},
+	} {
+		if err := ip.AddLink(l); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	backbone, err := flexwan.NewBackbone(flexwan.BackboneConfig{
+		Optical: optical, IP: ip, Catalog: flexwan.SVT(), Grid: flexwan.DefaultGrid(), K: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(event string) {
+		res, err := backbone.Result()
+		if err != nil {
+			log.Fatal(err)
+		}
+		head, _ := backbone.Headroom()
+		bottleneck, _ := backbone.BottleneckFiber()
+		fmt.Printf("%-34s %3d wavelengths, %6.0f GHz; bottleneck %s at %.0f/%.0f GHz (headroom %.1fx)\n",
+			event, res.Transponders(), res.SpectrumGHz(),
+			bottleneck.FiberID, bottleneck.UsedGHz, bottleneck.TotalGHz, head)
+	}
+
+	if _, err := backbone.Plan(); err != nil {
+		log.Fatal(err)
+	}
+	report("month 0: initial plan")
+
+	// Month 3: the A–B demand doubles. Only new channels are added.
+	added, err := backbone.GrowDemand("ab", 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("month 3: A-B +800G (+%d channels)", len(added)))
+
+	// Month 7: a new data center region comes online at D.
+	added, err = backbone.AddLink(flexwan.IPLink{ID: "ad", A: "A", B: "D", DemandGbps: 600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("month 7: new link A-D (+%d channels)", len(added)))
+
+	// Month 12: the B–D service is decommissioned; its spectrum frees.
+	freed, err := backbone.RemoveLink("bd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("month 12: B-D retired (-%d channels)", freed))
+
+	// Offline restoration playbook for the current backbone.
+	playbook, err := backbone.PrecomputeRestoration(flexwan.SingleFiberScenarios(optical))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrestoration playbook:")
+	for _, sc := range flexwan.SingleFiberScenarios(optical) {
+		res := playbook[sc.ID]
+		fmt.Printf("  %-8s affected %4d Gbps → restored %4d Gbps (capability %.2f)\n",
+			sc.ID, res.AffectedGbps, res.RestoredGbps, res.Capability())
+	}
+}

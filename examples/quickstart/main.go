@@ -1,0 +1,75 @@
+// Command quickstart is the five-minute tour of the FlexWAN library:
+// build a small optical backbone, provision its IP demands with the
+// spacing-variable transponder catalog, and compare the hardware bill
+// against the fixed-grid baselines the paper benchmarks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexwan"
+)
+
+func main() {
+	// 1. Optical topology: four ROADM sites, five fiber segments.
+	optical := flexwan.NewOptical()
+	for _, f := range []struct {
+		id   string
+		a, b flexwan.NodeID
+		km   float64
+	}{
+		{"sea-pdx", "SEA", "PDX", 280},
+		{"pdx-sfo", "PDX", "SFO", 900},
+		{"sfo-lax", "SFO", "LAX", 610},
+		{"sea-slc", "SEA", "SLC", 1130},
+		{"slc-lax", "SLC", "LAX", 940},
+	} {
+		if err := optical.AddFiber(f.id, f.a, f.b, f.km); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. IP layer: three links with bandwidth-capacity demands.
+	ip := &flexwan.IPTopology{}
+	for _, l := range []flexwan.IPLink{
+		{ID: "sea-pdx", A: "SEA", B: "PDX", DemandGbps: 1600},
+		{ID: "sea-lax", A: "SEA", B: "LAX", DemandGbps: 800},
+		{ID: "sfo-lax", A: "SFO", B: "LAX", DemandGbps: 1200},
+	} {
+		if err := ip.AddLink(l); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Plan with each transponder family on the C-band pixel grid.
+	for _, catalog := range []flexwan.Catalog{flexwan.Fixed100G(), flexwan.RADWAN(), flexwan.SVT()} {
+		problem := flexwan.PlanProblem{
+			Optical: optical,
+			IP:      ip,
+			Catalog: catalog,
+			Grid:    flexwan.DefaultGrid(),
+		}
+		result, err := flexwan.Plan(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := flexwan.VerifyPlan(problem, result); err != nil {
+			log.Fatalf("%s: plan failed verification: %v", catalog.Name, err)
+		}
+		fmt.Printf("%-9s  %3d transponder pairs, %6.0f GHz spectrum, %.2f b/s/Hz mean efficiency\n",
+			catalog.Name, result.Transponders(), result.SpectrumGHz(), result.MeanSpectralEfficiency())
+	}
+
+	// 4. Inspect FlexWAN's wavelength-level decisions.
+	problem := flexwan.PlanProblem{Optical: optical, IP: ip, Catalog: flexwan.SVT(), Grid: flexwan.DefaultGrid()}
+	result, err := flexwan.Plan(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFlexWAN wavelengths:")
+	for _, w := range result.Wavelengths {
+		fmt.Printf("  %-8s %4d Gbps @ %6.1f GHz over %4.0f km (reach %4.0f km, pixels %v)\n",
+			w.LinkID, w.Mode.DataRateGbps, w.Mode.SpacingGHz, w.Path.LengthKm, w.Mode.ReachKm, w.Interval)
+	}
+}

@@ -1,0 +1,75 @@
+// Command trafficmatrix shows the full provisioning pipeline from raw
+// offered traffic: a region-to-region traffic matrix is routed over the
+// IP links to derive per-link bandwidth-capacity demands (the IP
+// TopoMgr's input, §4.4), which then feed FlexWAN's network planning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexwan"
+)
+
+func main() {
+	// Optical layer: four regions.
+	optical := flexwan.NewOptical()
+	for _, f := range []struct {
+		id   string
+		a, b flexwan.NodeID
+		km   float64
+	}{
+		{"f1", "PEK", "SHA", 1250},
+		{"f2", "SHA", "CAN", 1500},
+		{"f3", "PEK", "CTU", 1800},
+		{"f4", "CTU", "CAN", 1400},
+	} {
+		if err := optical.AddFiber(f.id, f.a, f.b, f.km); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// IP layer: one link per optical adjacency.
+	links := []flexwan.IPLinkSpec{
+		{ID: "pek-sha", A: "PEK", B: "SHA"},
+		{ID: "sha-can", A: "SHA", B: "CAN"},
+		{ID: "pek-ctu", A: "PEK", B: "CTU"},
+		{ID: "ctu-can", A: "CTU", B: "CAN"},
+	}
+
+	// Offered traffic between regions (Gbps, averages from flow logs).
+	matrix := flexwan.TrafficMatrix{
+		{A: "PEK", B: "SHA", Gbps: 540},
+		{A: "PEK", B: "CAN", Gbps: 380}, // multi-hop: routed over two links
+		{A: "SHA", B: "CAN", Gbps: 410},
+		{A: "PEK", B: "CTU", Gbps: 150},
+		{A: "CTU", B: "CAN", Gbps: 90},
+	}
+
+	ip, err := flexwan.DeriveDemands(links, matrix, flexwan.TrafficOptions{
+		Headroom:         1.5,
+		DistanceWeighted: true,
+		Optical:          optical,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offered traffic %.0f Gbps over %d region pairs → %d IP links:\n",
+		matrix.Total(), len(matrix), len(ip.Links))
+	for _, l := range ip.Links {
+		fmt.Printf("  %-8s %s–%s  %4d Gbps provisioned\n", l.ID, l.A, l.B, l.DemandGbps)
+	}
+
+	result, err := flexwan.Plan(flexwan.PlanProblem{
+		Optical: optical, IP: ip, Catalog: flexwan.SVT(), Grid: flexwan.DefaultGrid(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFlexWAN plan: %d transponder pairs, %.0f GHz of spectrum\n",
+		result.Transponders(), result.SpectrumGHz())
+	for _, w := range result.Wavelengths {
+		fmt.Printf("  %-8s %4d Gbps @ %6.1f GHz over %4.0f km\n",
+			w.LinkID, w.Mode.DataRateGbps, w.Mode.SpacingGHz, w.Path.LengthKm)
+	}
+}

@@ -1,0 +1,3 @@
+module flexwan
+
+go 1.22

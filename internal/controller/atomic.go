@@ -1,0 +1,140 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"flexwan/internal/device"
+	"flexwan/internal/devmodel"
+	"flexwan/internal/plan"
+)
+
+// ApplyAtomic pushes a planning result through the NETCONF-style
+// candidate/commit protocol: every device first validates and *stages*
+// its configuration document; only when the whole fleet has accepted does
+// the controller commit. If any device rejects — a fixed-grid vendor
+// refusing an off-grid passband, a BVT refusing a spacing change — all
+// staged documents are discarded and neither hardware nor controller
+// state changes. This is the multi-vendor safety property §4.3 needs
+// when a change set spans devices with different capabilities.
+func (c *Controller) ApplyAtomic(res *plan.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// 1. Build the complete intended change set without touching state.
+	type edit struct {
+		deviceID string
+		cfg      interface{}
+	}
+	type chanRec struct {
+		name     string
+		w        plan.Wavelength
+		txA, txB string
+	}
+	var edits []edit
+	var chans []chanRec
+	var claims []string
+	releaseClaims := func() {
+		for _, id := range claims {
+			c.devmgr.ReleaseTransponder(id)
+		}
+	}
+	seq := make(map[string]int, len(c.seq))
+	for k, v := range c.seq {
+		seq[k] = v
+	}
+	wssIntent := make(map[string]devmodel.WSSConfig, len(c.wssConfig))
+	for fiber, cfg := range c.wssConfig {
+		wssIntent[fiber] = devmodel.WSSConfig{
+			Passbands: append([]devmodel.Passband(nil), cfg.Passbands...),
+		}
+	}
+	for _, w := range res.Wavelengths {
+		seq[w.LinkID]++
+		name := fmt.Sprintf("%s:%d", w.LinkID, seq[w.LinkID])
+		txA, err := c.devmgr.ClaimTransponder(string(w.Path.Src()), name)
+		if err != nil {
+			releaseClaims()
+			return err
+		}
+		claims = append(claims, txA)
+		txB, err := c.devmgr.ClaimTransponder(string(w.Path.Dst()), name)
+		if err != nil {
+			releaseClaims()
+			return err
+		}
+		claims = append(claims, txB)
+		cfg := transponderConfig(w, name)
+		edits = append(edits, edit{txA, cfg}, edit{txB, cfg})
+		for _, fiber := range w.Path.Fibers {
+			wc := wssIntent[fiber]
+			wc.Passbands = append(wc.Passbands, devmodel.Passband{
+				Channel: name, Start: w.Interval.Start, Count: w.Interval.Count,
+			})
+			wssIntent[fiber] = wc
+		}
+		chans = append(chans, chanRec{name: name, w: w, txA: txA, txB: txB})
+	}
+	fibers := make([]string, 0, len(wssIntent))
+	for fiber := range wssIntent {
+		fibers = append(fibers, fiber)
+	}
+	sort.Strings(fibers)
+	for _, fiber := range fibers {
+		wssID, ok := c.devmgr.WSSForFiber(fiber)
+		if !ok {
+			releaseClaims()
+			return fmt.Errorf("controller: no WSS registered for fiber %s", fiber)
+		}
+		cfg := wssIntent[fiber]
+		sort.Slice(cfg.Passbands, func(i, j int) bool { return cfg.Passbands[i].Start < cfg.Passbands[j].Start })
+		wssIntent[fiber] = cfg
+		edits = append(edits, edit{wssID, cfg})
+	}
+
+	// 2. Stage everywhere; discard everything on the first rejection.
+	var staged []string
+	discard := func() {
+		for _, id := range staged {
+			if client, ok := c.devmgr.Client(id); ok {
+				_ = client.Call(device.OpDiscard, nil, nil)
+			}
+		}
+	}
+	for _, e := range edits {
+		client, ok := c.devmgr.Client(e.deviceID)
+		if !ok {
+			discard()
+			releaseClaims()
+			return fmt.Errorf("controller: device %s not registered", e.deviceID)
+		}
+		if err := client.Call(device.OpEditCandidate, e.cfg, nil); err != nil {
+			discard()
+			releaseClaims()
+			return fmt.Errorf("controller: %s rejected staged config: %w", e.deviceID, err)
+		}
+		staged = append(staged, e.deviceID)
+	}
+
+	// 3. Commit. After a successful network-wide stage, a commit failure
+	// indicates a device raced its own running state; surface it (the
+	// audit/repair loop will reconverge the stragglers).
+	var commitErr error
+	for _, id := range staged {
+		client, _ := c.devmgr.Client(id)
+		if err := client.Call(device.OpCommit, nil, nil); err != nil && commitErr == nil {
+			commitErr = fmt.Errorf("controller: commit on %s: %w", id, err)
+		}
+	}
+
+	// 4. Adopt the intended state.
+	c.seq = seq
+	c.wssConfig = wssIntent
+	for _, ch := range chans {
+		c.channels[ch.name] = &channelState{wavelength: ch.w, txA: ch.txA, txB: ch.txB}
+	}
+	c.basePlan = res
+	c.logf("controller: atomically applied %d wavelengths (%d staged documents)",
+		len(res.Wavelengths), len(edits))
+	return commitErr
+}

@@ -1,0 +1,150 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"flexwan/internal/device"
+	"flexwan/internal/devmodel"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+)
+
+func TestApplyAtomicSuccess(t *testing.T) {
+	h := newHarness(t, 3, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 800})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.ApplyAtomic(res); err != nil {
+		t.Fatal(err)
+	}
+	report, err := h.ctrl.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() || report.ChannelsChecked != len(res.Wavelengths) {
+		t.Errorf("audit after atomic apply = %+v", report)
+	}
+	if got := h.ctrl.LiveCapacityGbps()["e1"]; got < 800 {
+		t.Errorf("live capacity = %d", got)
+	}
+	// No residual staged documents.
+	for id, tr := range h.transponders {
+		if tr.HasStagedConfig() {
+			t.Errorf("%s still has a staged config", id)
+		}
+	}
+	for id, w := range h.wss {
+		if w.HasStagedConfig() {
+			t.Errorf("wss %s still has a staged config", id)
+		}
+	}
+}
+
+func TestApplyAtomicRollsBackOnVendorRejection(t *testing.T) {
+	// Build the standard harness, then replace the controller's view of
+	// f1's WSS with a legacy fixed-grid agent. A 500 Gbps demand on the
+	// 600 km path plans as one 500G@87.5 GHz wavelength — a 7-pixel
+	// passband the rigid 75 GHz vendor cannot slice — so the apply must
+	// be refused and fully rolled back.
+	h := newHarness(t, 3, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 500})
+
+	grid := spectrum.DefaultGrid()
+	legacyDesc := devmodel.Descriptor{
+		ID: "wss-legacy-f1", Class: devmodel.ClassWSS,
+		Vendor: "legacy", Address: "pending", Site: "A", Fiber: "f1-legacy",
+	}
+	legacy := device.NewFixedGridWSS(legacyDesc, grid, 75)
+	addr, err := legacy.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	legacyDesc.Address = addr
+
+	// Swap the ring: a second controller whose "f1" WSS is the legacy
+	// one. (The DevMgr maps fiber → WSS at registration; register the
+	// legacy device under fiber f1 on a fresh controller.)
+	ctrl2, err := New(Config{
+		Optical: h.optical, IP: h.ip, Catalog: h.ctrl.cfg.Catalog, Grid: grid, K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl2.Close()
+	for _, src := range h.sources {
+		desc := src.Desc
+		if desc.Fiber == "f1" && desc.Class == devmodel.ClassWSS {
+			continue // replaced by the legacy vendor
+		}
+		if err := ctrl2.DevMgr().Register(desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacyDesc.Fiber = "f1"
+	if err := ctrl2.DevMgr().Register(legacyDesc); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ctrl2.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 800G plan uses one 800G@112.5 GHz wavelength over f1 — a
+	// passband the legacy vendor cannot slice.
+	err = ctrl2.ApplyAtomic(res)
+	if err == nil {
+		t.Fatal("ApplyAtomic succeeded against a fixed-grid vendor")
+	}
+	if !strings.Contains(err.Error(), "rejected staged config") {
+		t.Errorf("error = %v", err)
+	}
+	// Rollback: no channels, no capacity, no staged documents, all
+	// transponders free again.
+	if len(ctrl2.Channels()) != 0 {
+		t.Errorf("channels after rollback: %v", ctrl2.Channels())
+	}
+	if got := ctrl2.LiveCapacityGbps()["e1"]; got != 0 {
+		t.Errorf("live capacity after rollback = %d", got)
+	}
+	for site, want := range map[string]int{"A": 3, "B": 3, "C": 3} {
+		if got := ctrl2.DevMgr().FreeTransponders(site); got != want {
+			t.Errorf("site %s free transponders = %d, want %d", site, got, want)
+		}
+	}
+	for id, tr := range h.transponders {
+		if tr.HasStagedConfig() {
+			t.Errorf("%s has residual staged config", id)
+		}
+		if tr.State().Config.Enabled {
+			t.Errorf("%s was enabled despite rollback", id)
+		}
+	}
+}
+
+func TestApplyAtomicThenRestore(t *testing.T) {
+	// The atomic path composes with the rest of the pipeline.
+	h := newHarness(t, 3, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 400})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.ApplyAtomic(res); err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.ctrl.HandleFiberCut("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RestoredGbps != 400 {
+		t.Errorf("restored %d", r.RestoredGbps)
+	}
+	report, err := h.ctrl.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Errorf("audit = %+v", report)
+	}
+}

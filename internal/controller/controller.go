@@ -1,0 +1,561 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+	"flexwan/internal/plan"
+	"flexwan/internal/restore"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/telemetry"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+// Config assembles the controller's global view: both topology layers,
+// the hardware family, and the spectrum grid.
+type Config struct {
+	Optical *topology.Optical
+	IP      *topology.IPTopology
+	Catalog transponder.Catalog
+	Grid    spectrum.Grid
+	// K is the candidate-path count for planning and restoration.
+	K int
+	// Epsilon is the planning objective's spectrum weight.
+	Epsilon float64
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...interface{})
+}
+
+// channelState tracks one live wavelength and the hardware carrying it.
+type channelState struct {
+	wavelength plan.Wavelength
+	txA, txB   string // transponder device IDs at the two ends
+}
+
+// Controller is the centralized optical controller.
+type Controller struct {
+	cfg    Config
+	devmgr *DevMgr
+
+	mu sync.Mutex
+	// channels maps channel name ("link:seq") → live state.
+	channels map[string]*channelState
+	// wssConfig accumulates the passband document per fiber.
+	wssConfig map[string]devmodel.WSSConfig
+	// downFibers tracks fibers currently marked cut.
+	downFibers map[string]bool
+	// basePlan is the last applied planning result.
+	basePlan *plan.Result
+	// seq numbers channels per link.
+	seq map[string]int
+	// playbook holds precomputed restoration plans per fiber (§4.4).
+	playbook map[string]*restore.Result
+}
+
+// New builds a controller. Devices are added via DevMgr().Register.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Optical == nil || cfg.IP == nil {
+		return nil, fmt.Errorf("controller: nil topology")
+	}
+	if len(cfg.Catalog.Modes) == 0 {
+		return nil, fmt.Errorf("controller: empty catalog")
+	}
+	if cfg.Grid.Pixels <= 0 {
+		return nil, fmt.Errorf("controller: invalid grid")
+	}
+	return &Controller{
+		cfg:        cfg,
+		devmgr:     NewDevMgr(),
+		channels:   make(map[string]*channelState),
+		wssConfig:  make(map[string]devmodel.WSSConfig),
+		downFibers: make(map[string]bool),
+		seq:        make(map[string]int),
+	}, nil
+}
+
+// DevMgr exposes the device manager for registration.
+func (c *Controller) DevMgr() *DevMgr { return c.devmgr }
+
+// Close drops all device sessions.
+func (c *Controller) Close() { c.devmgr.Close() }
+
+func (c *Controller) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// PlanNetwork runs the network planning module (Algorithm 1 heuristic)
+// against the global view and returns the result without applying it.
+func (c *Controller) PlanNetwork() (*plan.Result, error) {
+	p := plan.Problem{
+		Optical: c.cfg.Optical,
+		IP:      c.cfg.IP,
+		Catalog: c.cfg.Catalog,
+		Grid:    c.cfg.Grid,
+		K:       c.cfg.K,
+		Epsilon: c.cfg.Epsilon,
+	}
+	res, err := plan.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Verify(p, res); err != nil {
+		return nil, fmt.Errorf("controller: planning self-check failed: %w", err)
+	}
+	return res, nil
+}
+
+// Apply pushes a planning result to the hardware: for every wavelength it
+// claims a transponder pair, configures both ends, and installs the
+// identical passband on the WSS of every fiber along the path. The push
+// is coordinated per §4.3: one source of configuration for all devices,
+// so consistency and conflict-freedom hold network-wide.
+func (c *Controller) Apply(res *plan.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range res.Wavelengths {
+		if err := c.provisionLocked(w); err != nil {
+			return err
+		}
+	}
+	if err := c.pushWSSLocked(); err != nil {
+		return err
+	}
+	c.basePlan = res
+	c.logf("controller: applied plan with %d wavelengths over %d links",
+		len(res.Wavelengths), len(res.PerLink))
+	return nil
+}
+
+// provisionLocked claims hardware and configures the transponder pair for
+// one wavelength, and accumulates its passbands. Callers hold c.mu.
+func (c *Controller) provisionLocked(w plan.Wavelength) error {
+	c.seq[w.LinkID]++
+	channel := fmt.Sprintf("%s:%d", w.LinkID, c.seq[w.LinkID])
+	txA, err := c.devmgr.ClaimTransponder(string(w.Path.Src()), channel)
+	if err != nil {
+		return err
+	}
+	txB, err := c.devmgr.ClaimTransponder(string(w.Path.Dst()), channel)
+	if err != nil {
+		c.devmgr.ReleaseTransponder(txA)
+		return err
+	}
+	cfg := transponderConfig(w, channel)
+	for _, id := range []string{txA, txB} {
+		if err := c.editConfig(id, cfg); err != nil {
+			c.devmgr.ReleaseTransponder(txA)
+			c.devmgr.ReleaseTransponder(txB)
+			return fmt.Errorf("controller: configuring %s for %s: %w", id, channel, err)
+		}
+	}
+	for _, fiber := range w.Path.Fibers {
+		wc := c.wssConfig[fiber]
+		wc.Passbands = append(wc.Passbands, devmodel.Passband{
+			Channel: channel,
+			Start:   w.Interval.Start,
+			Count:   w.Interval.Count,
+		})
+		c.wssConfig[fiber] = wc
+	}
+	c.channels[channel] = &channelState{wavelength: w, txA: txA, txB: txB}
+	return nil
+}
+
+// transponderConfig builds the standard config document for a wavelength.
+func transponderConfig(w plan.Wavelength, channel string) devmodel.TransponderConfig {
+	return devmodel.TransponderConfig{
+		Enabled:       true,
+		DataRateGbps:  w.Mode.DataRateGbps,
+		SpacingGHz:    w.Mode.SpacingGHz,
+		BaudGBd:       w.Mode.BaudGBd,
+		Modulation:    w.Mode.Modulation.Name,
+		FEC:           w.Mode.FEC.Name,
+		IntervalStart: w.Interval.Start,
+		IntervalCount: w.Interval.Count,
+		PathFibers:    append([]string(nil), w.Path.Fibers...),
+		Channel:       channel,
+	}
+}
+
+// pushWSSLocked pushes every fiber's accumulated passband document to its
+// WSS. Callers hold c.mu.
+func (c *Controller) pushWSSLocked() error {
+	fibers := make([]string, 0, len(c.wssConfig))
+	for f := range c.wssConfig {
+		fibers = append(fibers, f)
+	}
+	sort.Strings(fibers)
+	for _, fiber := range fibers {
+		wssID, ok := c.devmgr.WSSForFiber(fiber)
+		if !ok {
+			return fmt.Errorf("controller: no WSS registered for fiber %s", fiber)
+		}
+		cfg := c.wssConfig[fiber]
+		sort.Slice(cfg.Passbands, func(i, j int) bool { return cfg.Passbands[i].Start < cfg.Passbands[j].Start })
+		if err := c.editConfig(wssID, cfg); err != nil {
+			return fmt.Errorf("controller: configuring WSS %s: %w", wssID, err)
+		}
+	}
+	return nil
+}
+
+func (c *Controller) editConfig(deviceID string, cfg interface{}) error {
+	client, ok := c.devmgr.Client(deviceID)
+	if !ok {
+		return fmt.Errorf("controller: device %s not registered", deviceID)
+	}
+	return client.Call(netconf.OpEditConfig, cfg, nil)
+}
+
+// Channels returns the live channel names, sorted.
+func (c *Controller) Channels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.channels))
+	for ch := range c.channels {
+		out = append(out, ch)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LiveCapacityGbps sums the data rates of live channels per IP link.
+func (c *Controller) LiveCapacityGbps() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int)
+	for _, st := range c.channels {
+		out[st.wavelength.LinkID] += st.wavelength.Mode.DataRateGbps
+	}
+	return out
+}
+
+// AuditReport is the outcome of a network-wide configuration audit.
+type AuditReport struct {
+	ChannelsChecked int
+	// Inconsistencies lists channels whose transponder spectrum and WSS
+	// passbands disagree somewhere along the path (Figure 5a failures).
+	Inconsistencies []string
+	// Conflicts lists fiber pixels claimed by more than one channel
+	// (Figure 5b failures).
+	Conflicts []string
+}
+
+// Clean reports a fully consistent, conflict-free configuration.
+func (r AuditReport) Clean() bool {
+	return len(r.Inconsistencies) == 0 && len(r.Conflicts) == 0
+}
+
+// Audit reads back the configuration of every device and verifies the two
+// §4.3 invariants: channel consistency (the wavelength's spectrum equals
+// the passband on every fiber of its path, end to end) and channel
+// conflict freedom (no pixel of any fiber serves two channels). This is
+// the check behind the paper's "zero spectrum inconsistency and conflict"
+// operational result.
+func (c *Controller) Audit() (AuditReport, error) {
+	c.mu.Lock()
+	channels := make(map[string]*channelState, len(c.channels))
+	for k, v := range c.channels {
+		channels[k] = v
+	}
+	c.mu.Unlock()
+
+	var report AuditReport
+	report.ChannelsChecked = len(channels)
+
+	// Read back WSS configs once per fiber.
+	wssCfg := make(map[string]devmodel.WSSConfig)
+	fiberOf := make(map[string]string)
+	for _, st := range channels {
+		for _, fiber := range st.wavelength.Path.Fibers {
+			if _, done := wssCfg[fiber]; done {
+				continue
+			}
+			wssID, ok := c.devmgr.WSSForFiber(fiber)
+			if !ok {
+				return report, fmt.Errorf("controller: no WSS for fiber %s", fiber)
+			}
+			client, ok := c.devmgr.Client(wssID)
+			if !ok {
+				return report, fmt.Errorf("controller: WSS %s not registered", wssID)
+			}
+			var cfg devmodel.WSSConfig
+			if err := client.Call(netconf.OpGetConfig, nil, &cfg); err != nil {
+				return report, err
+			}
+			wssCfg[fiber] = cfg
+			fiberOf[wssID] = fiber
+		}
+	}
+
+	names := make([]string, 0, len(channels))
+	for name := range channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := channels[name]
+		want := st.wavelength.Interval
+		// Transponder ends must carry the same spectrum.
+		consistent := true
+		for _, txID := range []string{st.txA, st.txB} {
+			client, ok := c.devmgr.Client(txID)
+			if !ok {
+				consistent = false
+				continue
+			}
+			var cfg devmodel.TransponderConfig
+			if err := client.Call(netconf.OpGetConfig, nil, &cfg); err != nil {
+				return report, err
+			}
+			if cfg.Interval() != want || !cfg.Enabled {
+				consistent = false
+			}
+		}
+		// Every fiber's WSS must pass exactly the same interval.
+		for _, fiber := range st.wavelength.Path.Fibers {
+			pb, ok := wssCfg[fiber].Find(name)
+			if !ok || pb.Interval() != want {
+				consistent = false
+			}
+		}
+		if !consistent {
+			report.Inconsistencies = append(report.Inconsistencies, name)
+		}
+	}
+
+	// Conflict check: per fiber, passbands must be pairwise disjoint.
+	fibers := make([]string, 0, len(wssCfg))
+	for f := range wssCfg {
+		fibers = append(fibers, f)
+	}
+	sort.Strings(fibers)
+	for _, fiber := range fibers {
+		pbs := wssCfg[fiber].Passbands
+		for i := range pbs {
+			for j := i + 1; j < len(pbs); j++ {
+				if pbs[i].Interval().Overlaps(pbs[j].Interval()) {
+					report.Conflicts = append(report.Conflicts,
+						fmt.Sprintf("%s: %s vs %s", fiber, pbs[i].Channel, pbs[j].Channel))
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// currentPlanLocked synthesizes a plan.Result from the live channels, so
+// restoration always runs against what the network is actually carrying.
+// Callers hold c.mu.
+func (c *Controller) currentPlanLocked() *plan.Result {
+	res := &plan.Result{
+		PerLink:   make(map[string]plan.LinkPlan),
+		Allocator: spectrum.NewAllocator(c.cfg.Grid),
+	}
+	names := make([]string, 0, len(c.channels))
+	for name := range c.channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := c.channels[name]
+		res.Wavelengths = append(res.Wavelengths, st.wavelength)
+		lp := res.PerLink[st.wavelength.LinkID]
+		lp.Wavelengths++
+		lp.ProvisionedGbps += st.wavelength.Mode.DataRateGbps
+		res.PerLink[st.wavelength.LinkID] = lp
+	}
+	return res
+}
+
+// HandleFiberCut runs the optical restoration module for a detected cut:
+// it computes the restoration plan, retunes the affected transponder
+// pairs onto their new paths/modes/spectrum, and updates the WSS
+// passbands along both old and new paths. It returns the restoration
+// result for reporting.
+func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.downFibers[fiber] {
+		return nil, fmt.Errorf("controller: fiber %s already marked down", fiber)
+	}
+	c.downFibers[fiber] = true
+	cut := make([]string, 0, len(c.downFibers))
+	for f := range c.downFibers {
+		cut = append(cut, f)
+	}
+	sort.Strings(cut)
+
+	var res *restore.Result
+	if pre, ok := c.playbookEntryLocked(fiber); ok {
+		res = pre
+		c.logf("controller: applying precomputed restoration plan for %s", fiber)
+	} else {
+		base := c.currentPlanLocked()
+		live, err := restore.Solve(restore.Problem{
+			Optical:  c.cfg.Optical,
+			IP:       c.cfg.IP,
+			Catalog:  c.cfg.Catalog,
+			Grid:     c.cfg.Grid,
+			Base:     base,
+			Scenario: restore.Scenario{ID: "live-" + fiber, CutFibers: cut},
+			K:        c.cfg.K,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res = live
+	}
+
+	// Tear down every failed channel; restored ones are re-provisioned on
+	// their original hardware (the "spare transponders whose original
+	// wavelengths are passing through the cut fiber", §8).
+	failedNames := c.failedChannelsLocked(cut)
+	type hw struct{ txA, txB string }
+	spares := make(map[string][]hw) // linkID → freed transponder pairs
+	for _, name := range failedNames {
+		st := c.channels[name]
+		c.removePassbandsLocked(name, st.wavelength.Path.Fibers)
+		delete(c.channels, name)
+		spares[st.wavelength.LinkID] = append(spares[st.wavelength.LinkID], hw{st.txA, st.txB})
+		// Disable both ends; a dark transponder stops alarming.
+		off := devmodel.TransponderConfig{Enabled: false}
+		for _, id := range []string{st.txA, st.txB} {
+			if err := c.editConfig(id, off); err != nil {
+				return nil, fmt.Errorf("controller: disabling %s: %w", id, err)
+			}
+		}
+	}
+
+	for _, r := range res.Restored {
+		pool := spares[r.LinkID]
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("controller: restoration for %s needs more transponders than failed", r.LinkID)
+		}
+		pair := pool[0]
+		spares[r.LinkID] = pool[1:]
+		c.seq[r.LinkID]++
+		channel := fmt.Sprintf("%s:%d", r.LinkID, c.seq[r.LinkID])
+		w := plan.Wavelength{
+			LinkID:   r.LinkID,
+			Path:     r.Path,
+			Mode:     r.Mode,
+			Interval: r.Interval,
+		}
+		cfg := transponderConfig(w, channel)
+		for _, id := range []string{pair.txA, pair.txB} {
+			if err := c.editConfig(id, cfg); err != nil {
+				return nil, fmt.Errorf("controller: retuning %s: %w", id, err)
+			}
+		}
+		for _, f := range w.Path.Fibers {
+			wc := c.wssConfig[f]
+			wc.Passbands = append(wc.Passbands, devmodel.Passband{
+				Channel: channel, Start: w.Interval.Start, Count: w.Interval.Count,
+			})
+			c.wssConfig[f] = wc
+		}
+		c.channels[channel] = &channelState{wavelength: w, txA: pair.txA, txB: pair.txB}
+	}
+	// Unused spares go back to the pool.
+	for _, pool := range spares {
+		for _, pair := range pool {
+			c.devmgr.ReleaseTransponder(pair.txA)
+			c.devmgr.ReleaseTransponder(pair.txB)
+		}
+	}
+	if err := c.pushWSSLocked(); err != nil {
+		return nil, err
+	}
+	c.logf("controller: fiber %s cut — restored %d/%d Gbps over %d channels",
+		fiber, res.RestoredGbps, res.AffectedGbps, len(res.Restored))
+	return res, nil
+}
+
+// failedChannelsLocked lists channels whose path crosses any cut fiber.
+func (c *Controller) failedChannelsLocked(cut []string) []string {
+	cutSet := make(map[string]bool, len(cut))
+	for _, f := range cut {
+		cutSet[f] = true
+	}
+	var out []string
+	for name, st := range c.channels {
+		for _, f := range st.wavelength.Path.Fibers {
+			if cutSet[f] {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// removePassbandsLocked strips the channel's passband from the given
+// fibers' accumulated configs.
+func (c *Controller) removePassbandsLocked(channel string, fibers []string) {
+	for _, f := range fibers {
+		wc := c.wssConfig[f]
+		kept := wc.Passbands[:0]
+		for _, pb := range wc.Passbands {
+			if pb.Channel != channel {
+				kept = append(kept, pb)
+			}
+		}
+		wc.Passbands = kept
+		c.wssConfig[f] = wc
+	}
+}
+
+// Watch consumes fiber events from the data stream and drives restoration
+// until the events channel closes. Each handled event is reported through
+// the callback (which may be nil).
+func (c *Controller) Watch(events <-chan telemetry.Event, onRestore func(*restore.Result)) {
+	for ev := range events {
+		if ev.Kind != "fiber-cut" {
+			continue
+		}
+		res, err := c.HandleFiberCut(ev.Fiber)
+		if err != nil {
+			c.logf("controller: restoration for %s failed: %v", ev.Fiber, err)
+			continue
+		}
+		if onRestore != nil {
+			onRestore(res)
+		}
+	}
+}
+
+// SetPlaybook installs precomputed restoration plans keyed by fiber ID —
+// §4.4's offline pre-computation ("the restoration plan for each fiber
+// cut scenario can be produced offline"). HandleFiberCut consults the
+// playbook before solving live: if an entry exists for the cut fiber and
+// the network still matches the state the plan was computed against (no
+// prior failures), it is applied directly, shaving the solver latency off
+// the recovery path.
+func (c *Controller) SetPlaybook(plans map[string]*restore.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.playbook = plans
+}
+
+// playbookEntryLocked returns the precomputed plan for the fiber when it
+// is still applicable. Callers hold c.mu.
+func (c *Controller) playbookEntryLocked(fiber string) (*restore.Result, bool) {
+	if c.playbook == nil {
+		return nil, false
+	}
+	// A precomputed plan assumed the full pre-failure network; once any
+	// other fiber is already down, the live solver must run instead.
+	if len(c.downFibers) > 1 {
+		return nil, false
+	}
+	res, ok := c.playbook[fiber]
+	return res, ok
+}

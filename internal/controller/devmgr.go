@@ -1,0 +1,215 @@
+// Package controller implements FlexWAN's centralized optical controller
+// (§4.3–4.4 of the paper): the global manager (IP and optical topology
+// managers plus the device manager), the network planning and optical
+// restoration modules, and the data-stream-driven failure handling loop.
+//
+// The controller is the single writer of optical configuration. Every
+// wavelength it provisions is pushed as one consistent set of documents —
+// the transponder pair's mode and spectrum, and an identical passband on
+// the WSS of every fiber along the path — which is how the paper achieves
+// "zero spectrum inconsistency and conflict" in a multi-vendor backbone.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+)
+
+// DevMgr is the device manager: the registry of managed devices, their
+// management sessions, and the per-site transponder pools the controller
+// draws on when materializing wavelengths onto hardware.
+type DevMgr struct {
+	mu      sync.Mutex
+	devices map[string]devmodel.Descriptor
+	clients map[string]*netconf.Client
+	// freeTx holds unassigned transponder IDs per site, kept sorted for
+	// deterministic assignment.
+	freeTx map[string][]string
+	// wssByFiber maps a fiber segment to the WSS device controlling its
+	// spectrum.
+	wssByFiber map[string]string
+	// assignment maps a transponder ID to the channel it carries.
+	assignment map[string]string
+}
+
+// NewDevMgr returns an empty device manager.
+func NewDevMgr() *DevMgr {
+	return &DevMgr{
+		devices:    make(map[string]devmodel.Descriptor),
+		clients:    make(map[string]*netconf.Client),
+		freeTx:     make(map[string][]string),
+		wssByFiber: make(map[string]string),
+		assignment: make(map[string]string),
+	}
+}
+
+// Register validates the descriptor, dials the device's management
+// address, and indexes it. The controller locates devices by the IP
+// address in the descriptor (§4.3).
+func (d *DevMgr) Register(desc devmodel.Descriptor) error {
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	client, err := netconf.Dial(desc.Address)
+	if err != nil {
+		return fmt.Errorf("controller: dialing %s at %s: %w", desc.ID, desc.Address, err)
+	}
+	// The device's hello must agree with the registered identity — a
+	// mismatch indicates a miswired management network.
+	var hello devmodel.Descriptor
+	if err := client.Hello(&hello); err == nil && hello.ID != "" && hello.ID != desc.ID {
+		client.Close()
+		return fmt.Errorf("controller: device at %s identifies as %s, registered as %s",
+			desc.Address, hello.ID, desc.ID)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.devices[desc.ID]; dup {
+		client.Close()
+		return fmt.Errorf("controller: duplicate device %s", desc.ID)
+	}
+	d.devices[desc.ID] = desc
+	d.clients[desc.ID] = client
+	switch desc.Class {
+	case devmodel.ClassTransponder:
+		d.freeTx[desc.Site] = insertSorted(d.freeTx[desc.Site], desc.ID)
+	case devmodel.ClassWSS:
+		if desc.Fiber == "" {
+			return fmt.Errorf("controller: WSS %s has no fiber binding", desc.ID)
+		}
+		if prev, dup := d.wssByFiber[desc.Fiber]; dup {
+			return fmt.Errorf("controller: fiber %s already controlled by WSS %s", desc.Fiber, prev)
+		}
+		d.wssByFiber[desc.Fiber] = desc.ID
+	}
+	return nil
+}
+
+func insertSorted(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Client returns the management session for the device.
+func (d *DevMgr) Client(id string) (*netconf.Client, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[id]
+	return c, ok
+}
+
+// Descriptor returns the registered identity of the device.
+func (d *DevMgr) Descriptor(id string) (devmodel.Descriptor, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	desc, ok := d.devices[id]
+	return desc, ok
+}
+
+// Devices returns all registered descriptors sorted by ID.
+func (d *DevMgr) Devices() []devmodel.Descriptor {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]devmodel.Descriptor, 0, len(d.devices))
+	for _, desc := range d.devices {
+		out = append(out, desc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WSSForFiber returns the WSS device controlling the fiber's spectrum.
+func (d *DevMgr) WSSForFiber(fiber string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.wssByFiber[fiber]
+	return id, ok
+}
+
+// ClaimTransponder takes one free transponder at the site for the
+// channel. Assignment is deterministic (lowest ID first).
+func (d *DevMgr) ClaimTransponder(site, channel string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pool := d.freeTx[site]
+	if len(pool) == 0 {
+		return "", fmt.Errorf("controller: no free transponder at site %s for channel %s", site, channel)
+	}
+	id := pool[0]
+	d.freeTx[site] = pool[1:]
+	d.assignment[id] = channel
+	return id, nil
+}
+
+// ClaimSpecific takes a particular free transponder for the channel —
+// the standby-takeover path, where assignments are dictated by a
+// snapshot rather than chosen from the pool.
+func (d *DevMgr) ClaimSpecific(id, channel string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	desc, ok := d.devices[id]
+	if !ok {
+		return fmt.Errorf("controller: unknown transponder %s", id)
+	}
+	if prev, taken := d.assignment[id]; taken {
+		return fmt.Errorf("controller: transponder %s already carries %s", id, prev)
+	}
+	pool := d.freeTx[desc.Site]
+	i := sort.SearchStrings(pool, id)
+	if i >= len(pool) || pool[i] != id {
+		return fmt.Errorf("controller: transponder %s not in site %s free pool", id, desc.Site)
+	}
+	d.freeTx[desc.Site] = append(pool[:i], pool[i+1:]...)
+	d.assignment[id] = channel
+	return nil
+}
+
+// ReleaseTransponder returns a transponder to its site's free pool.
+func (d *DevMgr) ReleaseTransponder(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	desc, ok := d.devices[id]
+	if !ok {
+		return
+	}
+	if _, assigned := d.assignment[id]; !assigned {
+		return
+	}
+	delete(d.assignment, id)
+	d.freeTx[desc.Site] = insertSorted(d.freeTx[desc.Site], id)
+}
+
+// Assignment returns the channel a transponder carries, if any.
+func (d *DevMgr) Assignment(id string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch, ok := d.assignment[id]
+	return ch, ok
+}
+
+// FreeTransponders reports the free pool size at the site.
+func (d *DevMgr) FreeTransponders(site string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.freeTx[site])
+}
+
+// Close drops every management session.
+func (d *DevMgr) Close() {
+	d.mu.Lock()
+	clients := make([]*netconf.Client, 0, len(d.clients))
+	for _, c := range d.clients {
+		clients = append(clients, c)
+	}
+	d.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

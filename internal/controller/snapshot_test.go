@@ -1,0 +1,205 @@
+package controller
+
+import (
+	"testing"
+
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	h := newHarness(t, 3, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 800})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.Apply(res); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.ctrl.Snapshot()
+	if len(snap.Channels) != len(res.Wavelengths) {
+		t.Errorf("snapshot channels = %d, want %d", len(snap.Channels), len(res.Wavelengths))
+	}
+	data, err := MarshalSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Channels) != len(snap.Channels) || len(back.WSSConfig) != len(snap.WSSConfig) {
+		t.Errorf("round trip lost state: %d/%d channels, %d/%d WSS",
+			len(back.Channels), len(snap.Channels), len(back.WSSConfig), len(snap.WSSConfig))
+	}
+	for name, ch := range snap.Channels {
+		got := back.Channels[name]
+		if got.TxA != ch.TxA || got.TxB != ch.TxB || got.Wavelength.Mode != ch.Wavelength.Mode {
+			t.Errorf("channel %s differs after round trip", name)
+		}
+	}
+}
+
+func TestStandbyFailover(t *testing.T) {
+	// Primary plans and applies; a standby with its own sessions loads
+	// the snapshot and carries on: audit clean, restoration works.
+	h := newHarness(t, 3, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 400})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.Apply(res); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.ctrl.Snapshot()
+
+	standby, err := New(Config{
+		Optical: h.optical, IP: h.ip, Catalog: transponder.SVT(),
+		Grid: h.ctrl.cfg.Grid, K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	// The standby dials the same fleet.
+	for _, src := range h.sources {
+		if err := standby.DevMgr().Register(src.Desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Primary dies.
+	h.ctrl.Close()
+
+	if err := standby.LoadSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	report, err := standby.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() || report.ChannelsChecked != len(snap.Channels) {
+		t.Errorf("standby audit = %+v", report)
+	}
+	// The standby can drive restoration.
+	r, err := standby.HandleFiberCut("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RestoredGbps != 400 {
+		t.Errorf("standby restored %d, want 400", r.RestoredGbps)
+	}
+	if got := standby.LiveCapacityGbps()["e1"]; got != 400 {
+		t.Errorf("live capacity after standby restoration = %d", got)
+	}
+}
+
+func TestLoadSnapshotValidation(t *testing.T) {
+	h := newHarness(t, 2, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 400})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.Apply(res); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.ctrl.Snapshot()
+	// Loading onto a non-empty controller is rejected.
+	if err := h.ctrl.LoadSnapshot(snap); err == nil {
+		t.Error("LoadSnapshot on live controller accepted")
+	}
+	// A snapshot referencing unknown hardware is rejected.
+	standby, err := New(Config{
+		Optical: h.optical, IP: h.ip, Catalog: transponder.SVT(), Grid: h.ctrl.cfg.Grid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	if err := standby.LoadSnapshot(snap); err == nil {
+		t.Error("LoadSnapshot without registered fleet accepted")
+	}
+}
+
+func TestRepairMisconnection(t *testing.T) {
+	h := newHarness(t, 3, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 400})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.Apply(res); err != nil {
+		t.Fatal(err)
+	}
+	// Clean state: Repair is a no-op.
+	fixed, err := h.ctrl.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 0 {
+		t.Errorf("repair on clean state fixed %v", fixed)
+	}
+
+	// Sabotage: a vendor tool wipes the WSS passbands on f1 (the kind of
+	// drift §9's misconnection lesson describes).
+	wssAddr := h.wss["f1"].Descriptor().Address
+	rogue, err := netconf.Dial(wssAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rogue.Close()
+	if err := rogue.Call(netconf.OpEditConfig, devmodel.WSSConfig{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	report, err := h.ctrl.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean() {
+		t.Fatal("audit missed the sabotage")
+	}
+
+	fixed, err = h.ctrl.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) == 0 {
+		t.Error("repair reported nothing fixed")
+	}
+	report, err = h.ctrl.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Errorf("audit still dirty after repair: %+v", report)
+	}
+	// The signal actually passes again.
+	for _, ch := range h.ctrl.Channels() {
+		st := h.ctrl.channels[ch]
+		for _, f := range st.wavelength.Path.Fibers {
+			if !h.wss[f].PassesInterval(st.wavelength.Interval) {
+				t.Errorf("WSS on %s still clips %s after repair", f, ch)
+			}
+		}
+	}
+}
+
+func TestClaimSpecific(t *testing.T) {
+	h := newHarness(t, 2, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100})
+	dm := h.ctrl.DevMgr()
+	if err := dm.ClaimSpecific("tx-A-1", "chan"); err != nil {
+		t.Fatal(err)
+	}
+	if ch, ok := dm.Assignment("tx-A-1"); !ok || ch != "chan" {
+		t.Errorf("assignment = %q, %v", ch, ok)
+	}
+	if err := dm.ClaimSpecific("tx-A-1", "other"); err == nil {
+		t.Error("double claim accepted")
+	}
+	if err := dm.ClaimSpecific("ghost", "chan"); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if n := dm.FreeTransponders("A"); n != 1 {
+		t.Errorf("free at A = %d, want 1", n)
+	}
+}

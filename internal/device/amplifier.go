@@ -1,0 +1,92 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+)
+
+// Amplifier is a simulated EDFA line amplifier on one fiber segment. Its
+// state document is what the data stream module watches to localize fiber
+// cuts: an amplifier whose input goes dark reports loss of signal within
+// one collection interval (§4.4: "the transmitted and received power of
+// two terminal devices at each end of a fiber cable could be used to
+// identify the status of the fiber cable").
+type Amplifier struct {
+	desc   devmodel.Descriptor
+	fabric *Fabric
+	fiber  string
+	srv    *netconf.Server
+
+	mu sync.Mutex
+}
+
+// NewAmplifier builds an EDFA agent attached to the given fiber.
+func NewAmplifier(desc devmodel.Descriptor, fabric *Fabric, fiber string) *Amplifier {
+	a := &Amplifier{desc: desc, fabric: fabric, fiber: fiber}
+	a.srv = netconf.NewServer(desc, a.handle)
+	fabric.OnChange(a.onFiberChange)
+	return a
+}
+
+// Start listens on addr and returns the bound management address.
+func (a *Amplifier) Start(addr string) (string, error) {
+	bound, err := a.srv.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	a.mu.Lock()
+	a.desc.Address = bound
+	a.mu.Unlock()
+	return bound, nil
+}
+
+// Close shuts the management endpoint down.
+func (a *Amplifier) Close() { a.srv.Close() }
+
+// Descriptor returns the device's identity document.
+func (a *Amplifier) Descriptor() devmodel.Descriptor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.desc
+}
+
+// State evaluates the amplifier's standard state document.
+func (a *Amplifier) State() devmodel.AmplifierState {
+	link := a.fabric.Link()
+	if a.fabric.IsCut(a.fiber) {
+		return devmodel.AmplifierState{GainDB: 0, OutPowerDBm: -60, LossOfSignal: true}
+	}
+	return devmodel.AmplifierState{
+		GainDB:       link.SpanLossDB(),
+		OutPowerDBm:  link.LaunchPowerDBm,
+		LossOfSignal: false,
+	}
+}
+
+func (a *Amplifier) handle(op string, payload json.RawMessage) (interface{}, error) {
+	switch op {
+	case netconf.OpGetState, netconf.OpGetConfig:
+		return a.State(), nil
+	case netconf.OpEditConfig, OpEditCandidate, OpCommit, OpDiscard:
+		// Amplifiers are not configured by the planning pipeline; accept
+		// and ignore, as gain is auto-controlled in the line system.
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("device: unknown op %q", op)
+	}
+}
+
+func (a *Amplifier) onFiberChange(fiberID string, cut bool) {
+	if fiberID != a.fiber {
+		return
+	}
+	kind := "los"
+	if !cut {
+		kind = "los-clear"
+	}
+	a.srv.Notify(Alarm{Device: a.desc.ID, Kind: kind, Fiber: fiberID})
+}

@@ -1,0 +1,74 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Candidate-datastore operations, mirroring NETCONF's candidate
+// configuration and commit model: the controller stages a validated
+// configuration on every device of a change set, then commits them all —
+// or discards them all if any device rejects its document. This is what
+// makes a network-wide configuration push atomic across vendors.
+const (
+	// OpEditCandidate validates a configuration document and stages it
+	// without applying.
+	OpEditCandidate = "edit-candidate"
+	// OpCommit applies the staged document (no-op when nothing staged).
+	OpCommit = "commit"
+	// OpDiscard drops the staged document.
+	OpDiscard = "discard"
+)
+
+// candidate holds one staged configuration document.
+type candidate struct {
+	mu     sync.Mutex
+	staged json.RawMessage
+}
+
+// handleCandidateOp implements the three candidate ops generically:
+// validate checks a document without side effects; apply installs it.
+// It reports whether the op was a candidate op (handled=false lets the
+// caller dispatch its other ops).
+func (c *candidate) handleCandidateOp(op string, payload json.RawMessage,
+	validate func(json.RawMessage) error, apply func(json.RawMessage) error) (handled bool, err error) {
+	switch op {
+	case OpEditCandidate:
+		if err := validate(payload); err != nil {
+			return true, err
+		}
+		c.mu.Lock()
+		c.staged = append(json.RawMessage(nil), payload...)
+		c.mu.Unlock()
+		return true, nil
+	case OpCommit:
+		c.mu.Lock()
+		staged := c.staged
+		c.staged = nil
+		c.mu.Unlock()
+		if staged == nil {
+			return true, nil
+		}
+		if err := apply(staged); err != nil {
+			// Validation passed at stage time; failure here means the
+			// running state changed in between — surface it loudly.
+			return true, fmt.Errorf("device: commit failed after successful stage: %w", err)
+		}
+		return true, nil
+	case OpDiscard:
+		c.mu.Lock()
+		c.staged = nil
+		c.mu.Unlock()
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// HasStaged reports whether a document is currently staged (test hook).
+func (c *candidate) HasStaged() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.staged != nil
+}

@@ -1,0 +1,386 @@
+package device
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+	"flexwan/internal/phy"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+func testFabric(t *testing.T) *Fabric {
+	t.Helper()
+	f := NewFabric(phy.DefaultLink())
+	for id, km := range map[string]float64{"f1": 600, "f2": 500, "f3": 700} {
+		if err := f.AddFiber(id, km); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestFabricValidation(t *testing.T) {
+	f := NewFabric(phy.DefaultLink())
+	if err := f.AddFiber("", 100); err == nil {
+		t.Error("empty fiber ID accepted")
+	}
+	if err := f.AddFiber("x", 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if err := f.AddFiber("x", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFiber("x", 200); err == nil {
+		t.Error("duplicate fiber accepted")
+	}
+}
+
+func TestFabricPathState(t *testing.T) {
+	f := testFabric(t)
+	length, osnr, los := f.PathState([]string{"f2", "f3"})
+	if los {
+		t.Fatal("healthy path reports LOS")
+	}
+	if length != 1200 {
+		t.Errorf("length = %v, want 1200", length)
+	}
+	if want := phy.DefaultLink().OSNRdB(1200); osnr != want {
+		t.Errorf("OSNR = %v, want %v", osnr, want)
+	}
+	// Cut in the middle.
+	f.Cut("f3")
+	if _, _, los := f.PathState([]string{"f2", "f3"}); !los {
+		t.Error("cut path does not report LOS")
+	}
+	f.Repair("f3")
+	if _, _, los := f.PathState([]string{"f2", "f3"}); los {
+		t.Error("repaired path still reports LOS")
+	}
+	// Unknown fiber and empty path are dark.
+	if _, _, los := f.PathState([]string{"ghost"}); !los {
+		t.Error("unknown fiber path not dark")
+	}
+	if _, _, los := f.PathState(nil); !los {
+		t.Error("empty path not dark")
+	}
+}
+
+func TestFabricObservers(t *testing.T) {
+	f := testFabric(t)
+	var events []string
+	f.OnChange(func(id string, cut bool) {
+		if cut {
+			events = append(events, "cut-"+id)
+		} else {
+			events = append(events, "fix-"+id)
+		}
+	})
+	f.Cut("f1")
+	f.Cut("f1") // idempotent: no second event
+	f.Repair("f1")
+	f.Cut("ghost") // unknown: no event
+	if len(events) != 2 || events[0] != "cut-f1" || events[1] != "fix-f1" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func startTransponder(t *testing.T, f *Fabric, cat transponder.Catalog) (*Transponder, *netconf.Client) {
+	t.Helper()
+	desc := devmodel.Descriptor{ID: "t1", Class: devmodel.ClassTransponder, Vendor: cat.Name, Address: "pending", Site: "A"}
+	tr := NewTransponder(desc, spectrum.DefaultGrid(), cat, f)
+	addr, err := tr.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	c, err := netconf.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return tr, c
+}
+
+func svtConfig() devmodel.TransponderConfig {
+	// 600G@150GHz has 800 km reach; path f1 is 600 km: decodes cleanly.
+	return devmodel.TransponderConfig{
+		Enabled: true, DataRateGbps: 600, SpacingGHz: 150,
+		IntervalStart: 0, IntervalCount: 12,
+		PathFibers: []string{"f1"}, Channel: "e1:0",
+	}
+}
+
+func TestTransponderConfigureAndState(t *testing.T) {
+	f := testFabric(t)
+	_, c := startTransponder(t, f, transponder.SVT())
+	if err := c.Call(netconf.OpEditConfig, svtConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var got devmodel.TransponderConfig
+	if err := c.Call(netconf.OpGetConfig, nil, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.DataRateGbps != 600 || got.Channel != "e1:0" {
+		t.Errorf("round-tripped config = %+v", got)
+	}
+	var st devmodel.TransponderState
+	if err := c.Call(netconf.OpGetState, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LossOfSignal {
+		t.Error("healthy circuit reports LOS")
+	}
+	if st.PostFECBER != 0 {
+		t.Errorf("post-FEC BER = %v, want 0 (600 km ≤ 800 km reach)", st.PostFECBER)
+	}
+	if st.PreFECBER <= 0 || st.PreFECBER >= 0.5 {
+		t.Errorf("pre-FEC BER = %v, want in (0, 0.5)", st.PreFECBER)
+	}
+}
+
+func TestTransponderBeyondReach(t *testing.T) {
+	f := testFabric(t)
+	_, c := startTransponder(t, f, transponder.SVT())
+	cfg := svtConfig()
+	cfg.PathFibers = []string{"f2", "f3"} // 1200 km > 800 km reach
+	if err := c.Call(netconf.OpEditConfig, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	var st devmodel.TransponderState
+	if err := c.Call(netconf.OpGetState, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PostFECBER <= 0 {
+		t.Errorf("post-FEC BER = %v, want positive beyond reach (§6)", st.PostFECBER)
+	}
+	if st.LossOfSignal {
+		t.Error("long path is noisy, not dark")
+	}
+}
+
+func TestTransponderVendorCapability(t *testing.T) {
+	// A RADWAN (BVT) vendor must reject a spacing-variable mode.
+	f := testFabric(t)
+	_, c := startTransponder(t, f, transponder.RADWAN())
+	err := c.Call(netconf.OpEditConfig, svtConfig(), nil)
+	if err == nil {
+		t.Fatal("BVT vendor accepted a 150 GHz mode")
+	}
+	if !strings.Contains(err.Error(), "does not support") {
+		t.Errorf("error = %v", err)
+	}
+	// Its own catalog mode is fine.
+	cfg := devmodel.TransponderConfig{
+		Enabled: true, DataRateGbps: 300, SpacingGHz: 75,
+		IntervalStart: 0, IntervalCount: 6,
+		PathFibers: []string{"f1"}, Channel: "e1:0",
+	}
+	if err := c.Call(netconf.OpEditConfig, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransponderInvalidConfigRejected(t *testing.T) {
+	f := testFabric(t)
+	_, c := startTransponder(t, f, transponder.SVT())
+	cfg := svtConfig()
+	cfg.IntervalCount = 5 // 150 GHz needs 12 pixels
+	if err := c.Call(netconf.OpEditConfig, cfg, nil); err == nil {
+		t.Error("interval/spacing mismatch accepted")
+	}
+}
+
+func TestTransponderLOSAlarm(t *testing.T) {
+	f := testFabric(t)
+	_, c := startTransponder(t, f, transponder.SVT())
+	if err := c.Call(netconf.OpEditConfig, svtConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Cut("f1")
+	select {
+	case raw := <-c.Notifications():
+		var al Alarm
+		if err := json.Unmarshal(raw, &al); err != nil {
+			t.Fatal(err)
+		}
+		if al.Kind != "los" || al.Fiber != "f1" || al.Device != "t1" {
+			t.Errorf("alarm = %+v", al)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no LOS alarm after cut")
+	}
+	var st devmodel.TransponderState
+	if err := c.Call(netconf.OpGetState, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.LossOfSignal || st.PostFECBER != 0.5 {
+		t.Errorf("state after cut = %+v", st)
+	}
+	// Repair clears.
+	f.Repair("f1")
+	select {
+	case raw := <-c.Notifications():
+		var al Alarm
+		_ = json.Unmarshal(raw, &al)
+		if al.Kind != "los-clear" {
+			t.Errorf("alarm = %+v", al)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no clear alarm after repair")
+	}
+}
+
+func TestTransponderUnrelatedCutNoAlarm(t *testing.T) {
+	f := testFabric(t)
+	_, c := startTransponder(t, f, transponder.SVT())
+	if err := c.Call(netconf.OpEditConfig, svtConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Cut("f3") // not on the circuit
+	select {
+	case raw := <-c.Notifications():
+		t.Errorf("unexpected alarm: %s", raw)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestWSSPixelwiseVsFixedGrid(t *testing.T) {
+	grid := spectrum.DefaultGrid()
+	descP := devmodel.Descriptor{ID: "wss-p", Class: devmodel.ClassWSS, Vendor: "lcos", Address: "p", Site: "A", Fiber: "f1"}
+	pixel := NewWSS(descP, grid)
+	addrP, err := pixel.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pixel.Close()
+
+	descF := devmodel.Descriptor{ID: "wss-f", Class: devmodel.ClassWSS, Vendor: "legacy", Address: "f", Site: "A", Fiber: "f1"}
+	fixed := NewFixedGridWSS(descF, grid, 75)
+	addrF, err := fixed.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+
+	cp, err := netconf.Dial(addrP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	cf, err := netconf.Dial(addrF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	// A 150 GHz passband starting at pixel 3: pixel-wise accepts, the
+	// 75 GHz fixed-grid vendor rejects (off-grid start and width).
+	flexCfg := devmodel.WSSConfig{Passbands: []devmodel.Passband{{Channel: "e1:0", Start: 3, Count: 12}}}
+	if err := cp.Call(netconf.OpEditConfig, flexCfg, nil); err != nil {
+		t.Errorf("pixel-wise WSS rejected valid passband: %v", err)
+	}
+	if err := cf.Call(netconf.OpEditConfig, flexCfg, nil); err == nil {
+		t.Error("fixed-grid WSS accepted an off-grid passband")
+	}
+	// An aligned 75 GHz passband is fine for both.
+	rigid := devmodel.WSSConfig{Passbands: []devmodel.Passband{{Channel: "e1:0", Start: 6, Count: 6}}}
+	if err := cf.Call(netconf.OpEditConfig, rigid, nil); err != nil {
+		t.Errorf("fixed-grid WSS rejected aligned passband: %v", err)
+	}
+
+	// PassesInterval reflects the applied config.
+	if !pixel.PassesInterval(spectrum.Interval{Start: 4, Count: 10}) {
+		t.Error("pixel WSS should pass an interval inside its passband")
+	}
+	if pixel.PassesInterval(spectrum.Interval{Start: 0, Count: 6}) {
+		t.Error("pixel WSS passes an unconfigured interval")
+	}
+}
+
+func TestWSSOverlapRejected(t *testing.T) {
+	grid := spectrum.DefaultGrid()
+	desc := devmodel.Descriptor{ID: "w", Class: devmodel.ClassWSS, Vendor: "lcos", Address: "x", Site: "A", Fiber: "f1"}
+	w := NewWSS(desc, grid)
+	addr, err := w.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c, err := netconf.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bad := devmodel.WSSConfig{Passbands: []devmodel.Passband{
+		{Channel: "a", Start: 0, Count: 8},
+		{Channel: "b", Start: 4, Count: 8},
+	}}
+	if err := c.Call(netconf.OpEditConfig, bad, nil); err == nil {
+		t.Error("overlapping passbands accepted")
+	}
+}
+
+func TestAmplifierState(t *testing.T) {
+	f := testFabric(t)
+	desc := devmodel.Descriptor{ID: "amp1", Class: devmodel.ClassAmplifier, Vendor: "edfa", Address: "x", Site: "A", Fiber: "f1"}
+	a := NewAmplifier(desc, f, "f1")
+	addr, err := a.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c, err := netconf.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var st devmodel.AmplifierState
+	if err := c.Call(netconf.OpGetState, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LossOfSignal {
+		t.Error("healthy amplifier reports LOS")
+	}
+	f.Cut("f1")
+	select {
+	case raw := <-c.Notifications():
+		var al Alarm
+		_ = json.Unmarshal(raw, &al)
+		if al.Kind != "los" || al.Device != "amp1" {
+			t.Errorf("alarm = %+v", al)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no amplifier alarm")
+	}
+	if err := c.Call(netconf.OpGetState, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.LossOfSignal {
+		t.Error("cut amplifier does not report LOS")
+	}
+}
+
+func TestFabricFromTopology(t *testing.T) {
+	g := topology.New()
+	if err := g.AddFiber("x1", "A", "B", 120); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFiber("x2", "B", "C", 340); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FabricFromTopology(g, phy.DefaultLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	length, _, los := f.PathState([]string{"x1", "x2"})
+	if los || length != 460 {
+		t.Errorf("path state = %v km, los %v", length, los)
+	}
+}

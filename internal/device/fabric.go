@@ -1,0 +1,143 @@
+// Package device implements simulated optical hardware agents — the
+// spacing-variable transponder (SVT), the pixel-wise wavelength selective
+// switch (WSS) of the spectrum-sliced OLS, and line amplifiers — each
+// exposing FlexWAN's standard device model over the NETCONF-like
+// management protocol (§4.2–4.3 of the paper).
+//
+// The agents stand in for the multi-vendor production hardware the paper
+// controls: every agent enforces its own vendor capabilities (a fixed-grid
+// vendor rejects off-grid passbands; a BVT-only vendor rejects spacing
+// changes) while speaking the same protocol and documents, which is
+// exactly the property the centralized controller relies on.
+//
+// The Fabric ties agents to a shared physical-layer simulation (package
+// phy): fiber lengths, amplifier chains, and cut state determine the OSNR
+// and post-FEC BER every transponder reports, so the §6 testbed sweep and
+// the fiber-cut detection pipeline exercise the same code paths as the
+// paper's production system.
+package device
+
+import (
+	"fmt"
+	"sync"
+
+	"flexwan/internal/phy"
+	"flexwan/internal/topology"
+)
+
+// Fabric is the shared physical layer: fiber segments with lengths and
+// cut state, evaluated under one link model. Agents query it for the OSNR
+// of their configured path; the test harness (or a failure injector) cuts
+// and repairs fibers. Fabric is safe for concurrent use.
+type Fabric struct {
+	link phy.LinkModel
+
+	mu        sync.Mutex
+	lengthKm  map[string]float64
+	cut       map[string]bool
+	observers []func(fiberID string, cut bool)
+}
+
+// NewFabric returns an empty fabric under the given link model.
+func NewFabric(link phy.LinkModel) *Fabric {
+	return &Fabric{
+		link:     link,
+		lengthKm: make(map[string]float64),
+		cut:      make(map[string]bool),
+	}
+}
+
+// Link returns the fabric's link model.
+func (f *Fabric) Link() phy.LinkModel { return f.link }
+
+// AddFiber registers a fiber segment.
+func (f *Fabric) AddFiber(id string, lengthKm float64) error {
+	if id == "" || lengthKm <= 0 {
+		return fmt.Errorf("device: invalid fiber %q length %v", id, lengthKm)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.lengthKm[id]; dup {
+		return fmt.Errorf("device: duplicate fiber %s", id)
+	}
+	f.lengthKm[id] = lengthKm
+	return nil
+}
+
+// OnChange registers a callback invoked (synchronously) whenever a
+// fiber's cut state flips. Agents use it to raise loss-of-signal alarms.
+func (f *Fabric) OnChange(fn func(fiberID string, cut bool)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.observers = append(f.observers, fn)
+}
+
+// Cut marks the fiber as severed.
+func (f *Fabric) Cut(id string) { f.setCut(id, true) }
+
+// Repair restores a severed fiber.
+func (f *Fabric) Repair(id string) { f.setCut(id, false) }
+
+func (f *Fabric) setCut(id string, cut bool) {
+	f.mu.Lock()
+	if _, ok := f.lengthKm[id]; !ok || f.cut[id] == cut {
+		f.mu.Unlock()
+		return
+	}
+	f.cut[id] = cut
+	observers := append([]func(string, bool){}, f.observers...)
+	f.mu.Unlock()
+	for _, fn := range observers {
+		fn(id, cut)
+	}
+}
+
+// IsCut reports the fiber's cut state. Unknown fibers read as cut — a
+// signal routed over a fiber the fabric does not know is dark.
+func (f *Fabric) IsCut(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.lengthKm[id]; !ok {
+		return true
+	}
+	return f.cut[id]
+}
+
+// PathState evaluates a fiber path: total length, received OSNR under the
+// link model, and whether the light is lost (any segment cut or unknown).
+func (f *Fabric) PathState(fibers []string) (lengthKm, osnrDB float64, los bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(fibers) == 0 {
+		return 0, 0, true
+	}
+	for _, id := range fibers {
+		l, ok := f.lengthKm[id]
+		if !ok || f.cut[id] {
+			return 0, 0, true
+		}
+		lengthKm += l
+	}
+	return lengthKm, f.link.OSNRdB(lengthKm), false
+}
+
+// Alarm is the asynchronous event document agents push when their signal
+// state changes — the raw input of the controller's data stream module.
+type Alarm struct {
+	Device string `json:"device"`
+	Kind   string `json:"kind"` // "los" | "los-clear"
+	Fiber  string `json:"fiber,omitempty"`
+}
+
+// FabricFromTopology builds a fabric mirroring an optical topology's
+// fiber plant — the usual way simulations wire the physical layer to the
+// planning layer.
+func FabricFromTopology(g *topology.Optical, link phy.LinkModel) (*Fabric, error) {
+	f := NewFabric(link)
+	for _, fiber := range g.Fibers() {
+		if err := f.AddFiber(fiber.ID, fiber.LengthKm); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

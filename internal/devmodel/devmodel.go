@@ -1,0 +1,187 @@
+// Package devmodel defines FlexWAN's standard device model (§4.3 of the
+// paper): a uniform, vendor-agnostic abstraction of heterogeneous optical
+// devices. Every vendor maps its hardware onto the same logical
+// components and configuration documents, so one centralized controller
+// can interface with all of them.
+//
+// The paper issues YANG documents over NETCONF; in this stdlib-only
+// reproduction the documents are the JSON-encoded structures below,
+// carried by the NETCONF-like RPC protocol in internal/netconf. The
+// semantics — typed per-device-class configs, validation before apply,
+// and uniform state retrieval — match.
+package devmodel
+
+import (
+	"fmt"
+
+	"flexwan/internal/spectrum"
+)
+
+// Class is the device class in the standard model.
+type Class string
+
+// Device classes of the optical layer (Figure 1 of the paper).
+const (
+	ClassTransponder Class = "transponder"
+	ClassWSS         Class = "wss"       // pixel-wise WSS inside MUX/ROADM
+	ClassAmplifier   Class = "amplifier" // EDFA line amplifier
+)
+
+// Descriptor identifies one managed device. Each device is allocated an
+// IP address the controller uses to locate it (§4.3).
+type Descriptor struct {
+	ID      string `json:"id"`
+	Class   Class  `json:"class"`
+	Vendor  string `json:"vendor"`
+	Address string `json:"address"` // host:port of the management endpoint
+	// Site is the ROADM site hosting the device (optical TopoMgr key).
+	Site string `json:"site"`
+	// Fiber, for WSS/amplifier devices, names the fiber whose spectrum
+	// the device filters or amplifies.
+	Fiber string `json:"fiber,omitempty"`
+}
+
+// Validate checks the descriptor's required fields.
+func (d Descriptor) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("devmodel: empty device ID")
+	}
+	switch d.Class {
+	case ClassTransponder, ClassWSS, ClassAmplifier:
+	default:
+		return fmt.Errorf("devmodel: device %s has unknown class %q", d.ID, d.Class)
+	}
+	if d.Address == "" {
+		return fmt.Errorf("devmodel: device %s has no management address", d.ID)
+	}
+	return nil
+}
+
+// TransponderConfig is the standard configuration document for a
+// transponder: the operating mode of the generated wavelength and the
+// spectrum it occupies. The control unit inside the device maps these
+// parameters onto its FEC module, DSP and EOM (§4.2).
+type TransponderConfig struct {
+	Enabled      bool    `json:"enabled"`
+	DataRateGbps int     `json:"data-rate-gbps"`
+	SpacingGHz   float64 `json:"spacing-ghz"`
+	BaudGBd      float64 `json:"baud-gbd"`
+	Modulation   string  `json:"modulation"`
+	FEC          string  `json:"fec"`
+	// Interval is the pixel interval of the wavelength in the fiber.
+	IntervalStart int `json:"interval-start"`
+	IntervalCount int `json:"interval-count"`
+	// PathFibers is the provisioned optical circuit: the fiber segments
+	// the wavelength traverses, in order. The device measures its
+	// received OSNR over this route.
+	PathFibers []string `json:"path-fibers"`
+	// Channel names the wavelength for cross-device correlation
+	// ("<link>:<index>", matching the WSS passband channel).
+	Channel string `json:"channel"`
+}
+
+// Interval returns the configured spectrum interval.
+func (c TransponderConfig) Interval() spectrum.Interval {
+	return spectrum.Interval{Start: c.IntervalStart, Count: c.IntervalCount}
+}
+
+// Validate checks internal consistency of the document against a grid.
+func (c TransponderConfig) Validate(grid spectrum.Grid) error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.DataRateGbps <= 0 {
+		return fmt.Errorf("devmodel: transponder data rate %d invalid", c.DataRateGbps)
+	}
+	if c.SpacingGHz <= 0 {
+		return fmt.Errorf("devmodel: transponder spacing %v invalid", c.SpacingGHz)
+	}
+	iv := c.Interval()
+	if !iv.Valid(grid) {
+		return fmt.Errorf("devmodel: transponder interval %v outside grid", iv)
+	}
+	need, err := grid.PixelsFor(c.SpacingGHz)
+	if err != nil {
+		return err
+	}
+	if iv.Count != need {
+		return fmt.Errorf("devmodel: interval %v (%d px) does not carry spacing %v GHz (%d px)",
+			iv, iv.Count, c.SpacingGHz, need)
+	}
+	return nil
+}
+
+// Passband is one filter-port passband of a WSS: the contiguous pixel
+// range it passes for one wavelength.
+type Passband struct {
+	// Channel names the wavelength this passband serves (the controller
+	// uses "<link>:<index>" identifiers).
+	Channel string `json:"channel"`
+	Start   int    `json:"start"`
+	Count   int    `json:"count"`
+}
+
+// Interval returns the passband's pixel interval.
+func (p Passband) Interval() spectrum.Interval {
+	return spectrum.Interval{Start: p.Start, Count: p.Count}
+}
+
+// WSSConfig is the standard configuration document for a pixel-wise WSS
+// (inside a MUX or ROADM): the set of passbands on one fiber's spectrum.
+type WSSConfig struct {
+	Passbands []Passband `json:"passbands"`
+}
+
+// Validate checks that all passbands lie on the grid and do not overlap —
+// an overlapping WSS configuration is exactly the channel-conflict
+// failure of Figure 5(b).
+func (c WSSConfig) Validate(grid spectrum.Grid) error {
+	for i, p := range c.Passbands {
+		if p.Channel == "" {
+			return fmt.Errorf("devmodel: passband %d has no channel", i)
+		}
+		if !p.Interval().Valid(grid) {
+			return fmt.Errorf("devmodel: passband %s interval %v outside grid", p.Channel, p.Interval())
+		}
+		for j := 0; j < i; j++ {
+			if p.Interval().Overlaps(c.Passbands[j].Interval()) {
+				return fmt.Errorf("devmodel: passbands %s and %s overlap (%v vs %v)",
+					c.Passbands[j].Channel, p.Channel, c.Passbands[j].Interval(), p.Interval())
+			}
+		}
+	}
+	return nil
+}
+
+// Find returns the passband serving the channel.
+func (c WSSConfig) Find(channel string) (Passband, bool) {
+	for _, p := range c.Passbands {
+		if p.Channel == channel {
+			return p, true
+		}
+	}
+	return Passband{}, false
+}
+
+// TransponderState is the standard state document a transponder reports:
+// the §6 testbed reads PostFECBER to find maximum reach, and the data
+// stream module (§4.4) collects these at one-second granularity.
+type TransponderState struct {
+	Config     TransponderConfig `json:"config"`
+	RxOSNRdB   float64           `json:"rx-osnr-db"`
+	PreFECBER  float64           `json:"pre-fec-ber"`
+	PostFECBER float64           `json:"post-fec-ber"`
+	RxPowerDBm float64           `json:"rx-power-dbm"`
+	// LossOfSignal is raised when the line is dark (fiber cut upstream).
+	LossOfSignal bool `json:"loss-of-signal"`
+}
+
+// AmplifierState is the standard state document an EDFA reports. The
+// controller's data stream uses the output-power collapse of the
+// amplifiers on a fiber to localize cuts.
+type AmplifierState struct {
+	GainDB      float64 `json:"gain-db"`
+	OutPowerDBm float64 `json:"out-power-dbm"`
+	// LossOfSignal is raised when no light arrives at the input.
+	LossOfSignal bool `json:"loss-of-signal"`
+}

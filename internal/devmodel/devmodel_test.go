@@ -1,0 +1,158 @@
+package devmodel
+
+import (
+	"testing"
+
+	"flexwan/internal/spectrum"
+)
+
+func grid() spectrum.Grid { return spectrum.DefaultGrid() }
+
+func TestDescriptorValidate(t *testing.T) {
+	good := Descriptor{ID: "t1", Class: ClassTransponder, Vendor: "A", Address: "127.0.0.1:1", Site: "S"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid descriptor rejected: %v", err)
+	}
+	bad := good
+	bad.ID = ""
+	if bad.Validate() == nil {
+		t.Error("empty ID accepted")
+	}
+	bad = good
+	bad.Class = "router"
+	if bad.Validate() == nil {
+		t.Error("unknown class accepted")
+	}
+	bad = good
+	bad.Address = ""
+	if bad.Validate() == nil {
+		t.Error("missing address accepted")
+	}
+}
+
+func TestTransponderConfigValidate(t *testing.T) {
+	good := TransponderConfig{
+		Enabled: true, DataRateGbps: 400, SpacingGHz: 75,
+		IntervalStart: 0, IntervalCount: 6,
+	}
+	if err := good.Validate(grid()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	// Disabled configs skip validation entirely.
+	disabled := TransponderConfig{Enabled: false, DataRateGbps: -1}
+	if err := disabled.Validate(grid()); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+	bad := good
+	bad.DataRateGbps = 0
+	if bad.Validate(grid()) == nil {
+		t.Error("zero rate accepted")
+	}
+	bad = good
+	bad.SpacingGHz = -75
+	if bad.Validate(grid()) == nil {
+		t.Error("negative spacing accepted")
+	}
+	bad = good
+	bad.IntervalCount = 5 // 75 GHz needs 6 pixels
+	if bad.Validate(grid()) == nil {
+		t.Error("interval/spacing mismatch accepted")
+	}
+	bad = good
+	bad.IntervalStart = 380 // runs past pixel 384
+	if bad.Validate(grid()) == nil {
+		t.Error("out-of-grid interval accepted")
+	}
+}
+
+func TestWSSConfigValidate(t *testing.T) {
+	good := WSSConfig{Passbands: []Passband{
+		{Channel: "e1:0", Start: 0, Count: 6},
+		{Channel: "e2:0", Start: 6, Count: 8},
+	}}
+	if err := good.Validate(grid()); err != nil {
+		t.Errorf("valid WSS config rejected: %v", err)
+	}
+	overlap := WSSConfig{Passbands: []Passband{
+		{Channel: "a", Start: 0, Count: 6},
+		{Channel: "b", Start: 5, Count: 6},
+	}}
+	if overlap.Validate(grid()) == nil {
+		t.Error("overlapping passbands accepted (channel conflict)")
+	}
+	unnamed := WSSConfig{Passbands: []Passband{{Start: 0, Count: 6}}}
+	if unnamed.Validate(grid()) == nil {
+		t.Error("unnamed passband accepted")
+	}
+	outside := WSSConfig{Passbands: []Passband{{Channel: "x", Start: 382, Count: 6}}}
+	if outside.Validate(grid()) == nil {
+		t.Error("out-of-grid passband accepted")
+	}
+}
+
+func TestWSSConfigFind(t *testing.T) {
+	cfg := WSSConfig{Passbands: []Passband{{Channel: "e1:0", Start: 4, Count: 6}}}
+	p, ok := cfg.Find("e1:0")
+	if !ok || p.Start != 4 {
+		t.Errorf("Find = %+v, %v", p, ok)
+	}
+	if _, ok := cfg.Find("missing"); ok {
+		t.Error("Find(missing) succeeded")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	c := TransponderConfig{IntervalStart: 3, IntervalCount: 6}
+	if iv := c.Interval(); iv.Start != 3 || iv.Count != 6 {
+		t.Errorf("Interval = %v", iv)
+	}
+	p := Passband{Start: 2, Count: 4}
+	if iv := p.Interval(); iv.Start != 2 || iv.Count != 4 {
+		t.Errorf("Passband.Interval = %v", iv)
+	}
+}
+
+func TestStandardModel(t *testing.T) {
+	m := StandardModel()
+	for _, class := range []Class{ClassTransponder, ClassWSS, ClassAmplifier} {
+		spec, ok := m[class]
+		if !ok {
+			t.Errorf("no model for %s", class)
+			continue
+		}
+		if spec.Class != class {
+			t.Errorf("%s spec carries class %s", class, spec.Class)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s model invalid: %v", class, err)
+		}
+		if len(spec.Components) == 0 || len(spec.Workflow) == 0 {
+			t.Errorf("%s model empty", class)
+		}
+	}
+	// The transponder model mirrors Figure 7: control unit + FEC/DSP/EOM.
+	names := map[string]bool{}
+	for _, c := range m[ClassTransponder].Components {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"control-unit", "fec", "dsp", "eom"} {
+		if !names[want] {
+			t.Errorf("transponder model missing %s", want)
+		}
+	}
+}
+
+func TestModelSpecValidate(t *testing.T) {
+	bad := ModelSpec{Class: ClassWSS, Components: []Component{{Name: "a"}}, Workflow: [][2]string{{"a", "ghost"}}}
+	if bad.Validate() == nil {
+		t.Error("dangling workflow edge accepted")
+	}
+	dup := ModelSpec{Class: ClassWSS, Components: []Component{{Name: "a"}, {Name: "a"}}}
+	if dup.Validate() == nil {
+		t.Error("duplicate component accepted")
+	}
+	unnamed := ModelSpec{Class: ClassWSS, Components: []Component{{}}}
+	if unnamed.Validate() == nil {
+		t.Error("unnamed component accepted")
+	}
+}

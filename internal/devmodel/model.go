@@ -1,0 +1,93 @@
+package devmodel
+
+import "fmt"
+
+// Component is one logical block of the standard device model — the
+// vendor-neutral abstraction every vendor maps its hardware onto (§4.3:
+// "heterogeneous devices across vendors are uniformly abstracted into a
+// group of logic components").
+type Component struct {
+	Name string `json:"name"`
+	Role string `json:"role"`
+}
+
+// ModelSpec describes one device class in the standard model: its logic
+// components and the signal workflow between them ("the device model
+// provides the mapping of these abstracted logic components to specify
+// the detailed workflow between them").
+type ModelSpec struct {
+	Class      Class       `json:"class"`
+	Components []Component `json:"components"`
+	// Workflow lists directed component-name pairs: signal or control
+	// flow from the first to the second.
+	Workflow [][2]string `json:"workflow"`
+}
+
+// Validate checks that every workflow edge references declared
+// components.
+func (m ModelSpec) Validate() error {
+	names := make(map[string]bool, len(m.Components))
+	for _, c := range m.Components {
+		if c.Name == "" {
+			return fmt.Errorf("devmodel: %s model has unnamed component", m.Class)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("devmodel: %s model duplicates component %s", m.Class, c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, e := range m.Workflow {
+		if !names[e[0]] || !names[e[1]] {
+			return fmt.Errorf("devmodel: %s workflow edge %v references unknown component", m.Class, e)
+		}
+	}
+	return nil
+}
+
+// StandardModel returns the standard device model for every class — the
+// component structure of Figure 7 (transponder: control unit over FEC,
+// DSP, EOM) and §4.2's spectrum-sliced OLS elements. Vendors whose
+// devices expose these components under this mapping can be managed by
+// the centralized controller without vendor-specific code.
+func StandardModel() map[Class]ModelSpec {
+	return map[Class]ModelSpec{
+		ClassTransponder: {
+			Class: ClassTransponder,
+			Components: []Component{
+				{Name: "control-unit", Role: "receives configuration parameters from the controller and programs each module"},
+				{Name: "fec", Role: "forward error correction with selectable redundancy ratios"},
+				{Name: "dsp", Role: "meshed baud-rate and modulation-format workflows, including PCS"},
+				{Name: "eom", Role: "electro-optic modulator generating the wavelength at the configured channel spacing"},
+			},
+			Workflow: [][2]string{
+				{"control-unit", "fec"},
+				{"control-unit", "dsp"},
+				{"control-unit", "eom"},
+				{"fec", "dsp"},
+				{"dsp", "eom"},
+			},
+		},
+		ClassWSS: {
+			Class: ClassWSS,
+			Components: []Component{
+				{Name: "control-unit", Role: "maps passband documents onto pixel selections"},
+				{Name: "pixel-array", Role: "LCoS pixel matrix slicing the grid at 12.5 GHz or finer"},
+				{Name: "filter-ports", Role: "per-channel passbands built from contiguous pixels"},
+			},
+			Workflow: [][2]string{
+				{"control-unit", "pixel-array"},
+				{"pixel-array", "filter-ports"},
+			},
+		},
+		ClassAmplifier: {
+			Class: ClassAmplifier,
+			Components: []Component{
+				{Name: "gain-block", Role: "erbium-doped fiber stage compensating span loss"},
+				{Name: "monitor", Role: "input/output photodiodes feeding the data stream"},
+			},
+			Workflow: [][2]string{
+				{"gain-block", "monitor"},
+			},
+		},
+	}
+}

@@ -1,0 +1,118 @@
+// Package eval regenerates every table and figure of the FlexWAN paper's
+// motivation and evaluation sections (§3, §6–§8) from the reproduction's
+// own machinery: the workload generators, the planning and restoration
+// algorithms, and the simulated hardware testbed. Each Fig*/Table*
+// function returns a structured result whose String method prints the
+// same rows or series the paper reports; cmd/flexwan-experiments and
+// bench_test.go drive them.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	// Sorted holds the sample in ascending order.
+	Sorted []float64
+}
+
+// NewCDF copies and sorts the sample.
+func NewCDF(sample []float64) CDF {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return CDF{Sorted: s}
+}
+
+// FractionBelow returns P(X ≤ x).
+func (c CDF) FractionBelow(x float64) float64 {
+	if len(c.Sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.Sorted, x)
+	// Include equal values.
+	for i < len(c.Sorted) && c.Sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.Sorted))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank.
+func (c CDF) Percentile(p float64) float64 {
+	if len(c.Sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.Sorted[0]
+	}
+	if p >= 100 {
+		return c.Sorted[len(c.Sorted)-1]
+	}
+	rank := int(p / 100 * float64(len(c.Sorted)))
+	if rank >= len(c.Sorted) {
+		rank = len(c.Sorted) - 1
+	}
+	return c.Sorted[rank]
+}
+
+// Mean returns the sample mean.
+func (c CDF) Mean() float64 {
+	if len(c.Sorted) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range c.Sorted {
+		sum += v
+	}
+	return sum / float64(len(c.Sorted))
+}
+
+// Len returns the sample size.
+func (c CDF) Len() int { return len(c.Sorted) }
+
+// Summary renders min / p25 / p50 / p75 / p90 / max on one line.
+func (c CDF) Summary() string {
+	if len(c.Sorted) == 0 {
+		return "(empty)"
+	}
+	return fmt.Sprintf("min %.2f  p25 %.2f  p50 %.2f  p75 %.2f  p90 %.2f  max %.2f",
+		c.Percentile(0), c.Percentile(25), c.Percentile(50),
+		c.Percentile(75), c.Percentile(90), c.Percentile(100))
+}
+
+// renderTable formats rows with aligned columns for terminal output.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"flexwan/internal/transponder"
+	"flexwan/internal/workload"
+)
+
+// Fig2a is the distribution of optical path lengths across a production
+// WAN's IP links (paper §3.1, Figure 2a).
+type Fig2a struct {
+	Network      string
+	Lengths      CDF
+	FracUnder200 float64
+}
+
+// Fig2aPathLengthDistribution measures the network's primary optical
+// paths.
+func Fig2aPathLengthDistribution(n workload.Network) Fig2a {
+	cdf := NewCDF(n.PathLengthsKm())
+	return Fig2a{
+		Network:      n.Name,
+		Lengths:      cdf,
+		FracUnder200: cdf.FractionBelow(200),
+	}
+}
+
+func (f Fig2a) String() string {
+	return fmt.Sprintf("Fig 2(a) — optical path lengths, %s\n  %s\n  fraction < 200 km: %.0f%% (paper: ≈50%%)\n",
+		f.Network, f.Lengths.Summary(), f.FracUnder200*100)
+}
+
+// Fig2b compares the maximum data rate supported by RADWAN's BVT and
+// FlexWAN's SVT at each traveling distance (paper Figure 2b).
+type Fig2b struct {
+	DistancesKm []float64
+	SVTGbps     []int
+	BVTGbps     []int
+}
+
+// Fig2bMaxRateVsDistance sweeps the catalogs.
+func Fig2bMaxRateVsDistance() Fig2b {
+	var out Fig2b
+	svt, bvt := transponder.SVT(), transponder.RADWAN()
+	for d := 100.0; d <= 5000; d += 100 {
+		out.DistancesKm = append(out.DistancesKm, d)
+		out.SVTGbps = append(out.SVTGbps, svt.MaxRateAt(d))
+		out.BVTGbps = append(out.BVTGbps, bvt.MaxRateAt(d))
+	}
+	return out
+}
+
+func (f Fig2b) String() string {
+	rows := make([][]string, 0, len(f.DistancesKm))
+	for i, d := range f.DistancesKm {
+		if int(d)%500 != 0 && d != 100 && d != 200 && d != 300 {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", d),
+			fmt.Sprintf("%d", f.SVTGbps[i]),
+			fmt.Sprintf("%d", f.BVTGbps[i]),
+		})
+	}
+	return "Fig 2(b) — max data rate vs distance\n" +
+		renderTable([]string{"km", "SVT Gbps", "BVT Gbps"}, rows)
+}
+
+// Fig3 is the single-demand cost study: hardware needed to provision
+// 800 Gbps at each optical path length (paper Figure 3).
+type Fig3 struct {
+	DistancesKm                      []float64
+	SVTTransponders, BVTTransponders []int
+	SVTSpectrumGHz, BVTSpectrumGHz   []float64
+}
+
+// Fig3Provision800G sweeps path lengths for an 800 Gbps demand.
+func Fig3Provision800G() Fig3 {
+	var out Fig3
+	svt, bvt := transponder.SVT(), transponder.RADWAN()
+	for d := 100.0; d <= 2000; d += 100 {
+		ps, okS := svt.MinProvision(800, d)
+		pb, okB := bvt.MinProvision(800, d)
+		if !okS || !okB {
+			break
+		}
+		out.DistancesKm = append(out.DistancesKm, d)
+		out.SVTTransponders = append(out.SVTTransponders, ps.Transponders())
+		out.BVTTransponders = append(out.BVTTransponders, pb.Transponders())
+		out.SVTSpectrumGHz = append(out.SVTSpectrumGHz, ps.SpectrumGHz())
+		out.BVTSpectrumGHz = append(out.BVTSpectrumGHz, pb.SpectrumGHz())
+	}
+	return out
+}
+
+func (f Fig3) String() string {
+	rows := make([][]string, len(f.DistancesKm))
+	for i, d := range f.DistancesKm {
+		rows[i] = []string{
+			fmt.Sprintf("%.0f", d),
+			fmt.Sprintf("%d", f.SVTTransponders[i]),
+			fmt.Sprintf("%d", f.BVTTransponders[i]),
+			fmt.Sprintf("%.1f", f.SVTSpectrumGHz[i]),
+			fmt.Sprintf("%.1f", f.BVTSpectrumGHz[i]),
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Fig 3 — provisioning 800 Gbps: transponder pairs and spectrum\n")
+	b.WriteString(renderTable([]string{"km", "SVT tx", "BVT tx", "SVT GHz", "BVT GHz"}, rows))
+	return b.String()
+}

@@ -1,0 +1,364 @@
+// Package netconf implements the NETCONF-like management protocol the
+// FlexWAN controller uses to configure and monitor optical devices
+// (§4.3–4.4 of the paper: the DevMgr "issues a Yang file containing
+// detailed configuration parameters to configure the device through the
+// Netconf protocol").
+//
+// The reproduction keeps NETCONF's session semantics — a hello exchange,
+// request/reply RPCs (get-config, edit-config, get-state), and
+// asynchronous notifications — over newline-delimited JSON on TCP, since
+// the standard library ships no XML-RPC stack and the paper's point is
+// the vendor-agnostic single protocol, not the wire syntax.
+package netconf
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Well-known RPC operations, mirroring NETCONF's protocol operations.
+const (
+	OpGetConfig  = "get-config"
+	OpEditConfig = "edit-config"
+	OpGetState   = "get-state"
+)
+
+// message is the wire frame.
+type message struct {
+	Kind    string          `json:"kind"` // hello | rpc | reply | notification
+	ID      uint64          `json:"id,omitempty"`
+	Op      string          `json:"op,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Err     string          `json:"error,omitempty"`
+}
+
+const (
+	kindHello        = "hello"
+	kindRPC          = "rpc"
+	kindReply        = "reply"
+	kindNotification = "notification"
+)
+
+// Handler processes one RPC on the server (device) side. The returned
+// value is JSON-encoded into the reply payload.
+type Handler func(op string, payload json.RawMessage) (interface{}, error)
+
+// Server is a device-side management endpoint: it answers RPCs with the
+// Handler and can push notifications to every connected session.
+type Server struct {
+	hello   interface{}
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type session struct {
+	conn net.Conn
+	enc  *json.Encoder
+	mu   sync.Mutex // serializes writes
+}
+
+func (s *session) send(m message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(m)
+}
+
+// NewServer returns a server that greets each session with the hello
+// document (typically the device's Descriptor) and dispatches RPCs to h.
+func NewServer(hello interface{}, h Handler) *Server {
+	return &Server{hello: hello, handler: h, sessions: make(map[*session]struct{})}
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address. Serving continues until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return "", errors.New("netconf: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sess := &session{conn: conn, enc: json.NewEncoder(conn)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveSession(sess)
+	}
+}
+
+func (s *Server) serveSession(sess *session) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		sess.conn.Close()
+	}()
+
+	helloPayload, err := json.Marshal(s.hello)
+	if err != nil {
+		return
+	}
+	if err := sess.send(message{Kind: kindHello, Payload: helloPayload}); err != nil {
+		return
+	}
+	dec := json.NewDecoder(bufio.NewReader(sess.conn))
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		if m.Kind != kindRPC {
+			continue
+		}
+		reply := message{Kind: kindReply, ID: m.ID, Op: m.Op}
+		result, err := s.handler(m.Op, m.Payload)
+		if err != nil {
+			reply.Err = err.Error()
+		} else if result != nil {
+			data, err := json.Marshal(result)
+			if err != nil {
+				reply.Err = fmt.Sprintf("netconf: encoding reply: %v", err)
+			} else {
+				reply.Payload = data
+			}
+		}
+		if err := sess.send(reply); err != nil {
+			return
+		}
+	}
+}
+
+// Notify pushes an asynchronous notification to every connected session
+// (NETCONF's <notification>). Sessions that fail to accept the write are
+// dropped.
+func (s *Server) Notify(event interface{}) {
+	data, err := json.Marshal(event)
+	if err != nil {
+		return
+	}
+	m := message{Kind: kindNotification, Payload: data}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		if err := sess.send(m); err != nil {
+			sess.conn.Close()
+		}
+	}
+}
+
+// Close stops the listener and drops every session.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a controller-side management session to one device.
+type Client struct {
+	conn  net.Conn
+	enc   *json.Encoder
+	hello json.RawMessage
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan message
+	closed  bool
+
+	notifications chan json.RawMessage
+	readErr       error
+	done          chan struct{}
+}
+
+// DialTimeout is the default connect/RPC deadline.
+const DialTimeout = 5 * time.Second
+
+// Dial opens a management session and completes the hello exchange.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:          conn,
+		enc:           json.NewEncoder(conn),
+		pending:       make(map[uint64]chan message),
+		notifications: make(chan json.RawMessage, 256),
+		done:          make(chan struct{}),
+	}
+	// The server speaks first.
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	conn.SetReadDeadline(time.Now().Add(DialTimeout))
+	var hello message
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: hello: %w", err)
+	}
+	if hello.Kind != kindHello {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: expected hello, got %q", hello.Kind)
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.hello = hello.Payload
+	go c.readLoop(dec)
+	return c, nil
+}
+
+// Hello returns the raw hello document the device sent (its Descriptor).
+func (c *Client) Hello(out interface{}) error {
+	return json.Unmarshal(c.hello, out)
+}
+
+func (c *Client) readLoop(dec *json.Decoder) {
+	defer close(c.done)
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			close(c.notifications)
+			return
+		}
+		switch m.Kind {
+		case kindReply:
+			c.mu.Lock()
+			ch, ok := c.pending[m.ID]
+			if ok {
+				delete(c.pending, m.ID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		case kindNotification:
+			select {
+			case c.notifications <- m.Payload:
+			default:
+				// Slow consumer: drop rather than stall the session.
+			}
+		}
+	}
+}
+
+// Notifications streams asynchronous device events. The channel closes
+// when the session ends.
+func (c *Client) Notifications() <-chan json.RawMessage { return c.notifications }
+
+// Call performs one RPC. in is JSON-encoded into the request payload
+// (nil for none); the reply payload is decoded into out (out may be nil).
+func (c *Client) Call(op string, in, out interface{}) error {
+	var payload json.RawMessage
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("netconf: encoding %s request: %w", op, err)
+		}
+		payload = data
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("netconf: session closed")
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.enc.Encode(message{Kind: kindRPC, ID: id, Op: op, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("netconf: sending %s: %w", op, err)
+	}
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return fmt.Errorf("netconf: session lost during %s: %v", op, c.readErr)
+		}
+		if m.Err != "" {
+			return fmt.Errorf("netconf: %s: %s", op, m.Err)
+		}
+		if out != nil && m.Payload != nil {
+			if err := json.Unmarshal(m.Payload, out); err != nil {
+				return fmt.Errorf("netconf: decoding %s reply: %w", op, err)
+			}
+		}
+		return nil
+	case <-time.After(DialTimeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("netconf: %s timed out", op)
+	}
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,172 @@
+package netconf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesGarbageBytes: a client writing non-JSON must only
+// kill its own session, not the server.
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	_, addr := startEcho(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n{{{\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The server should have dropped that session; a fresh client works.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out string
+	if err := c.Call("echo", "alive", &out); err != nil || out != "alive" {
+		t.Errorf("server unusable after garbage session: %v %q", err, out)
+	}
+}
+
+// TestServerIgnoresUnknownKinds: frames with unexpected kinds are skipped.
+func TestServerIgnoresUnknownKinds(t *testing.T) {
+	_, addr := startEcho(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	var hello message
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(conn)
+	// Unknown kind, then a real RPC on the same session.
+	if err := enc.Encode(message{Kind: "frobnicate", ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal("ping")
+	if err := enc.Encode(message{Kind: kindRPC, ID: 2, Op: "echo", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var reply message
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != kindReply || reply.ID != 2 {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+// TestLargePayloadRoundTrip: configuration documents can be sizeable
+// (hundreds of passbands); the framing must not truncate them.
+func TestLargePayloadRoundTrip(t *testing.T) {
+	_, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := strings.Repeat("x", 1<<20) // 1 MiB
+	var out string
+	if err := c.Call("echo", big, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != big {
+		t.Errorf("payload corrupted: %d bytes back, want %d", len(out), len(big))
+	}
+}
+
+// TestSlowNotificationConsumerDoesNotBlockRPC: a client that never reads
+// notifications must still complete calls (drops, not deadlock).
+func TestSlowNotificationConsumerDoesNotBlockRPC(t *testing.T) {
+	srv, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 1000; i++ { // far beyond the 256 buffer
+		srv.Notify(fmt.Sprintf("event-%d", i))
+	}
+	done := make(chan error, 1)
+	go func() {
+		var out string
+		done <- c.Call("echo", "still-works", &out)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("call after notification flood: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("RPC blocked behind unread notifications")
+	}
+}
+
+// TestHelloTimeout: a server that accepts but never speaks must not hang
+// Dial forever.
+func TestHelloTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(10 * time.Second) // mute server
+	}()
+	start := time.Now()
+	if _, err := Dial(l.Addr().String()); err == nil {
+		t.Fatal("Dial succeeded against a mute server")
+	}
+	if time.Since(start) > DialTimeout+2*time.Second {
+		t.Errorf("Dial took %v, deadline not applied", time.Since(start))
+	}
+}
+
+// TestConcurrentNotifyAndCalls exercises write interleaving on the
+// server side.
+func TestConcurrentNotifyAndCalls(t *testing.T) {
+	srv, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				srv.Notify("tick")
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	go func() {
+		for range c.Notifications() {
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		in := fmt.Sprintf("m%d", i)
+		var out string
+		if err := c.Call("echo", in, &out); err != nil || out != in {
+			t.Fatalf("call %d: %v %q", i, err, out)
+		}
+	}
+	close(stop)
+}

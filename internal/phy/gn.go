@@ -1,0 +1,161 @@
+package phy
+
+import (
+	"math"
+)
+
+// GNParams parameterizes the Gaussian-noise (GN) model of nonlinear
+// fiber propagation — the standard first-principles estimate of
+// transmission reach in modern coherent systems. The linear LinkModel in
+// this package carries the *measured* behaviour (Table 2 via datasheet
+// thresholds); the GN model provides the independent physics check that
+// those measurements are plausible (EXPERIMENTS.md, Table 2 analytic
+// cross-check), and supports launch-power optimization studies.
+//
+// The implementation is the closed-form incoherent GN reference formula
+// for a flat (Nyquist-like) WDM load:
+//
+//	G_NLI = (8/27)·(γ·L_eff)²·G³·asinh((π²/2)·|β₂|·L_eff,a·B_WDM²) / (π·|β₂|·L_eff,a)
+//
+// accumulated linearly over spans, with ASE from each amplifier.
+type GNParams struct {
+	// SpanKm is the amplifier spacing.
+	SpanKm float64
+	// AttenuationDBPerKm is fiber loss.
+	AttenuationDBPerKm float64
+	// NoiseFigureDB is the EDFA noise figure.
+	NoiseFigureDB float64
+	// GammaPerWKm is the fiber nonlinear coefficient γ (SMF ≈ 1.3 /W/km).
+	GammaPerWKm float64
+	// Beta2Ps2PerKm is group-velocity dispersion β₂ (SMF ≈ −21.7 ps²/km;
+	// store the magnitude).
+	Beta2Ps2PerKm float64
+	// TotalBandwidthGHz is the occupied WDM bandwidth B_WDM generating
+	// cross-channel interference (full C-band for a loaded system).
+	TotalBandwidthGHz float64
+	// MarginDB is the implementation margin deployed systems budget on
+	// top of the ideal GN prediction: transceiver back-to-back penalty,
+	// filtering, aging, repair slack. Commercial planning uses 3–6 dB.
+	MarginDB float64
+}
+
+// DefaultGN returns SMF-28 C-band parameters matching DefaultLink's span
+// layout.
+func DefaultGN() GNParams {
+	return GNParams{
+		SpanKm:             80,
+		AttenuationDBPerKm: 0.2,
+		NoiseFigureDB:      5.0,
+		GammaPerWKm:        1.3,
+		Beta2Ps2PerKm:      21.7,
+		TotalBandwidthGHz:  4800,
+		MarginDB:           5,
+	}
+}
+
+// Physical constants.
+const (
+	planckJs       = 6.62607015e-34
+	carrierFreqTHz = 193.4 // C-band center
+)
+
+// alphaPerM returns the power attenuation coefficient in 1/m.
+func (g GNParams) alphaPerM() float64 {
+	return g.AttenuationDBPerKm * math.Ln10 / 10 / 1000
+}
+
+// effLengthM returns the span's nonlinear effective length L_eff in m.
+func (g GNParams) effLengthM() float64 {
+	a := g.alphaPerM()
+	return (1 - math.Exp(-a*g.SpanKm*1000)) / a
+}
+
+// asymptoticEffLengthM returns L_eff,a = 1/α in m.
+func (g GNParams) asymptoticEffLengthM() float64 { return 1 / g.alphaPerM() }
+
+// SpanASEPowerW returns the amplified-spontaneous-emission power one
+// amplifier adds into a receiver bandwidth of bwGHz.
+func (g GNParams) SpanASEPowerW(bwGHz float64) float64 {
+	gainLin := math.Pow(10, g.SpanKm*g.AttenuationDBPerKm/10)
+	nfLin := math.Pow(10, g.NoiseFigureDB/10)
+	hnu := planckJs * carrierFreqTHz * 1e12
+	return (gainLin - 1) * hnu * nfLin * bwGHz * 1e9
+}
+
+// SpanNLIPowerW returns the nonlinear-interference power one span
+// generates inside a channel of chBWGHz when launching launchW watts per
+// channel bandwidth (flat PSD across TotalBandwidthGHz).
+func (g GNParams) SpanNLIPowerW(launchW, chBWGHz float64) float64 {
+	if launchW <= 0 || chBWGHz <= 0 {
+		return 0
+	}
+	psd := launchW / (chBWGHz * 1e9) // W/Hz, flat across the WDM comb
+	beta2 := g.Beta2Ps2PerKm * 1e-24 / 1000
+	leff := g.effLengthM()
+	leffA := g.asymptoticEffLengthM()
+	gamma := g.GammaPerWKm / 1000
+	bTot := g.TotalBandwidthGHz * 1e9
+	gnli := (8.0 / 27.0) * gamma * gamma * leff * leff * psd * psd * psd *
+		math.Asinh((math.Pi*math.Pi/2)*beta2*leffA*bTot*bTot) /
+		(math.Pi * beta2 * leffA)
+	return gnli * chBWGHz * 1e9
+}
+
+// SNRAfterSpans returns the linear SNR of a channel of chBWGHz after n
+// amplified spans at the given per-channel launch power.
+func (g GNParams) SNRAfterSpans(n int, launchW, chBWGHz float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	noise := float64(n) * (g.SpanASEPowerW(chBWGHz) + g.SpanNLIPowerW(launchW, chBWGHz))
+	if noise <= 0 {
+		return math.Inf(1)
+	}
+	return launchW / noise
+}
+
+// OptimalLaunchW returns the launch power maximizing SNR: the classic
+// P_opt = (P_ASE / 2η)^(1/3) where NLI = η·P³. At this point NLI is half
+// the ASE.
+func (g GNParams) OptimalLaunchW(chBWGHz float64) float64 {
+	ase := g.SpanASEPowerW(chBWGHz)
+	eta := g.SpanNLIPowerW(1, chBWGHz) // NLI at 1 W = η
+	if eta <= 0 {
+		return 0.001
+	}
+	return math.Cbrt(ase / (2 * eta))
+}
+
+// MaxReachKm returns the GN-predicted reach: the largest whole-span
+// distance at which the channel's SNR (at optimal launch) stays at or
+// above requiredSNRdB plus the implementation margin.
+func (g GNParams) MaxReachKm(requiredSNRdB, chBWGHz float64) float64 {
+	p := g.OptimalLaunchW(chBWGHz)
+	required := FromDB(requiredSNRdB + g.MarginDB)
+	snr1 := g.SNRAfterSpans(1, p, chBWGHz)
+	if snr1 < required {
+		return 0
+	}
+	// Noise grows linearly with spans: n_max = snr1/required.
+	n := math.Floor(snr1 / required)
+	return n * g.SpanKm
+}
+
+// RequiredSNRdB inverts the pre-FEC BER curve: the minimum SNR at which
+// the modulation's pre-FEC BER stays within the FEC threshold. Found by
+// bisection; the curve is monotone.
+func RequiredSNRdB(mod Modulation, fec FEC) float64 {
+	lo, hi := -10.0, 40.0
+	if PreFECBER(mod, FromDB(hi)) > fec.ThresholdBER {
+		return math.Inf(1) // uncorrectable even at 40 dB
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if PreFECBER(mod, FromDB(mid)) > fec.ThresholdBER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,143 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGNEffectiveLength(t *testing.T) {
+	g := DefaultGN()
+	leff := g.effLengthM() / 1000 // km
+	// For 0.2 dB/km, L_eff,a = 1/α ≈ 21.7 km; an 80 km span is long
+	// enough that L_eff ≈ L_eff,a.
+	if leff < 20 || leff > 22 {
+		t.Errorf("L_eff = %v km, want ≈ 21.7", leff)
+	}
+	if la := g.asymptoticEffLengthM() / 1000; math.Abs(la-21.71) > 0.1 {
+		t.Errorf("L_eff,a = %v km", la)
+	}
+}
+
+func TestGNASEPower(t *testing.T) {
+	g := DefaultGN()
+	ase := g.SpanASEPowerW(75)
+	// Back-of-envelope: gain 16 dB (≈40×), NF 5 dB (≈3.16), hν ≈ 1.28e-19,
+	// B = 75 GHz → ≈ 1.2 µW.
+	if ase < 0.5e-6 || ase > 3e-6 {
+		t.Errorf("ASE per span = %v W, want ≈ 1.2e-6", ase)
+	}
+}
+
+func TestGNNLIScalesCubically(t *testing.T) {
+	g := DefaultGN()
+	p1 := g.SpanNLIPowerW(0.001, 75)
+	p2 := g.SpanNLIPowerW(0.002, 75)
+	if ratio := p2 / p1; math.Abs(ratio-8) > 0.01 {
+		t.Errorf("NLI(2P)/NLI(P) = %v, want 8 (cubic)", ratio)
+	}
+	if g.SpanNLIPowerW(0, 75) != 0 || g.SpanNLIPowerW(0.001, 0) != 0 {
+		t.Error("degenerate NLI inputs should give 0")
+	}
+}
+
+func TestGNOptimalLaunch(t *testing.T) {
+	g := DefaultGN()
+	p := g.OptimalLaunchW(75)
+	// Coherent C-band systems run around −2..+3 dBm per channel.
+	dBm := 10 * math.Log10(p*1000)
+	if dBm < -4 || dBm > 5 {
+		t.Errorf("optimal launch = %.1f dBm, want ≈ 0", dBm)
+	}
+	// At optimum, NLI = ASE/2.
+	ase := g.SpanASEPowerW(75)
+	nli := g.SpanNLIPowerW(p, 75)
+	if math.Abs(nli-ase/2)/ase > 0.01 {
+		t.Errorf("NLI at optimum = %v, want ASE/2 = %v", nli, ase/2)
+	}
+	// SNR at optimum beats nearby launch powers.
+	at := func(w float64) float64 { return g.SNRAfterSpans(10, w, 75) }
+	if at(p) < at(p*1.3) || at(p) < at(p/1.3) {
+		t.Error("optimal launch is not an SNR maximum")
+	}
+}
+
+func TestGNSNRMonotoneInSpans(t *testing.T) {
+	g := DefaultGN()
+	p := g.OptimalLaunchW(75)
+	prev := math.Inf(1)
+	for n := 1; n <= 60; n++ {
+		snr := g.SNRAfterSpans(n, p, 75)
+		if snr >= prev {
+			t.Fatalf("SNR did not degrade at span %d", n)
+		}
+		prev = snr
+	}
+	// Exactly inverse-linear: SNR(2n) = SNR(n)/2.
+	if r := g.SNRAfterSpans(10, p, 75) / g.SNRAfterSpans(20, p, 75); math.Abs(r-2) > 1e-9 {
+		t.Errorf("SNR(10)/SNR(20) = %v, want 2", r)
+	}
+}
+
+func TestRequiredSNRdBOrdering(t *testing.T) {
+	// Higher-order constellations need more SNR; stronger FEC needs less.
+	mods := []Modulation{QPSK, QAM8, QAM16, QAM64, QAM256}
+	prev := -100.0
+	for _, m := range mods {
+		req := RequiredSNRdB(m, FEC27)
+		if req <= prev {
+			t.Errorf("%s requires %v dB, not above previous %v", m.Name, req, prev)
+		}
+		prev = req
+	}
+	if RequiredSNRdB(QAM16, FEC27) >= RequiredSNRdB(QAM16, FEC15) {
+		t.Error("stronger FEC should lower the SNR requirement")
+	}
+	// Reference points: DP-QPSK with strong SD-FEC needs ~5–7 dB.
+	q := RequiredSNRdB(QPSK, FEC27)
+	if q < 3 || q > 9 {
+		t.Errorf("QPSK@FEC27 requires %v dB, expected ≈ 6", q)
+	}
+}
+
+func TestGNMaxReachOrdering(t *testing.T) {
+	g := DefaultGN()
+	// Reach shrinks as constellations grow (at 75 GHz channels).
+	reaches := map[string]float64{}
+	for _, m := range []Modulation{QPSK, QAM8, QAM16, QAM64} {
+		reaches[m.Name] = g.MaxReachKm(RequiredSNRdB(m, FEC27), 75)
+	}
+	if !(reaches["QPSK"] > reaches["8QAM"] && reaches["8QAM"] > reaches["16QAM"] && reaches["16QAM"] > reaches["64QAM"]) {
+		t.Errorf("reach ordering violated: %v", reaches)
+	}
+	// QPSK long-haul reach is thousands of km.
+	if reaches["QPSK"] < 2000 {
+		t.Errorf("GN QPSK reach = %v km, implausibly short", reaches["QPSK"])
+	}
+	// An impossible requirement gives zero reach.
+	if g.MaxReachKm(60, 75) != 0 {
+		t.Error("60 dB requirement should be unreachable")
+	}
+}
+
+func TestGNPlausibilityOfTable2Scale(t *testing.T) {
+	// The GN model should agree with Table 2 within small factors on the
+	// workhorse formats — the independent physics cross-check.
+	g := DefaultGN()
+	cases := []struct {
+		mod     Modulation
+		bwGHz   float64
+		tableKm float64 // closest Table 2 analog
+	}{
+		{QPSK, 75, 2000}, // 200G@75 ≈ DP-QPSK at 56 GBd
+		{QAM8, 75, 1100}, // 300G@75 ≈ DP-8QAM
+		{QAM16, 75, 600}, // 400G@75 ≈ DP-16QAM
+	}
+	for _, tc := range cases {
+		gn := g.MaxReachKm(RequiredSNRdB(tc.mod, FEC27), tc.bwGHz)
+		ratio := gn / tc.tableKm
+		if ratio < 0.4 || ratio > 6 {
+			t.Errorf("%s: GN reach %v km vs Table 2 %v km (ratio %.1f) — model implausible",
+				tc.mod.Name, gn, tc.tableKm, ratio)
+		}
+	}
+}

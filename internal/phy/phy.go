@@ -1,0 +1,236 @@
+// Package phy models the physical layer of a long-haul optical link:
+// span attenuation, EDFA amplifier noise, OSNR/SNR versus distance,
+// Shannon capacity limits, and pre/post-FEC bit error rates.
+//
+// FlexWAN's testbed (§6 of the paper) measures, for each transponder
+// format, the maximum fiber length at which the post-FEC BER stays zero.
+// This package provides the noise-accumulation model that the simulated
+// testbed (internal/device, internal/eval) uses to reproduce that sweep,
+// and the analytic helpers (Shannon limit, required SNR per modulation)
+// behind the paper's motivation (§3.1).
+//
+// The model is the standard engineering OSNR budget: launch power minus
+// span loss minus amplifier noise figure, with amplified spontaneous
+// emission accumulating linearly over the amplifier chain,
+//
+//	OSNR_dB = 58 + P_launch − L_span − NF − 10·log10(N_spans)
+//
+// where 58 dB is the reference constant for a 12.5 GHz (0.1 nm) noise
+// bandwidth at 1550 nm. Real deployments add nonlinear penalties; the
+// paper's planning inputs are *measured* reaches (Table 2), so FlexWAN's
+// transponder catalog carries those measured values and this model is
+// used (a) to invert reach into a required-OSNR threshold for the device
+// simulators and (b) for the far-from-Shannon analysis.
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// RefNoiseBandwidthGHz is the 0.1 nm reference bandwidth OSNR is quoted in.
+const RefNoiseBandwidthGHz = 12.5
+
+// osnrRefConstDB is 10·log10(1 mW / (h·ν·B_ref)) at 1550 nm, B_ref 12.5 GHz.
+const osnrRefConstDB = 58.0
+
+// LinkModel describes a homogeneous amplified line system. The zero value
+// is not useful; start from DefaultLink and override fields as needed.
+type LinkModel struct {
+	// SpanKm is the fiber length between amplifiers. The paper's testbed
+	// inserts an amplifier every 50–100 km; 80 km is the common figure.
+	SpanKm float64
+	// AttenuationDBPerKm is fiber loss (SMF-28 ≈ 0.2 dB/km at 1550 nm).
+	AttenuationDBPerKm float64
+	// NoiseFigureDB is the EDFA noise figure.
+	NoiseFigureDB float64
+	// LaunchPowerDBm is per-channel launch power into each span.
+	LaunchPowerDBm float64
+	// PenaltyDB lumps filtering/nonlinearity margin subtracted from the
+	// received OSNR.
+	PenaltyDB float64
+}
+
+// DefaultLink returns the line-system parameters used throughout the
+// reproduction: 80 km spans, 0.2 dB/km, 5 dB NF, 0 dBm launch, 1 dB margin.
+func DefaultLink() LinkModel {
+	return LinkModel{
+		SpanKm:             80,
+		AttenuationDBPerKm: 0.2,
+		NoiseFigureDB:      5.0,
+		LaunchPowerDBm:     0.0,
+		PenaltyDB:          1.0,
+	}
+}
+
+// Spans returns the number of amplified spans needed for a path of
+// distKm. A path shorter than one span still crosses one amplifier.
+func (l LinkModel) Spans(distKm float64) int {
+	if distKm <= 0 {
+		return 1
+	}
+	return int(math.Ceil(distKm / l.SpanKm))
+}
+
+// SpanLossDB returns the loss of one full span.
+func (l LinkModel) SpanLossDB() float64 { return l.SpanKm * l.AttenuationDBPerKm }
+
+// OSNRdB returns the received optical SNR (0.1 nm reference bandwidth)
+// after distKm of amplified transmission.
+func (l LinkModel) OSNRdB(distKm float64) float64 {
+	n := l.Spans(distKm)
+	return osnrRefConstDB + l.LaunchPowerDBm - l.SpanLossDB() -
+		l.NoiseFigureDB - 10*math.Log10(float64(n)) - l.PenaltyDB
+}
+
+// SNRdB converts OSNR to electrical SNR in the signal bandwidth
+// (≈ the symbol rate): SNR = OSNR + 10·log10(B_ref / baud).
+func (l LinkModel) SNRdB(distKm, baudGBd float64) float64 {
+	if baudGBd <= 0 {
+		return math.Inf(-1)
+	}
+	return l.OSNRdB(distKm) + 10*math.Log10(RefNoiseBandwidthGHz/baudGBd)
+}
+
+// MaxReachKm returns the longest distance (in whole spans) at which the
+// received OSNR stays at or above requiredOSNRdB. It returns 0 when even
+// one span is too noisy.
+func (l LinkModel) MaxReachKm(requiredOSNRdB float64) float64 {
+	one := osnrRefConstDB + l.LaunchPowerDBm - l.SpanLossDB() - l.NoiseFigureDB - l.PenaltyDB
+	if one < requiredOSNRdB {
+		return 0
+	}
+	// OSNR(n) = one − 10·log10(n) ≥ required  ⇒  n ≤ 10^((one−required)/10).
+	// The epsilon absorbs round-trip floating-point error so a threshold
+	// derived from an n-span reach inverts back to exactly n spans.
+	n := math.Floor(math.Pow(10, (one-requiredOSNRdB)/10) + 1e-9)
+	return n * l.SpanKm
+}
+
+// RequiredOSNRForReach inverts the budget: the OSNR available at exactly
+// reachKm. A signal whose threshold equals this value decodes error-free
+// up to reachKm and fails beyond it. This is how the simulated "vendor A"
+// hardware derives its datasheet thresholds from Table 2's measured
+// reaches.
+func (l LinkModel) RequiredOSNRForReach(reachKm float64) float64 {
+	return l.OSNRdB(reachKm)
+}
+
+// ShannonCapacityGbps returns the Shannon–Hartley limit
+// C = W·log2(1+SNR) for a channel of spacingGHz at snrDB, in Gbps.
+// This is the paper's formulation (§3.1, footnote 2): one signal
+// dimension per channel-spacing hertz, which folds the practical
+// gap-to-capacity of deployed coherent systems into the bound.
+func ShannonCapacityGbps(spacingGHz, snrDB float64) float64 {
+	if spacingGHz <= 0 {
+		return 0
+	}
+	snr := FromDB(snrDB)
+	return spacingGHz * math.Log2(1+snr)
+}
+
+// ShannonMinSNRdB returns the minimum SNR (dB) at which spacingGHz of
+// spectrum can carry rateGbps under the same formulation.
+func ShannonMinSNRdB(rateGbps, spacingGHz float64) float64 {
+	if spacingGHz <= 0 || rateGbps <= 0 {
+		return math.Inf(1)
+	}
+	return ToDB(math.Pow(2, rateGbps/spacingGHz) - 1)
+}
+
+// ToDB converts a linear power ratio to decibels.
+func ToDB(lin float64) float64 { return 10 * math.Log10(lin) }
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// Modulation describes one constellation used by a transponder's DSP.
+// BitsPerSymbol counts both polarizations (DP-QPSK = 4, DP-16QAM = 8,
+// DP-256QAM = 16). PCS formats take fractional values.
+type Modulation struct {
+	Name          string
+	BitsPerSymbol float64
+}
+
+// Common coherent constellations.
+var (
+	BPSK    = Modulation{Name: "BPSK", BitsPerSymbol: 2}
+	QPSK    = Modulation{Name: "QPSK", BitsPerSymbol: 4}
+	QAM8    = Modulation{Name: "8QAM", BitsPerSymbol: 6}
+	QAM16   = Modulation{Name: "16QAM", BitsPerSymbol: 8}
+	QAM32   = Modulation{Name: "32QAM", BitsPerSymbol: 10}
+	QAM64   = Modulation{Name: "64QAM", BitsPerSymbol: 12}
+	QAM256  = Modulation{Name: "256QAM", BitsPerSymbol: 16}
+	Invalid = Modulation{Name: "invalid"}
+)
+
+// PCS returns a probabilistically-shaped constellation carrying the given
+// fractional bits per dual-polarization symbol (§4.2: PCS supports
+// finer-granularity data rates).
+func PCS(bitsPerSymbol float64) Modulation {
+	return Modulation{Name: fmt.Sprintf("PCS-%.2fb", bitsPerSymbol), BitsPerSymbol: bitsPerSymbol}
+}
+
+// qfunc is the Gaussian tail probability Q(x) = 0.5·erfc(x/√2).
+func qfunc(x float64) float64 { return 0.5 * math.Erfc(x/math.Sqrt2) }
+
+// PreFECBER estimates the pre-FEC bit error rate of the modulation at the
+// given per-symbol SNR (linear, per polarization). It uses the standard
+// Gray-coded square-QAM approximation
+//
+//	BER ≈ (4/m)·(1 − 1/√M)·Q(√(3·SNR/(M−1)))
+//
+// with m bits per polarization and M = 2^m constellation points, and the
+// exact expressions for BPSK and QPSK. PCS formats interpolate between
+// the bracketing square constellations.
+func PreFECBER(mod Modulation, snrLin float64) float64 {
+	if snrLin <= 0 {
+		return 0.5
+	}
+	mPol := mod.BitsPerSymbol / 2 // bits per polarization
+	switch {
+	case mPol <= 0:
+		return 0.5
+	case mPol <= 1: // BPSK per polarization
+		return qfunc(math.Sqrt(2 * snrLin))
+	case mPol <= 2: // QPSK per polarization
+		return qfunc(math.Sqrt(snrLin))
+	default:
+		ber := func(m float64) float64 {
+			M := math.Pow(2, m)
+			return (4 / m) * (1 - 1/math.Sqrt(M)) * qfunc(math.Sqrt(3*snrLin/(M-1)))
+		}
+		lo, hi := math.Floor(mPol), math.Ceil(mPol)
+		if lo == hi {
+			return ber(mPol)
+		}
+		frac := mPol - lo
+		return (1-frac)*ber(lo) + frac*ber(hi)
+	}
+}
+
+// FEC describes a forward-error-correction configuration: the fraction of
+// redundant data added and the pre-FEC BER it can fully correct. FlexWAN's
+// SVT offers multiple FEC strengths (§4.2: e.g. 15% and 27% overhead).
+type FEC struct {
+	Name         string
+	Overhead     float64 // redundant fraction, e.g. 0.27
+	ThresholdBER float64 // maximum correctable pre-FEC BER
+}
+
+// Standard soft-decision FEC configurations.
+var (
+	FEC15 = FEC{Name: "SD-FEC 15%", Overhead: 0.15, ThresholdBER: 1.25e-2}
+	FEC27 = FEC{Name: "SD-FEC 27%", Overhead: 0.27, ThresholdBER: 2.4e-2}
+)
+
+// PostFECBER returns the residual error rate after FEC: zero when the
+// pre-FEC BER is within the code's correction threshold, and the
+// uncorrected pre-FEC BER otherwise (the decode collapses, §6: "positive
+// values of the post-FEC BER show the SNR is too low").
+func PostFECBER(preFEC float64, fec FEC) float64 {
+	if preFEC <= fec.ThresholdBER {
+		return 0
+	}
+	return preFEC
+}

@@ -1,0 +1,242 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpans(t *testing.T) {
+	l := DefaultLink()
+	tests := []struct {
+		dist float64
+		want int
+	}{
+		{0, 1}, {-5, 1}, {1, 1}, {80, 1}, {81, 2}, {160, 2}, {5000, 63},
+	}
+	for _, tt := range tests {
+		if got := l.Spans(tt.dist); got != tt.want {
+			t.Errorf("Spans(%v) = %d, want %d", tt.dist, got, tt.want)
+		}
+	}
+}
+
+func TestOSNRMonotoneDecreasing(t *testing.T) {
+	l := DefaultLink()
+	prev := math.Inf(1)
+	for d := 100.0; d <= 6000; d += 100 {
+		osnr := l.OSNRdB(d)
+		if osnr > prev+1e-9 {
+			t.Fatalf("OSNR increased with distance at %v km: %v > %v", d, osnr, prev)
+		}
+		prev = osnr
+	}
+}
+
+func TestOSNRValuesReasonable(t *testing.T) {
+	l := DefaultLink()
+	// One span: 58 + 0 − 16 − 5 − 0 − 1 = 36 dB.
+	if got := l.OSNRdB(80); math.Abs(got-36) > 1e-9 {
+		t.Errorf("OSNR(80km) = %v dB, want 36", got)
+	}
+	// 10 spans: 36 − 10 = 26 dB.
+	if got := l.OSNRdB(800); math.Abs(got-26) > 1e-9 {
+		t.Errorf("OSNR(800km) = %v dB, want 26", got)
+	}
+}
+
+func TestMaxReachInvertsOSNR(t *testing.T) {
+	l := DefaultLink()
+	for _, reach := range []float64{80, 400, 1100, 2000, 5000} {
+		req := l.RequiredOSNRForReach(reach)
+		got := l.MaxReachKm(req)
+		// Inversion is exact up to span granularity.
+		if math.Abs(got-math.Ceil(reach/l.SpanKm)*l.SpanKm) > 1e-6 {
+			t.Errorf("MaxReachKm(RequiredOSNRForReach(%v)) = %v", reach, got)
+		}
+		// One more span must violate the threshold.
+		if l.OSNRdB(got+l.SpanKm) >= req {
+			t.Errorf("OSNR at %v km still meets threshold for reach %v", got+l.SpanKm, reach)
+		}
+	}
+}
+
+func TestMaxReachTooNoisy(t *testing.T) {
+	l := DefaultLink()
+	if got := l.MaxReachKm(100); got != 0 {
+		t.Errorf("MaxReachKm(100 dB) = %v, want 0", got)
+	}
+}
+
+func TestSNRBandwidthAdjustment(t *testing.T) {
+	l := DefaultLink()
+	// At baud = reference bandwidth, SNR equals OSNR.
+	if got, want := l.SNRdB(800, RefNoiseBandwidthGHz), l.OSNRdB(800); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SNR at reference baud = %v, want %v", got, want)
+	}
+	// Wider signals integrate more noise: lower SNR.
+	if l.SNRdB(800, 50) >= l.OSNRdB(800) {
+		t.Error("SNR at 50 GBd should be below OSNR")
+	}
+	if !math.IsInf(l.SNRdB(800, 0), -1) {
+		t.Error("SNR at zero baud should be -Inf")
+	}
+}
+
+func TestShannonRoundTrip(t *testing.T) {
+	// C(W, minSNR(C, W)) == C.
+	for _, tc := range []struct{ rate, spacing float64 }{
+		{100, 50}, {400, 75}, {800, 112.5}, {300, 87.5},
+	} {
+		snr := ShannonMinSNRdB(tc.rate, tc.spacing)
+		got := ShannonCapacityGbps(tc.spacing, snr)
+		if math.Abs(got-tc.rate) > 1e-6 {
+			t.Errorf("Shannon round trip (%v Gbps, %v GHz): got %v", tc.rate, tc.spacing, got)
+		}
+	}
+}
+
+func TestShannonEdgeCases(t *testing.T) {
+	if got := ShannonCapacityGbps(0, 20); got != 0 {
+		t.Errorf("capacity at zero spacing = %v", got)
+	}
+	if !math.IsInf(ShannonMinSNRdB(100, 0), 1) {
+		t.Error("min SNR at zero spacing should be +Inf")
+	}
+	if !math.IsInf(ShannonMinSNRdB(0, 50), 1) {
+		// Zero rate: defined as +Inf guard (invalid request).
+		t.Error("min SNR for zero rate should be +Inf")
+	}
+}
+
+func TestShannonMotivation(t *testing.T) {
+	// §3.1: at 75 GHz spacing a wavelength cannot carry 800 Gbps even at
+	// very high SNR achievable on short paths, but 112.5 GHz can at high
+	// SNR. Verify the limit ordering the paper's argument relies on.
+	l := DefaultLink()
+	snr200km := l.SNRdB(200, 50)
+	if ShannonCapacityGbps(75, snr200km) >= 800 {
+		t.Errorf("75 GHz channel at 200 km SNR carries %v Gbps — should be Shannon-limited below 800",
+			ShannonCapacityGbps(75, snr200km))
+	}
+	// Required SNR for 800G at 75 GHz is enormous (~32 dB+).
+	if req := ShannonMinSNRdB(800, 75); req < 30 {
+		t.Errorf("800G at 75 GHz requires %v dB, expected > 30", req)
+	}
+	// At 150 GHz the requirement drops dramatically.
+	if req := ShannonMinSNRdB(800, 150); req >= 20 {
+		t.Errorf("800G at 150 GHz requires %v dB, expected < 20", req)
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	for _, v := range []float64{0.1, 1, 2, 10, 123.4} {
+		if got := FromDB(ToDB(v)); math.Abs(got-v) > 1e-9*v {
+			t.Errorf("FromDB(ToDB(%v)) = %v", v, got)
+		}
+	}
+	if ToDB(10) != 10 {
+		t.Errorf("ToDB(10) = %v, want 10", ToDB(10))
+	}
+}
+
+func TestPreFECBERMonotone(t *testing.T) {
+	// Higher SNR → lower BER, for every constellation.
+	mods := []Modulation{BPSK, QPSK, QAM8, QAM16, QAM64, QAM256, PCS(11.3)}
+	for _, mod := range mods {
+		prev := 1.0
+		for snrDB := -5.0; snrDB <= 35; snrDB += 1 {
+			ber := PreFECBER(mod, FromDB(snrDB))
+			if ber > prev+1e-15 {
+				t.Errorf("%s: BER increased with SNR at %v dB", mod.Name, snrDB)
+			}
+			if ber < 0 || ber > 0.5 {
+				t.Errorf("%s: BER %v out of range at %v dB", mod.Name, ber, snrDB)
+			}
+			prev = ber
+		}
+	}
+}
+
+func TestPreFECBEROrderByModulation(t *testing.T) {
+	// At a fixed SNR, higher-order constellations have higher BER (§3.1:
+	// high-order formats are more susceptible to impairments).
+	snr := FromDB(15)
+	order := []Modulation{QPSK, QAM8, QAM16, QAM32, QAM64, QAM256}
+	for i := 1; i < len(order); i++ {
+		lo, hi := PreFECBER(order[i-1], snr), PreFECBER(order[i], snr)
+		if hi <= lo {
+			t.Errorf("BER(%s)=%v should exceed BER(%s)=%v at 15 dB",
+				order[i].Name, hi, order[i-1].Name, lo)
+		}
+	}
+}
+
+func TestPreFECBERDegenerate(t *testing.T) {
+	if got := PreFECBER(QPSK, 0); got != 0.5 {
+		t.Errorf("BER at zero SNR = %v, want 0.5", got)
+	}
+	if got := PreFECBER(Invalid, 10); got != 0.5 {
+		t.Errorf("BER for invalid modulation = %v, want 0.5", got)
+	}
+}
+
+func TestPostFECBER(t *testing.T) {
+	if got := PostFECBER(1e-3, FEC15); got != 0 {
+		t.Errorf("post-FEC below threshold = %v, want 0", got)
+	}
+	if got := PostFECBER(3e-2, FEC27); got != 3e-2 {
+		t.Errorf("post-FEC above threshold = %v, want pass-through", got)
+	}
+	// Stronger FEC corrects more.
+	pre := 2e-2
+	if PostFECBER(pre, FEC27) != 0 || PostFECBER(pre, FEC15) == 0 {
+		t.Error("FEC27 should correct 2e-2 while FEC15 should not")
+	}
+}
+
+func TestPCS(t *testing.T) {
+	m := PCS(11.3)
+	if m.BitsPerSymbol != 11.3 {
+		t.Errorf("PCS bits = %v", m.BitsPerSymbol)
+	}
+	// PCS BER interpolates between the bracketing square constellations.
+	snr := FromDB(18)
+	lo, hi := PreFECBER(Modulation{BitsPerSymbol: 11}, snr), PreFECBER(Modulation{BitsPerSymbol: 12}, snr)
+	got := PreFECBER(m, snr)
+	if got < math.Min(lo, hi) || got > math.Max(lo, hi) {
+		t.Errorf("PCS BER %v outside bracket [%v, %v]", got, lo, hi)
+	}
+}
+
+// Property: reach derived from a required OSNR is consistent — OSNR at the
+// returned reach meets the threshold, OSNR one span beyond does not.
+func TestReachInversionProperty(t *testing.T) {
+	l := DefaultLink()
+	f := func(raw uint8) bool {
+		req := 10 + float64(raw)*0.1 // 10..35.5 dB
+		reach := l.MaxReachKm(req)
+		if reach == 0 {
+			return l.OSNRdB(l.SpanKm) < req
+		}
+		return l.OSNRdB(reach) >= req && l.OSNRdB(reach+l.SpanKm) < req
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Shannon capacity is monotone in both spacing and SNR.
+func TestShannonMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		w1, w2 := 25+float64(a%16)*12.5, 25+float64(b%16)*12.5
+		s1, s2 := float64(a%30), float64(b%30)
+		if w1 <= w2 && s1 <= s2 {
+			return ShannonCapacityGbps(w1, s1) <= ShannonCapacityGbps(w2, s2)+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"flexwan/internal/solver"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+// MaxExactVars bounds the size of the exact MIP. Beyond this the
+// formulation is handed to the heuristic in practice; SolveExact refuses
+// rather than thrash. The dense-tableau simplex underneath handles a few
+// thousand columns comfortably; production-scale instances (hundreds of
+// links on a 384-pixel grid) are far past it, exactly as the paper's
+// Gurobi runs take "hours of runtime" on theirs.
+const MaxExactVars = 8000
+
+// gammaVar mirrors the paper's γ^{e,k}_{j,q}: link e uses, on its k-th
+// candidate path, a transponder at format j whose channel starts at pixel
+// q.
+type gammaVar struct {
+	linkID    string
+	pathIndex int
+	path      topology.Path
+	mode      transponder.Mode
+	startQ    int
+	pixels    int
+	id        solver.VarID
+}
+
+// SolveExact builds Algorithm 1 as a mixed-integer program and solves it
+// with the internal branch-and-bound. The formulation follows the paper
+// exactly, with one standard encoding observation: fixing a wavelength's
+// format j and starting pixel q determines its slot occupancy s_w^{j,q}
+// on every fiber of its path, so constraints (4)–(6) (consistency,
+// status, transponder count) hold by construction and only (1) capacity
+// and (3) conflict appear as rows. Constraint (2) reach is enforced by
+// never creating infeasible (path, format) variables.
+func SolveExact(p Problem, opts solver.Options) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	paths, err := candidatePaths(p)
+	if err != nil {
+		return nil, err
+	}
+
+	m := solver.NewModel("flexwan-planning", solver.Minimize)
+	var gammas []gammaVar
+	// slotUsers[fiber][w] lists variables occupying pixel w on the fiber.
+	slotUsers := make(map[string][][]solver.VarID)
+
+	// A channel of the same format may be needed more than once per
+	// (link, path): the binary γ encoding expresses multiplicity through
+	// distinct starting pixels q, exactly as the paper defines the q-th
+	// order.
+	for _, link := range p.IP.Links {
+		var linkTerms []solver.Term
+		for pi, path := range paths[link.ID] {
+			for _, mode := range p.Catalog.FeasibleModes(path.LengthKm) {
+				pixels := mode.Pixels(p.Grid)
+				if pixels > p.Grid.Pixels {
+					continue
+				}
+				for q := 0; q+pixels <= p.Grid.Pixels; q++ {
+					name := fmt.Sprintf("g[%s,%d,%s,%d]", link.ID, pi, mode, q)
+					obj := 1 + p.epsilon()*mode.SpacingGHz
+					id := m.AddBinVar(name, obj)
+					gammas = append(gammas, gammaVar{
+						linkID: link.ID, pathIndex: pi, path: path,
+						mode: mode, startQ: q, pixels: pixels, id: id,
+					})
+					linkTerms = append(linkTerms, solver.Term{Var: id, Coef: float64(mode.DataRateGbps)})
+					for _, f := range path.Fibers {
+						rows, ok := slotUsers[f]
+						if !ok {
+							rows = make([][]solver.VarID, p.Grid.Pixels)
+							slotUsers[f] = rows
+						}
+						for w := q; w < q+pixels; w++ {
+							rows[w] = append(rows[w], id)
+						}
+					}
+					if m.NumVars() > MaxExactVars {
+						return nil, fmt.Errorf("plan: exact MIP exceeds %d variables; use the heuristic Solve", MaxExactVars)
+					}
+				}
+			}
+		}
+		if len(linkTerms) == 0 {
+			return nil, fmt.Errorf("plan: no feasible (path, mode) for link %s", link.ID)
+		}
+		// Constraint (1): capacity.
+		if err := m.AddConstraint("cap["+link.ID+"]", linkTerms, solver.GE, float64(link.DemandGbps)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Constraint (3): each pixel of each fiber used at most once.
+	fibers := make([]string, 0, len(slotUsers))
+	for f := range slotUsers {
+		fibers = append(fibers, f)
+	}
+	sort.Strings(fibers)
+	for _, f := range fibers {
+		for w, users := range slotUsers[f] {
+			if len(users) < 2 {
+				continue // a single candidate cannot conflict
+			}
+			terms := make([]solver.Term, len(users))
+			for i, id := range users {
+				terms[i] = solver.Term{Var: id, Coef: 1}
+			}
+			name := fmt.Sprintf("slot[%s,%d]", f, w)
+			if err := m.AddConstraint(name, terms, solver.LE, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sol := m.SolveWithOptions(opts)
+	switch sol.Status {
+	case solver.Infeasible:
+		return nil, fmt.Errorf("plan: exact MIP infeasible (demand exceeds spectrum or reach)")
+	case solver.Unbounded:
+		return nil, fmt.Errorf("plan: exact MIP unbounded — formulation bug")
+	case solver.LimitReached:
+		if len(sol.Values) == 0 {
+			return nil, fmt.Errorf("plan: node limit reached with no incumbent")
+		}
+		// Fall through with the incumbent: still a valid plan, possibly
+		// suboptimal; Gap reports how far.
+	}
+
+	res := &Result{
+		PerLink:   make(map[string]LinkPlan, len(p.IP.Links)),
+		Paths:     paths,
+		Allocator: spectrum.NewAllocator(p.Grid),
+	}
+	for _, l := range p.IP.Links {
+		res.PerLink[l.ID] = LinkPlan{DemandGbps: l.DemandGbps}
+	}
+	for _, g := range gammas {
+		if sol.IntValue(g.id) != 1 {
+			continue
+		}
+		iv := spectrum.Interval{Start: g.startQ, Count: g.pixels}
+		if err := res.Allocator.AllocateExact(fiberIDs(g.path), iv); err != nil {
+			return nil, fmt.Errorf("plan: MIP solution violates spectrum constraints: %w", err)
+		}
+		res.Wavelengths = append(res.Wavelengths, Wavelength{
+			LinkID:    g.linkID,
+			PathIndex: g.pathIndex,
+			Path:      g.path,
+			Mode:      g.mode,
+			Interval:  iv,
+		})
+		lp := res.PerLink[g.linkID]
+		lp.Wavelengths++
+		lp.ProvisionedGbps += g.mode.DataRateGbps
+		res.PerLink[g.linkID] = lp
+	}
+	return res, nil
+}

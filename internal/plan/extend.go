@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+)
+
+// allocationOf rebuilds the spectrum allocation record of a wavelength.
+func allocationOf(w Wavelength) spectrum.Allocation {
+	return spectrum.Allocation{Fibers: fiberIDs(w.Path), Interval: w.Interval}
+}
+
+// Extend provisions additional capacity for one IP link on top of an
+// existing plan, without disturbing any provisioned wavelength: the
+// incremental-growth operation behind FlexWAN's smooth backbone evolution
+// (§9 — demands grow monthly; replanning the whole network would churn
+// live channels). New wavelengths are chosen exactly as Solve chooses
+// them and placed in the plan's live allocator, so all Algorithm 1
+// constraints keep holding; Verify accepts the extended result.
+//
+// The result is mutated in place; the newly provisioned wavelengths are
+// also returned. When the addition cannot be fully served the link is
+// recorded in r.Unserved and the partial wavelengths are kept (they carry
+// real capacity), mirroring Solve's semantics.
+func Extend(p Problem, r *Result, linkID string, extraGbps int) ([]Wavelength, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	if r == nil || r.Allocator == nil {
+		return nil, fmt.Errorf("plan: Extend needs a result produced by Solve")
+	}
+	if extraGbps <= 0 {
+		return nil, fmt.Errorf("plan: nonpositive capacity addition %d", extraGbps)
+	}
+	paths, ok := r.Paths[linkID]
+	if !ok {
+		// The link may be new since the base plan: compute its paths.
+		var link *topology.IPLink
+		for i := range p.IP.Links {
+			if p.IP.Links[i].ID == linkID {
+				link = &p.IP.Links[i]
+				break
+			}
+		}
+		if link == nil {
+			return nil, fmt.Errorf("plan: unknown IP link %s", linkID)
+		}
+		ps := p.Optical.KShortestPaths(link.A, link.B, p.k())
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("plan: no optical path for IP link %s", linkID)
+		}
+		if r.Paths == nil {
+			r.Paths = make(map[string][]topology.Path)
+		}
+		r.Paths[linkID] = ps
+		paths = ps
+	}
+
+	var added []Wavelength
+	remaining := extraGbps
+	for remaining > 0 {
+		w, ok := placeOne(p, r, linkID, paths, remaining)
+		if !ok {
+			break
+		}
+		r.Wavelengths = append(r.Wavelengths, w)
+		added = append(added, w)
+		remaining -= w.Mode.DataRateGbps
+	}
+	lp := r.PerLink[linkID]
+	lp.DemandGbps += extraGbps
+	for _, w := range added {
+		lp.Wavelengths++
+		lp.ProvisionedGbps += w.Mode.DataRateGbps
+	}
+	r.PerLink[linkID] = lp
+	if remaining > 0 {
+		found := false
+		for _, id := range r.Unserved {
+			if id == linkID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.Unserved = append(r.Unserved, linkID)
+			sort.Strings(r.Unserved)
+		}
+	}
+	return added, nil
+}
+
+// Decommission releases all wavelengths of an IP link, returning their
+// spectrum to the allocator — the tear-down half of backbone evolution.
+// It returns the number of transponder pairs freed.
+func Decommission(r *Result, linkID string) (int, error) {
+	if r == nil || r.Allocator == nil {
+		return 0, fmt.Errorf("plan: Decommission needs a result produced by Solve")
+	}
+	kept := r.Wavelengths[:0]
+	freed := 0
+	for _, w := range r.Wavelengths {
+		if w.LinkID != linkID {
+			kept = append(kept, w)
+			continue
+		}
+		if err := r.Allocator.Release(allocationOf(w)); err != nil {
+			return freed, fmt.Errorf("plan: releasing %s: %w", linkID, err)
+		}
+		freed++
+	}
+	r.Wavelengths = kept
+	delete(r.PerLink, linkID)
+	remaining := r.Unserved[:0]
+	for _, id := range r.Unserved {
+		if id != linkID {
+			remaining = append(remaining, id)
+		}
+	}
+	r.Unserved = remaining
+	return freed, nil
+}

@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"testing"
+
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+func basePlan(t *testing.T, demand int) (Problem, *Result) {
+	t.Helper()
+	p := Problem{
+		Optical: lineTopology(t),
+		IP:      ipLinks(t, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: demand}),
+		Catalog: transponder.SVT(),
+		Grid:    spectrum.DefaultGrid(),
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func TestExtendAddsCapacity(t *testing.T) {
+	p, r := basePlan(t, 400)
+	before := r.Transponders()
+	beforeIntervals := map[spectrum.Interval]bool{}
+	for _, w := range r.Wavelengths {
+		beforeIntervals[w.Interval] = true
+	}
+
+	added, err := Extend(p, r, "e1", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) == 0 {
+		t.Fatal("no wavelengths added")
+	}
+	total := 0
+	for _, w := range added {
+		total += w.Mode.DataRateGbps
+	}
+	if total < 800 {
+		t.Errorf("added %d Gbps, want ≥ 800", total)
+	}
+	if r.Transponders() != before+len(added) {
+		t.Errorf("transponders = %d, want %d", r.Transponders(), before+len(added))
+	}
+	// Existing wavelengths untouched.
+	for iv := range beforeIntervals {
+		found := false
+		for _, w := range r.Wavelengths {
+			if w.Interval == iv {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pre-existing interval %v disappeared", iv)
+		}
+	}
+	// The extended result still verifies against the grown demand.
+	p.IP = ipLinks(t, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 1200})
+	if err := Verify(p, r); err != nil {
+		t.Errorf("Verify after Extend: %v", err)
+	}
+	if lp := r.PerLink["e1"]; lp.DemandGbps != 1200 || lp.ProvisionedGbps < 1200 {
+		t.Errorf("PerLink after Extend = %+v", lp)
+	}
+}
+
+func TestExtendNewLink(t *testing.T) {
+	p, r := basePlan(t, 400)
+	// Grow the IP topology with a link the base plan never saw.
+	p.IP = ipLinks(t,
+		topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 400},
+		topology.IPLink{ID: "e2", A: "B", B: "C", DemandGbps: 200},
+	)
+	added, err := Extend(p, r, "e2", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) == 0 || added[0].LinkID != "e2" {
+		t.Fatalf("added = %+v", added)
+	}
+	if err := Verify(p, r); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestExtendValidation(t *testing.T) {
+	p, r := basePlan(t, 400)
+	if _, err := Extend(p, r, "e1", 0); err == nil {
+		t.Error("zero addition accepted")
+	}
+	if _, err := Extend(p, r, "ghost", 100); err == nil {
+		t.Error("unknown link accepted")
+	}
+	if _, err := Extend(p, nil, "e1", 100); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := Extend(p, &Result{}, "e1", 100); err == nil {
+		t.Error("result without allocator accepted")
+	}
+}
+
+func TestExtendSpectrumExhaustion(t *testing.T) {
+	p := Problem{
+		Optical: lineTopology(t),
+		IP:      ipLinks(t, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 400}),
+		Catalog: transponder.SVT(),
+		Grid:    spectrum.Grid{PixelGHz: 12.5, Pixels: 8}, // one 75 GHz channel + crumbs
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Fatalf("base infeasible: %v", r.Unserved)
+	}
+	added, err := Extend(p, r, "e1", 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = added
+	if r.Feasible() {
+		t.Error("impossible extension not recorded as unserved")
+	}
+	// Partial capacity is retained and consistent.
+	if err := r.Allocator.Verify(allAllocations(r)); err != nil {
+		t.Errorf("allocator inconsistent after failed extension: %v", err)
+	}
+}
+
+func TestDecommission(t *testing.T) {
+	p, r := basePlan(t, 1600)
+	used := r.Allocator.UsedPixels()
+	if used == 0 {
+		t.Fatal("no pixels used by base plan")
+	}
+	freed, err := Decommission(r, "e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Error("nothing freed")
+	}
+	if r.Allocator.UsedPixels() != 0 {
+		t.Errorf("pixels still used after decommission: %d", r.Allocator.UsedPixels())
+	}
+	if len(r.Wavelengths) != 0 {
+		t.Errorf("wavelengths remain: %d", len(r.Wavelengths))
+	}
+	if _, ok := r.PerLink["e1"]; ok {
+		t.Error("PerLink entry remains")
+	}
+	// Freed spectrum is reusable.
+	if _, err := Extend(p, r, "e1", 400); err != nil {
+		t.Errorf("Extend after Decommission: %v", err)
+	}
+}
+
+func TestDecommissionUnknownLinkNoOp(t *testing.T) {
+	_, r := basePlan(t, 400)
+	freed, err := Decommission(r, "ghost")
+	if err != nil || freed != 0 {
+		t.Errorf("Decommission(ghost) = %d, %v", freed, err)
+	}
+	if len(r.Wavelengths) == 0 {
+		t.Error("existing wavelengths removed")
+	}
+}
+
+func allAllocations(r *Result) []spectrum.Allocation {
+	out := make([]spectrum.Allocation, len(r.Wavelengths))
+	for i, w := range r.Wavelengths {
+		out[i] = allocationOf(w)
+	}
+	return out
+}

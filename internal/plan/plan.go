@@ -1,0 +1,358 @@
+// Package plan implements FlexWAN's network planning (Algorithm 1 of the
+// paper): provisioning the bandwidth capacity of every IP link over
+// optical paths with the minimum hardware cost, defined as
+//
+//	minimize  Σ λ  +  ε · Σ λ·Y
+//
+// (transponder count plus ε-weighted spectrum usage), subject to
+//
+//	(1) capacity     — each link's wavelengths sum to ≥ its demand,
+//	(2) optical reach — a mode is usable only when reach ≥ path length,
+//	(3) conflict     — a fiber pixel carries at most one wavelength,
+//	(4) consistency  — a wavelength occupies identical pixels on every
+//	                   fiber of its path,
+//	(5,6) bookkeeping between wavelengths, slots and transponder counts.
+//
+// Two solvers are provided. SolveExact builds the paper's mixed-integer
+// program verbatim and solves it with the internal branch-and-bound — the
+// substitute for the paper's Gurobi runs, practical for small and medium
+// instances. Solve is the scalable heuristic used at production size:
+// greedy per-wavelength mode selection with first-fit spectrum
+// assignment, validated against the exact solver (see plan tests and the
+// ablation benchmarks). Both enforce constraints (2)–(6) by construction;
+// when spectrum runs out, the result reports the unserved demand instead
+// of silently violating (3).
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+// Problem is one planning instance: both topology layers, the demand set,
+// the transponder family, and the spectrum grid.
+type Problem struct {
+	Optical *topology.Optical
+	IP      *topology.IPTopology
+	Catalog transponder.Catalog
+	Grid    spectrum.Grid
+	// K is the number of candidate shortest optical paths per IP link
+	// (the paper's KSP pre-computation). Zero means DefaultK.
+	K int
+	// Epsilon weighs spectrum against transponders in the objective.
+	// Zero means DefaultEpsilon.
+	Epsilon float64
+	// Fit selects the spectrum placement strategy of the heuristic.
+	Fit spectrum.Fit
+}
+
+// Defaults for Problem fields left zero.
+const (
+	DefaultK       = 3
+	DefaultEpsilon = 0.001
+)
+
+func (p Problem) k() int {
+	if p.K <= 0 {
+		return DefaultK
+	}
+	return p.K
+}
+
+func (p Problem) epsilon() float64 {
+	if p.Epsilon <= 0 {
+		return DefaultEpsilon
+	}
+	return p.Epsilon
+}
+
+// Wavelength is one provisioned optical channel: a transponder pair
+// operating in Mode over Path, occupying Interval on every fiber.
+type Wavelength struct {
+	LinkID    string
+	PathIndex int // index into the link's candidate path list
+	Path      topology.Path
+	Mode      transponder.Mode
+	Interval  spectrum.Interval
+}
+
+// GapKm returns optical reach − path length, the over-provisioning margin
+// of the wavelength (Fig. 14a).
+func (w Wavelength) GapKm() float64 { return w.Mode.ReachKm - w.Path.LengthKm }
+
+// LinkPlan summarizes provisioning for one IP link.
+type LinkPlan struct {
+	DemandGbps      int
+	ProvisionedGbps int
+	Wavelengths     int
+}
+
+// Served reports whether the link's demand is fully provisioned.
+func (lp LinkPlan) Served() bool { return lp.ProvisionedGbps >= lp.DemandGbps }
+
+// Result is a complete planning outcome.
+type Result struct {
+	Wavelengths []Wavelength
+	PerLink     map[string]LinkPlan
+	// Paths caches the candidate optical paths per link, as computed by
+	// KSP on the problem's optical topology.
+	Paths map[string][]topology.Path
+	// Allocator holds the final per-fiber spectrum occupancy.
+	Allocator *spectrum.Allocator
+	// Unserved lists IDs of links whose demand could not be fully met
+	// (spectrum or reach exhaustion). Empty means a feasible plan.
+	Unserved []string
+}
+
+// Feasible reports whether every demand was fully provisioned.
+func (r *Result) Feasible() bool { return len(r.Unserved) == 0 }
+
+// Transponders returns the total number of transponder pairs (the paper's
+// primary hardware cost, Σλ).
+func (r *Result) Transponders() int { return len(r.Wavelengths) }
+
+// SpectrumGHz returns the total channel spacing across wavelengths (the
+// paper's spectrum usage, Σ λ·Y).
+func (r *Result) SpectrumGHz() float64 {
+	total := 0.0
+	for _, w := range r.Wavelengths {
+		total += w.Mode.SpacingGHz
+	}
+	return total
+}
+
+// Objective returns Σλ + ε·Σλ·Y, Algorithm 1's objective value.
+func (r *Result) Objective(epsilon float64) float64 {
+	return float64(r.Transponders()) + epsilon*r.SpectrumGHz()
+}
+
+// MeanSpectralEfficiency returns the mean data rate per spacing over all
+// wavelengths (b/s/Hz).
+func (r *Result) MeanSpectralEfficiency() float64 {
+	if len(r.Wavelengths) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, w := range r.Wavelengths {
+		total += w.Mode.SpectralEfficiency()
+	}
+	return total / float64(len(r.Wavelengths))
+}
+
+// candidatePaths computes the KSP path set for every link, failing when a
+// link's endpoints are disconnected in the optical topology.
+func candidatePaths(p Problem) (map[string][]topology.Path, error) {
+	paths := make(map[string][]topology.Path, len(p.IP.Links))
+	for _, l := range p.IP.Links {
+		ps := p.Optical.KShortestPaths(l.A, l.B, p.k())
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("plan: no optical path for IP link %s (%s–%s)", l.ID, l.A, l.B)
+		}
+		paths[l.ID] = ps
+	}
+	return paths, nil
+}
+
+// Solve runs the scalable planning heuristic.
+//
+// Links are processed hardest-first (longest shortest path, then largest
+// demand): long paths have the fewest feasible modes and cross the most
+// fibers, so they face the tightest spectrum contention. Per link the
+// heuristic walks candidate paths in length order and provisions one
+// wavelength at a time, preferring the mode multiset a cost-optimal
+// single-link provision would use (transponder.MinProvision) and falling
+// back to any feasible mode when the preferred channel cannot find
+// contiguous spectrum. Every allocation goes through spectrum.Allocator,
+// which enforces the conflict and consistency constraints by construction.
+func Solve(p Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	paths, err := candidatePaths(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PerLink:   make(map[string]LinkPlan, len(p.IP.Links)),
+		Paths:     paths,
+		Allocator: spectrum.NewAllocator(p.Grid),
+	}
+
+	order := make([]topology.IPLink, len(p.IP.Links))
+	copy(order, p.IP.Links)
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := paths[order[i].ID][0].LengthKm, paths[order[j].ID][0].LengthKm
+		if li != lj {
+			return li > lj
+		}
+		if order[i].DemandGbps != order[j].DemandGbps {
+			return order[i].DemandGbps > order[j].DemandGbps
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	for _, link := range order {
+		lp := LinkPlan{DemandGbps: link.DemandGbps}
+		remaining := link.DemandGbps
+		for remaining > 0 {
+			w, ok := placeOne(p, res, link.ID, paths[link.ID], remaining)
+			if !ok {
+				break
+			}
+			res.Wavelengths = append(res.Wavelengths, w)
+			lp.Wavelengths++
+			lp.ProvisionedGbps += w.Mode.DataRateGbps
+			remaining -= w.Mode.DataRateGbps
+		}
+		res.PerLink[link.ID] = lp
+		if remaining > 0 {
+			res.Unserved = append(res.Unserved, link.ID)
+		}
+	}
+	sort.Strings(res.Unserved)
+	return res, nil
+}
+
+// placeOne provisions a single wavelength toward the remaining demand of
+// a link, trying candidate paths in order. It returns false when no
+// (path, mode, spectrum) combination works.
+func placeOne(p Problem, res *Result, linkID string, paths []topology.Path, remainingGbps int) (Wavelength, bool) {
+	for pi, path := range paths {
+		fibers := fiberIDs(path)
+		// Preferred modes: what a cost-optimal provision of the whole
+		// remaining demand at this length would use, widest first so the
+		// hardest channel claims contiguous spectrum earliest.
+		if prov, ok := p.Catalog.MinProvision(remainingGbps, path.LengthKm); ok {
+			modes := expandProvision(prov)
+			sort.SliceStable(modes, func(i, j int) bool {
+				return modes[i].SpacingGHz > modes[j].SpacingGHz
+			})
+			for _, mode := range modes {
+				if w, ok := tryAllocate(p, res, linkID, pi, path, fibers, mode); ok {
+					return w, true
+				}
+			}
+		}
+		// Fallback: any feasible mode, highest rate then narrowest
+		// spacing — spectrum is fragmented, so try every width.
+		feasible := p.Catalog.FeasibleModes(path.LengthKm)
+		sort.SliceStable(feasible, func(i, j int) bool {
+			if feasible[i].DataRateGbps != feasible[j].DataRateGbps {
+				return feasible[i].DataRateGbps > feasible[j].DataRateGbps
+			}
+			return feasible[i].SpacingGHz < feasible[j].SpacingGHz
+		})
+		for _, mode := range feasible {
+			if w, ok := tryAllocate(p, res, linkID, pi, path, fibers, mode); ok {
+				return w, true
+			}
+		}
+	}
+	return Wavelength{}, false
+}
+
+func tryAllocate(p Problem, res *Result, linkID string, pathIndex int, path topology.Path, fibers []spectrum.FiberID, mode transponder.Mode) (Wavelength, bool) {
+	pixels := mode.Pixels(p.Grid)
+	if pixels > p.Grid.Pixels {
+		return Wavelength{}, false
+	}
+	al, err := res.Allocator.Allocate(fibers, pixels, p.Fit)
+	if err != nil {
+		return Wavelength{}, false
+	}
+	return Wavelength{
+		LinkID:    linkID,
+		PathIndex: pathIndex,
+		Path:      path,
+		Mode:      mode,
+		Interval:  al.Interval,
+	}, true
+}
+
+func fiberIDs(path topology.Path) []spectrum.FiberID {
+	out := make([]spectrum.FiberID, len(path.Fibers))
+	for i, f := range path.Fibers {
+		out[i] = spectrum.FiberID(f)
+	}
+	return out
+}
+
+// expandProvision flattens a mode multiset into individual wavelengths.
+func expandProvision(prov transponder.Provision) []transponder.Mode {
+	var out []transponder.Mode
+	for i, n := range prov.Counts {
+		for j := 0; j < n; j++ {
+			out = append(out, prov.Modes[i])
+		}
+	}
+	return out
+}
+
+func validate(p Problem) error {
+	if p.Optical == nil || p.IP == nil {
+		return fmt.Errorf("plan: nil topology")
+	}
+	if len(p.Catalog.Modes) == 0 {
+		return fmt.Errorf("plan: empty transponder catalog")
+	}
+	if p.Grid.Pixels <= 0 || p.Grid.PixelGHz <= 0 {
+		return fmt.Errorf("plan: invalid spectrum grid %+v", p.Grid)
+	}
+	for _, l := range p.IP.Links {
+		if !p.Optical.HasNode(l.A) || !p.Optical.HasNode(l.B) {
+			return fmt.Errorf("plan: IP link %s references unknown optical site", l.ID)
+		}
+	}
+	return nil
+}
+
+// Verify re-checks every paper constraint on a result against the
+// problem: capacity (unless listed unserved), reach, conflict,
+// consistency, and interval validity. It returns nil for a sound plan.
+// The controller runs this before pushing configurations (§4.3's "zero
+// inconsistency and conflict" audit).
+func Verify(p Problem, r *Result) error {
+	// Reach (2) and grid validity.
+	for i, w := range r.Wavelengths {
+		if !w.Mode.Feasible(w.Path.LengthKm) {
+			return fmt.Errorf("plan: wavelength %d violates reach: %v over %.0f km", i, w.Mode, w.Path.LengthKm)
+		}
+		if !w.Interval.Valid(p.Grid) {
+			return fmt.Errorf("plan: wavelength %d interval %v outside grid", i, w.Interval)
+		}
+		if w.Interval.Count != w.Mode.Pixels(p.Grid) {
+			return fmt.Errorf("plan: wavelength %d interval %v does not match spacing %v GHz",
+				i, w.Interval, w.Mode.SpacingGHz)
+		}
+	}
+	// Conflict (3) and consistency (4): rebuild occupancy and compare.
+	allocs := make([]spectrum.Allocation, len(r.Wavelengths))
+	for i, w := range r.Wavelengths {
+		allocs[i] = spectrum.Allocation{Fibers: fiberIDs(w.Path), Interval: w.Interval}
+	}
+	if err := r.Allocator.Verify(allocs); err != nil {
+		return fmt.Errorf("plan: %w", err)
+	}
+	// Capacity (1).
+	unserved := make(map[string]bool, len(r.Unserved))
+	for _, id := range r.Unserved {
+		unserved[id] = true
+	}
+	capacity := make(map[string]int)
+	for _, w := range r.Wavelengths {
+		capacity[w.LinkID] += w.Mode.DataRateGbps
+	}
+	for _, l := range p.IP.Links {
+		if unserved[l.ID] {
+			continue
+		}
+		if capacity[l.ID] < l.DemandGbps {
+			return fmt.Errorf("plan: link %s provisioned %d < demand %d Gbps", l.ID, capacity[l.ID], l.DemandGbps)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+// Package restore implements FlexWAN's optical restoration (§8 of the
+// paper): after a fiber cut, reconfigure the affected wavelengths onto
+// healthy fibers so as to maximize the total restored capacity,
+//
+//	maximize  Σ d·λ'
+//
+// subject to
+//
+//	(7) restored capacity per link ≤ its affected capacity,
+//	(8) transponders used ≤ the link's spare transponders (those whose
+//	    wavelengths crossed the cut fiber, plus any pre-provisioned
+//	    spares — the FlexWAN+ variant),
+//	(9) restored channels fit in the spectrum left spare after planning,
+//	(10–13) the reach/consistency/status/count constraints of Algorithm 1
+//	        applied to the restoration paths.
+//
+// Like package plan, restoration ships both the exact MIP (SolveExact)
+// and the scalable heuristic (Solve) used for full failure sweeps.
+package restore
+
+import (
+	"fmt"
+	"sort"
+
+	"flexwan/internal/plan"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+// Scenario is one failure case from the link failure model: a set of
+// simultaneously cut fibers with an occurrence probability (the paper's
+// deterministic 1-failures have Probability 1/N each; probabilistic
+// scenarios carry model weights).
+type Scenario struct {
+	ID          string
+	CutFibers   []string
+	Probability float64
+}
+
+// SingleFiberScenarios enumerates all 1-failure scenarios of the
+// topology, each equally probable — the deterministic k=1 failure model
+// the paper evaluates.
+func SingleFiberScenarios(g *topology.Optical) []Scenario {
+	fibers := g.Fibers()
+	out := make([]Scenario, len(fibers))
+	for i, f := range fibers {
+		out[i] = Scenario{
+			ID:          "cut-" + f.ID,
+			CutFibers:   []string{f.ID},
+			Probability: 1 / float64(len(fibers)),
+		}
+	}
+	return out
+}
+
+// Problem is one restoration instance: the planned backbone, the failure,
+// and the hardware family available for retuning.
+type Problem struct {
+	Optical *topology.Optical
+	IP      *topology.IPTopology
+	Catalog transponder.Catalog
+	Grid    spectrum.Grid
+	// Base is the network-planning result the backbone currently runs
+	// (restoration operates on the configured backbone, §8).
+	Base *plan.Result
+	// Scenario is the fiber-cut case to restore.
+	Scenario Scenario
+	// K is the number of candidate restoration paths per affected link.
+	K int
+	// ExtraSpares adds pre-provisioned spare transponder pairs per IP
+	// link on top of the affected ones — the FlexWAN+ variant (§8 gives
+	// each link half of its saved transponders as spares).
+	ExtraSpares map[string]int
+	// Fit selects the spectrum placement strategy of the heuristic.
+	Fit spectrum.Fit
+}
+
+func (p Problem) k() int {
+	if p.K <= 0 {
+		return plan.DefaultK
+	}
+	return p.K
+}
+
+// Restored is one re-established channel.
+type Restored struct {
+	LinkID string
+	// Original is the failed wavelength being revived.
+	Original plan.Wavelength
+	// Path is the restoration path in the post-failure topology.
+	Path topology.Path
+	// Mode is the (possibly re-modulated) format on the new path.
+	Mode transponder.Mode
+	// Interval is the spectrum it now occupies.
+	Interval spectrum.Interval
+}
+
+// PathStretch returns restoredLength/originalLength — the paper's Fig. 15a
+// metric (90% of restored paths are longer; extremes exceed 10×).
+func (r Restored) PathStretch() float64 {
+	if r.Original.Path.LengthKm == 0 {
+		return 1
+	}
+	return r.Path.LengthKm / r.Original.Path.LengthKm
+}
+
+// Result is the outcome of restoring one scenario.
+type Result struct {
+	Scenario     Scenario
+	AffectedGbps int
+	RestoredGbps int
+	Restored     []Restored
+	// PerLink maps affected link ID → (affected, restored) Gbps.
+	PerLink map[string][2]int
+}
+
+// Capability returns restored/affected capacity — the paper's restoration
+// capability metric (Figs. 15b, 16). A scenario with no affected capacity
+// has capability 1.
+func (r *Result) Capability() float64 {
+	if r.AffectedGbps == 0 {
+		return 1
+	}
+	return float64(r.RestoredGbps) / float64(r.AffectedGbps)
+}
+
+// affected splits the base plan into surviving and failed wavelengths.
+func affected(base *plan.Result, cut []string) (failed []plan.Wavelength, surviving []plan.Wavelength) {
+	cutSet := make(map[string]struct{}, len(cut))
+	for _, id := range cut {
+		cutSet[id] = struct{}{}
+	}
+	for _, w := range base.Wavelengths {
+		hit := false
+		for _, f := range w.Path.Fibers {
+			if _, ok := cutSet[f]; ok {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			failed = append(failed, w)
+		} else {
+			surviving = append(surviving, w)
+		}
+	}
+	return failed, surviving
+}
+
+// survivorAllocator rebuilds per-fiber occupancy from the surviving
+// wavelengths only: the spectrum φ_w available to restoration is whatever
+// planning left spare plus what the failed wavelengths released. (A
+// failed wavelength no longer transmits, so the WSS passbands it held on
+// healthy fibers are reconfigurable — the controller releases them as
+// part of the restoration push.)
+func survivorAllocator(grid spectrum.Grid, surviving []plan.Wavelength) (*spectrum.Allocator, error) {
+	a := spectrum.NewAllocator(grid)
+	for _, w := range surviving {
+		fibers := make([]spectrum.FiberID, len(w.Path.Fibers))
+		for i, f := range w.Path.Fibers {
+			fibers[i] = spectrum.FiberID(f)
+		}
+		if err := a.AllocateExact(fibers, w.Interval); err != nil {
+			return nil, fmt.Errorf("restore: base plan inconsistent: %w", err)
+		}
+	}
+	return a, nil
+}
+
+// Solve runs the restoration heuristic for one scenario.
+//
+// Affected links are processed in order of decreasing affected capacity
+// (ties by ID). Each link may retune as many transponders as it lost
+// (plus ExtraSpares). Wavelengths are restored one at a time over the
+// K shortest post-failure paths; each takes the highest feasible data
+// rate not exceeding the link's remaining affected capacity (constraint
+// (7) forbids overshoot — restoration revives lost capacity, it does not
+// grow the link), widening channel spacing as needed, which is exactly
+// the SVT advantage the paper illustrates in Fig. 4.
+func Solve(p Problem) (*Result, error) {
+	if p.Base == nil {
+		return nil, fmt.Errorf("restore: nil base plan")
+	}
+	failed, surviving := affected(p.Base, p.Scenario.CutFibers)
+	res := &Result{
+		Scenario: p.Scenario,
+		PerLink:  make(map[string][2]int),
+	}
+	if len(failed) == 0 {
+		return res, nil
+	}
+	alloc, err := survivorAllocator(p.Grid, surviving)
+	if err != nil {
+		return nil, err
+	}
+	post := p.Optical.Without(p.Scenario.CutFibers...)
+
+	// Group failures per link.
+	type linkState struct {
+		id           string
+		affectedGbps int
+		spares       int
+		originals    []plan.Wavelength
+	}
+	byLink := make(map[string]*linkState)
+	var order []*linkState
+	for _, w := range failed {
+		ls, ok := byLink[w.LinkID]
+		if !ok {
+			ls = &linkState{id: w.LinkID}
+			byLink[w.LinkID] = ls
+			order = append(order, ls)
+		}
+		ls.affectedGbps += w.Mode.DataRateGbps
+		ls.spares++
+		ls.originals = append(ls.originals, w)
+	}
+	for _, ls := range order {
+		ls.spares += p.ExtraSpares[ls.id]
+		res.AffectedGbps += ls.affectedGbps
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].affectedGbps != order[j].affectedGbps {
+			return order[i].affectedGbps > order[j].affectedGbps
+		}
+		return order[i].id < order[j].id
+	})
+
+	endpoints := make(map[string][2]topology.NodeID, len(p.IP.Links))
+	for _, l := range p.IP.Links {
+		endpoints[l.ID] = [2]topology.NodeID{l.A, l.B}
+	}
+
+	for _, ls := range order {
+		ep, ok := endpoints[ls.id]
+		if !ok {
+			return nil, fmt.Errorf("restore: affected link %s missing from IP topology", ls.id)
+		}
+		paths := post.KShortestPaths(ep[0], ep[1], p.k())
+		remaining := ls.affectedGbps
+		restored := 0
+		oi := 0 // next original wavelength to pair with a restored one
+		for remaining > 0 && ls.spares > 0 && len(paths) > 0 {
+			r, ok := restoreOne(p, alloc, ls.id, paths, remaining)
+			if !ok {
+				break
+			}
+			if oi < len(ls.originals) {
+				r.Original = ls.originals[oi]
+				oi++
+			}
+			res.Restored = append(res.Restored, r)
+			remaining -= r.Mode.DataRateGbps
+			restored += r.Mode.DataRateGbps
+			ls.spares--
+		}
+		res.RestoredGbps += restored
+		res.PerLink[ls.id] = [2]int{ls.affectedGbps, restored}
+	}
+	return res, nil
+}
+
+// restoreOne places a single restored wavelength for a link, trying
+// candidate paths in length order. The mode is the highest feasible rate
+// ≤ remaining (constraint (7)); ties prefer the narrowest spacing.
+func restoreOne(p Problem, alloc *spectrum.Allocator, linkID string, paths []topology.Path, remainingGbps int) (Restored, bool) {
+	for _, path := range paths {
+		modes := p.Catalog.FeasibleModes(path.LengthKm)
+		sort.SliceStable(modes, func(i, j int) bool {
+			if modes[i].DataRateGbps != modes[j].DataRateGbps {
+				return modes[i].DataRateGbps > modes[j].DataRateGbps
+			}
+			return modes[i].SpacingGHz < modes[j].SpacingGHz
+		})
+		fibers := make([]spectrum.FiberID, len(path.Fibers))
+		for i, f := range path.Fibers {
+			fibers[i] = spectrum.FiberID(f)
+		}
+		for _, mode := range modes {
+			if mode.DataRateGbps > remainingGbps {
+				continue
+			}
+			pixels := mode.Pixels(p.Grid)
+			if pixels > p.Grid.Pixels {
+				continue
+			}
+			al, err := alloc.Allocate(fibers, pixels, p.Fit)
+			if err != nil {
+				continue
+			}
+			return Restored{
+				LinkID:   linkID,
+				Path:     path,
+				Mode:     mode,
+				Interval: al.Interval,
+			}, true
+		}
+	}
+	return Restored{}, false
+}
+
+// SweepResult aggregates restoration over a scenario set.
+type SweepResult struct {
+	Results []*Result
+}
+
+// MeanCapability returns the probability-weighted mean restoration
+// capability over the sweep (Fig. 15b's y-axis).
+func (s SweepResult) MeanCapability() float64 {
+	if len(s.Results) == 0 {
+		return 1
+	}
+	totalP := 0.0
+	sum := 0.0
+	for _, r := range s.Results {
+		p := r.Scenario.Probability
+		if p <= 0 {
+			p = 1
+		}
+		totalP += p
+		sum += p * r.Capability()
+	}
+	return sum / totalP
+}
+
+// Capabilities returns each scenario's capability, sorted ascending —
+// ready for CDF plotting (Fig. 16).
+func (s SweepResult) Capabilities() []float64 {
+	out := make([]float64, len(s.Results))
+	for i, r := range s.Results {
+		out[i] = r.Capability()
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// PathStretches returns restored/original length ratios across all
+// restored wavelengths in the sweep, sorted ascending (Fig. 15a).
+func (s SweepResult) PathStretches() []float64 {
+	var out []float64
+	for _, r := range s.Results {
+		for _, w := range r.Restored {
+			if w.Original.Path.LengthKm > 0 {
+				out = append(out, w.PathStretch())
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Sweep restores every scenario against the same base plan.
+func Sweep(base Problem, scenarios []Scenario) (SweepResult, error) {
+	var out SweepResult
+	for _, sc := range scenarios {
+		p := base
+		p.Scenario = sc
+		r, err := Solve(p)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("restore: scenario %s: %w", sc.ID, err)
+		}
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
+}
+
+// PlusSpares computes the FlexWAN+ spare map: for each link, extra
+// transponder pairs equal to fraction × (baseline count − flexwan count),
+// floored at zero — "extra half of the saved transponders" with
+// fraction = 0.5 (§8).
+func PlusSpares(flexwan, baseline *plan.Result, fraction float64) map[string]int {
+	out := make(map[string]int)
+	for id, fp := range flexwan.PerLink {
+		bp, ok := baseline.PerLink[id]
+		if !ok {
+			continue
+		}
+		saved := bp.Wavelengths - fp.Wavelengths
+		if saved <= 0 {
+			continue
+		}
+		extra := int(fraction * float64(saved))
+		if extra > 0 {
+			out[id] = extra
+		}
+	}
+	return out
+}

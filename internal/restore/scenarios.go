@@ -1,0 +1,112 @@
+package restore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flexwan/internal/topology"
+)
+
+// DoubleFiberScenarios enumerates all simultaneous 2-fiber failure
+// scenarios — the deterministic k=2 point of the k-failure model the
+// paper cites ([40], forward fault correction). Each pair is equally
+// probable. Use with care: the count is quadratic in fibers.
+func DoubleFiberScenarios(g *topology.Optical) []Scenario {
+	fibers := g.Fibers()
+	var out []Scenario
+	for i := 0; i < len(fibers); i++ {
+		for j := i + 1; j < len(fibers); j++ {
+			out = append(out, Scenario{
+				ID:        fmt.Sprintf("cut-%s+%s", fibers[i].ID, fibers[j].ID),
+				CutFibers: []string{fibers[i].ID, fibers[j].ID},
+			})
+		}
+	}
+	for i := range out {
+		out[i].Probability = 1 / float64(len(out))
+	}
+	return out
+}
+
+// ProbabilisticScenarios samples n failure scenarios from the
+// probabilistic link failure model the paper adopts from TEAVAR [17]:
+// each fiber is cut independently with a probability proportional to its
+// length (field data shows cuts arrive roughly per fiber-kilometre —
+// cutsPerThousandKm is the per-event cut probability of a 1000 km
+// segment), conditioned on at least one cut. Scenario probabilities are
+// the normalized joint likelihoods, and duplicate fiber sets are merged.
+// The same seed yields the same scenario set.
+func ProbabilisticScenarios(g *topology.Optical, seed int64, n int, cutsPerThousandKm float64) []Scenario {
+	if n <= 0 {
+		return nil
+	}
+	fibers := g.Fibers()
+	if len(fibers) == 0 {
+		return nil
+	}
+	pOf := func(f topology.Fiber) float64 {
+		p := cutsPerThousandKm * f.LengthKm / 1000
+		if p > 0.9 {
+			p = 0.9
+		}
+		if p < 1e-6 {
+			p = 1e-6
+		}
+		return p
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type draw struct {
+		key    string
+		cut    []string
+		weight float64
+	}
+	draws := make(map[string]draw)
+	for attempts := 0; len(draws) < n && attempts < n*200; attempts++ {
+		var cut []string
+		weight := 1.0
+		for _, f := range fibers {
+			p := pOf(f)
+			if rng.Float64() < p {
+				cut = append(cut, f.ID)
+				weight *= p
+			} else {
+				weight *= 1 - p
+			}
+		}
+		if len(cut) == 0 {
+			continue // condition on ≥ 1 failure
+		}
+		sort.Strings(cut)
+		key := ""
+		for _, id := range cut {
+			key += id + "+"
+		}
+		if _, dup := draws[key]; dup {
+			continue
+		}
+		draws[key] = draw{key: key, cut: cut, weight: weight}
+	}
+	keys := make([]string, 0, len(draws))
+	total := 0.0
+	for k, d := range draws {
+		keys = append(keys, k)
+		total += d.weight
+	}
+	sort.Strings(keys)
+	out := make([]Scenario, 0, len(keys))
+	for _, k := range keys {
+		d := draws[k]
+		p := d.weight / total
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			p = 1 / float64(len(draws))
+		}
+		out = append(out, Scenario{
+			ID:          "prob-" + d.key[:len(d.key)-1],
+			CutFibers:   d.cut,
+			Probability: p,
+		})
+	}
+	return out
+}

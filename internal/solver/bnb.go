@@ -1,0 +1,185 @@
+package solver
+
+import (
+	"container/heap"
+	"math"
+)
+
+// intTol is the tolerance under which a relaxation value counts as integral.
+const intTol = 1e-6
+
+// Solve solves the model exactly: as an LP when it has no integer
+// variables, otherwise with LP-relaxation branch-and-bound.
+func (m *Model) Solve() Solution {
+	return m.SolveWithOptions(Options{})
+}
+
+// SolveWithOptions solves with explicit search limits.
+func (m *Model) SolveWithOptions(opts Options) Solution {
+	opts = opts.withDefaults()
+	hasInt := false
+	for _, v := range m.vars {
+		if v.integer {
+			hasInt = true
+			break
+		}
+	}
+	if !hasInt {
+		return m.SolveLP()
+	}
+	return m.branchAndBound(opts)
+}
+
+// bbNode is one subproblem: the root LP plus bound tightenings.
+type bbNode struct {
+	lb, ub map[VarID]float64
+	bound  float64 // relaxation objective (optimistic)
+	depth  int
+}
+
+// nodeQueue is a best-first priority queue. For minimization the smallest
+// bound is most promising; for maximization the largest.
+type nodeQueue struct {
+	nodes []*bbNode
+	min   bool
+}
+
+func (q nodeQueue) Len() int { return len(q.nodes) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q.min {
+		return q.nodes[i].bound < q.nodes[j].bound
+	}
+	return q.nodes[i].bound > q.nodes[j].bound
+}
+func (q nodeQueue) Swap(i, j int)       { q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i] }
+func (q *nodeQueue) Push(x interface{}) { q.nodes = append(q.nodes, x.(*bbNode)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := q.nodes
+	n := len(old)
+	item := old[n-1]
+	q.nodes = old[:n-1]
+	return item
+}
+
+func (m *Model) branchAndBound(opts Options) Solution {
+	minimize := m.sense == Minimize
+	betterObj := func(a, b float64) bool {
+		if minimize {
+			return a < b
+		}
+		return a > b
+	}
+
+	root := m.solveLPWithBounds(nil, nil)
+	if root.Status != Optimal {
+		return root
+	}
+
+	var incumbent *Solution
+	queue := &nodeQueue{min: minimize}
+	heap.Push(queue, &bbNode{bound: root.Objective})
+	nodes := 0
+	bestBound := root.Objective
+
+	for queue.Len() > 0 {
+		if nodes >= opts.MaxNodes {
+			if incumbent != nil {
+				incumbent.Status = LimitReached
+				incumbent.Nodes = nodes
+				incumbent.Gap = relGap(incumbent.Objective, bestBound)
+				return *incumbent
+			}
+			return Solution{Status: LimitReached, Nodes: nodes}
+		}
+		node := heap.Pop(queue).(*bbNode)
+		bestBound = node.bound
+		// Prune against the incumbent.
+		if incumbent != nil {
+			if !betterObj(node.bound, incumbent.Objective) {
+				// Best-first order: every remaining node is no better.
+				break
+			}
+			if relGap(incumbent.Objective, node.bound) <= opts.RelGap {
+				break
+			}
+		}
+		nodes++
+		sol := m.solveLPWithBounds(node.lb, node.ub)
+		if sol.Status != Optimal {
+			continue // infeasible subtree
+		}
+		if incumbent != nil && !betterObj(sol.Objective, incumbent.Objective) {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branchVar := VarID(-1)
+		worstFrac := intTol
+		for i, v := range m.vars {
+			if !v.integer {
+				continue
+			}
+			x := sol.Values[i]
+			frac := math.Abs(x - math.Round(x))
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = VarID(i)
+			}
+		}
+		if branchVar < 0 {
+			// Integral: new incumbent. Snap values to exact integers.
+			for i, v := range m.vars {
+				if v.integer {
+					sol.Values[i] = math.Round(sol.Values[i])
+				}
+			}
+			s := sol
+			incumbent = &s
+			if opts.Logf != nil {
+				opts.Logf("solver: incumbent %.6g at node %d (bound %.6g)", s.Objective, nodes, bestBound)
+			}
+			continue
+		}
+		// Branch.
+		x := sol.Values[branchVar]
+		down := &bbNode{
+			lb:    copyBounds(node.lb),
+			ub:    copyBounds(node.ub),
+			bound: sol.Objective,
+			depth: node.depth + 1,
+		}
+		down.ub[branchVar] = math.Floor(x)
+		up := &bbNode{
+			lb:    copyBounds(node.lb),
+			ub:    copyBounds(node.ub),
+			bound: sol.Objective,
+			depth: node.depth + 1,
+		}
+		up.lb[branchVar] = math.Ceil(x)
+		heap.Push(queue, down)
+		heap.Push(queue, up)
+	}
+
+	if incumbent == nil {
+		return Solution{Status: Infeasible, Nodes: nodes}
+	}
+	incumbent.Status = Optimal
+	incumbent.Nodes = nodes
+	if queue.Len() > 0 {
+		incumbent.Gap = relGap(incumbent.Objective, bestBound)
+	}
+	return *incumbent
+}
+
+func copyBounds(b map[VarID]float64) map[VarID]float64 {
+	out := make(map[VarID]float64, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// relGap is the relative distance between the incumbent objective and the
+// proven bound.
+func relGap(obj, bound float64) float64 {
+	return math.Abs(obj-bound) / math.Max(1, math.Abs(obj))
+}

@@ -1,0 +1,216 @@
+// Package solver is a pure-Go mixed-integer linear programming stack: a
+// dense two-phase simplex for linear programs and a best-first
+// branch-and-bound for integrality.
+//
+// The FlexWAN paper solves its planning and restoration formulations with
+// Gurobi (§7: "Julia ... and the Gurobi solver", with LP relaxation and a
+// < 0.1% gap). This package is the stdlib-only substitute: exact on the
+// small and medium instances used to validate the planning heuristic, with
+// the same relaxation-based bounding strategy. It is a general MILP
+// solver — models are built from variables, linear constraints, and a
+// linear objective — not a FlexWAN-specific routine.
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense selects minimization or maximization of the objective.
+type Sense int
+
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+func (s Sense) String() string {
+	if s == Maximize {
+		return "maximize"
+	}
+	return "minimize"
+}
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// VarID indexes a variable within its model.
+type VarID int
+
+// Term is one coefficient·variable product in a linear expression.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+type variable struct {
+	name    string
+	lb, ub  float64
+	integer bool
+	obj     float64
+}
+
+type constraint struct {
+	name  string
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Model is a mixed-integer linear program under construction. Build with
+// NewModel, add variables and constraints, then call Solve.
+type Model struct {
+	name  string
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewModel returns an empty model.
+func NewModel(name string, sense Sense) *Model {
+	return &Model{name: name, sense: sense}
+}
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVar adds a continuous variable with bounds [lb, ub] and objective
+// coefficient obj. Use math.Inf(1) for an unbounded ub.
+func (m *Model) AddVar(name string, lb, ub, obj float64) VarID {
+	m.vars = append(m.vars, variable{name: name, lb: lb, ub: ub, obj: obj})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddIntVar adds an integer variable with bounds [lb, ub].
+func (m *Model) AddIntVar(name string, lb, ub, obj float64) VarID {
+	id := m.AddVar(name, lb, ub, obj)
+	m.vars[id].integer = true
+	return id
+}
+
+// AddBinVar adds a 0/1 variable.
+func (m *Model) AddBinVar(name string, obj float64) VarID {
+	return m.AddIntVar(name, 0, 1, obj)
+}
+
+// AddConstraint adds Σ terms rel rhs. Terms referencing the same variable
+// are accumulated.
+func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) error {
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.vars) {
+			return fmt.Errorf("solver: constraint %s references unknown variable %d", name, t.Var)
+		}
+	}
+	// Accumulate duplicate variables so downstream code sees each var once.
+	acc := make(map[VarID]float64)
+	order := make([]VarID, 0, len(terms))
+	for _, t := range terms {
+		if _, seen := acc[t.Var]; !seen {
+			order = append(order, t.Var)
+		}
+		acc[t.Var] += t.Coef
+	}
+	merged := make([]Term, 0, len(order))
+	for _, v := range order {
+		if acc[v] != 0 {
+			merged = append(merged, Term{Var: v, Coef: acc[v]})
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: merged, rel: rel, rhs: rhs})
+	return nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal (or within-gap) solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective improves without limit.
+	Unbounded
+	// LimitReached means the node or iteration budget ran out before the
+	// search completed; Solution carries the incumbent if one exists.
+	LimitReached
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "limit-reached"
+	}
+}
+
+// Solution is the result of solving a model.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// Values holds one entry per variable, indexed by VarID.
+	Values []float64
+	// Gap is the relative optimality gap proven at termination (MILP
+	// only; 0 for LPs).
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Value returns the solution value of v.
+func (s Solution) Value(v VarID) float64 {
+	if int(v) < 0 || int(v) >= len(s.Values) {
+		return math.NaN()
+	}
+	return s.Values[v]
+}
+
+// IntValue returns the solution value of v rounded to the nearest integer.
+func (s Solution) IntValue(v VarID) int {
+	return int(math.Round(s.Value(v)))
+}
+
+// Options tune the MILP search.
+type Options struct {
+	// MaxNodes bounds branch-and-bound nodes (0 = default 200000).
+	MaxNodes int
+	// RelGap stops the search once the relative incumbent/bound gap falls
+	// below this value (default 1e-6; the paper quotes < 0.1%).
+	RelGap float64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.RelGap == 0 {
+		o.RelGap = 1e-6
+	}
+	return o
+}

@@ -1,0 +1,415 @@
+package solver
+
+import (
+	"math"
+)
+
+// Numerical tolerances for the dense tableau simplex.
+const (
+	pivotTol = 1e-9 // minimum magnitude of a usable pivot element
+	feasTol  = 1e-7 // feasibility / optimality tolerance
+)
+
+// SolveLP solves the linear relaxation of the model (integrality dropped)
+// with a two-phase dense simplex.
+func (m *Model) SolveLP() Solution {
+	return m.solveLPWithBounds(nil, nil)
+}
+
+// solveLPWithBounds solves the LP relaxation with optional per-variable
+// bound overrides (used by branch-and-bound). A nil map entry means "use
+// the model bound".
+func (m *Model) solveLPWithBounds(lbOverride, ubOverride map[VarID]float64) Solution {
+	sf, ok := m.buildStandardForm(lbOverride, ubOverride)
+	if !ok {
+		return Solution{Status: Infeasible}
+	}
+	status, x := sf.solve()
+	switch status {
+	case Infeasible:
+		return Solution{Status: Infeasible}
+	case Unbounded:
+		return Solution{Status: Unbounded}
+	}
+	// Map standard-form values back to model variables.
+	values := make([]float64, len(m.vars))
+	obj := 0.0
+	for i := range m.vars {
+		v := sf.varValue(i, x)
+		values[i] = v
+		obj += m.vars[i].obj * v
+	}
+	return Solution{Status: Optimal, Objective: obj, Values: values}
+}
+
+// standardForm is min c·y s.t. Ay = b, y ≥ 0 with a Phase-1 artificial
+// basis, plus the mapping back to model variables.
+type standardForm struct {
+	a     [][]float64 // m×n constraint matrix
+	b     []float64   // rhs, normalized nonnegative
+	c     []float64   // phase-2 costs
+	nVars int         // total standard-form columns
+	nArt  int         // number of artificial columns (last nArt columns)
+
+	// Per model variable: column index of its shifted value (y = x − lb),
+	// and the shift. Free variables use a split pair (posCol, negCol).
+	col    []int
+	negCol []int
+	shift  []float64
+
+	// initialBasis holds, per row, the column that starts basic (slack or
+	// artificial).
+	initialBasis []int
+}
+
+// buildStandardForm converts the model. Returns ok=false when a variable's
+// effective bounds are already contradictory (lb > ub).
+func (m *Model) buildStandardForm(lbOverride, ubOverride map[VarID]float64) (*standardForm, bool) {
+	sf := &standardForm{
+		col:    make([]int, len(m.vars)),
+		negCol: make([]int, len(m.vars)),
+		shift:  make([]float64, len(m.vars)),
+	}
+	type rowSpec struct {
+		terms []Term
+		rel   Rel
+		rhs   float64
+	}
+	var rows []rowSpec
+	for _, c := range m.cons {
+		rows = append(rows, rowSpec{terms: c.terms, rel: c.rel, rhs: c.rhs})
+	}
+
+	effLB := func(i int) float64 {
+		if v, ok := lbOverride[VarID(i)]; ok {
+			return v
+		}
+		return m.vars[i].lb
+	}
+	effUB := func(i int) float64 {
+		if v, ok := ubOverride[VarID(i)]; ok {
+			return v
+		}
+		return m.vars[i].ub
+	}
+
+	// Assign columns.
+	n := 0
+	for i := range m.vars {
+		lb, ub := effLB(i), effUB(i)
+		if lb > ub+feasTol {
+			return nil, false
+		}
+		if math.IsInf(lb, -1) {
+			// Free (or upper-bounded-only) variable: split x = x⁺ − x⁻.
+			sf.col[i] = n
+			sf.negCol[i] = n + 1
+			sf.shift[i] = 0
+			n += 2
+		} else {
+			sf.col[i] = n
+			sf.negCol[i] = -1
+			sf.shift[i] = lb
+			n++
+		}
+		// Finite upper bound becomes a row: x ≤ ub.
+		if !math.IsInf(ub, 1) {
+			rows = append(rows, rowSpec{terms: []Term{{Var: VarID(i), Coef: 1}}, rel: LE, rhs: ub})
+		}
+	}
+
+	// Count slack/surplus/artificial columns.
+	mRows := len(rows)
+	// Build dense rows over the variable columns first; slacks appended after.
+	a := make([][]float64, mRows)
+	b := make([]float64, mRows)
+	rels := make([]Rel, mRows)
+	for r, spec := range rows {
+		row := make([]float64, n)
+		rhs := spec.rhs
+		for _, t := range spec.terms {
+			i := int(t.Var)
+			row[sf.col[i]] += t.Coef
+			if sf.negCol[i] >= 0 {
+				row[sf.negCol[i]] -= t.Coef
+			}
+			rhs -= t.Coef * sf.shift[i]
+		}
+		rel := spec.rel
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		a[r], b[r], rels[r] = row, rhs, rel
+	}
+
+	// Append slack/surplus columns, then artificials.
+	nSlack := 0
+	for _, rel := range rels {
+		if rel != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, rel := range rels {
+		if rel != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	slackAt := n
+	artAt := n + nSlack
+	basis := make([]int, mRows)
+	for r := range a {
+		row := make([]float64, total)
+		copy(row, a[r])
+		switch rels[r] {
+		case LE:
+			row[slackAt] = 1
+			basis[r] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			basis[r] = artAt
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			basis[r] = artAt
+			artAt++
+		}
+		a[r] = row
+	}
+
+	// Phase-2 costs (minimization; Maximize flips sign).
+	c := make([]float64, total)
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	for i := range m.vars {
+		c[sf.col[i]] += sign * m.vars[i].obj
+		if sf.negCol[i] >= 0 {
+			c[sf.negCol[i]] -= sign * m.vars[i].obj
+		}
+	}
+
+	sf.a, sf.b, sf.c = a, b, c
+	sf.nVars = total
+	sf.nArt = nArt
+	sf.initialBasis = basis
+	return sf, true
+}
+
+// varValue recovers model variable i from the standard-form point x.
+func (sf *standardForm) varValue(i int, x []float64) float64 {
+	v := x[sf.col[i]] + sf.shift[i]
+	if sf.negCol[i] >= 0 {
+		v -= x[sf.negCol[i]]
+	}
+	return v
+}
+
+// tableau carries the dense simplex state.
+type tableau struct {
+	a      [][]float64 // m×n
+	b      []float64   // m
+	cost   []float64   // reduced-cost row (length n)
+	obj    float64     // negative of current objective value offset
+	basis  []int
+	barred []bool // columns that may never enter (phase-2 artificials)
+}
+
+func (sf *standardForm) solve() (Status, []float64) {
+	mRows := len(sf.a)
+	t := &tableau{
+		a:     make([][]float64, mRows),
+		b:     append([]float64(nil), sf.b...),
+		basis: append([]int(nil), sf.initialBasis...),
+	}
+	for r := range sf.a {
+		t.a[r] = append([]float64(nil), sf.a[r]...)
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if sf.nArt > 0 {
+		phase1 := make([]float64, sf.nVars)
+		for j := sf.nVars - sf.nArt; j < sf.nVars; j++ {
+			phase1[j] = 1
+		}
+		t.setCosts(phase1)
+		if status := t.iterate(); status == Unbounded {
+			// Phase 1 objective is bounded below by 0; unbounded here
+			// signals numerical trouble — treat as infeasible.
+			return Infeasible, nil
+		}
+		if -t.obj > feasTol {
+			return Infeasible, nil
+		}
+		// Pivot any artificial still in the basis out (degenerate rows).
+		artStart := sf.nVars - sf.nArt
+		for r, bv := range t.basis {
+			if bv < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[r][j]) > pivotTol {
+					t.pivot(r, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over structural columns: redundant
+				// constraint; the artificial stays basic at value 0 and
+				// is harmless as long as its column never re-enters.
+				_ = r
+			}
+		}
+	}
+
+	// Phase 2: original costs; artificial columns may never re-enter.
+	artStart := sf.nVars - sf.nArt
+	t.barred = make([]bool, sf.nVars)
+	for j := artStart; j < sf.nVars; j++ {
+		t.barred[j] = true
+	}
+	t.setCosts(append([]float64(nil), sf.c...))
+	if status := t.iterate(); status == Unbounded {
+		return Unbounded, nil
+	}
+	// Extract the point.
+	x := make([]float64, sf.nVars)
+	for r, bv := range t.basis {
+		if bv < len(x) {
+			x[bv] = t.b[r]
+		}
+	}
+	return Optimal, x
+}
+
+// setCosts installs a cost vector and prices it out against the current
+// basis so the reduced-cost row is valid.
+func (t *tableau) setCosts(c []float64) {
+	t.cost = append([]float64(nil), c...)
+	t.obj = 0
+	for r, bv := range t.basis {
+		cb := c[bv]
+		if cb == 0 {
+			continue
+		}
+		for j := range t.cost {
+			t.cost[j] -= cb * t.a[r][j]
+		}
+		t.obj -= cb * t.b[r]
+	}
+}
+
+// iterate runs primal simplex pivots to optimality, switching from
+// Dantzig's rule to Bland's rule when iterations exceed a threshold, which
+// guarantees termination.
+func (t *tableau) iterate() Status {
+	mRows := len(t.a)
+	nCols := len(t.cost)
+	maxIter := 200*(mRows+nCols) + 5000
+	blandAfter := 20 * (mRows + nCols)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -feasTol
+			for j := 0; j < nCols; j++ {
+				if t.barredCol(j) {
+					continue
+				}
+				if t.cost[j] < best {
+					best = t.cost[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < nCols; j++ {
+				if t.barredCol(j) {
+					continue
+				}
+				if t.cost[j] < -feasTol {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < mRows; r++ {
+			if t.a[r][enter] > pivotTol {
+				ratio := t.b[r] / t.a[r][enter]
+				if ratio < bestRatio-feasTol ||
+					(ratio < bestRatio+feasTol && (leave < 0 || t.basis[r] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	// Iteration budget exhausted: report the current (feasible) point as
+	// optimal-so-far; callers treat this as optimal since Bland's rule
+	// makes non-termination practically unreachable.
+	return Optimal
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := range t.a[row] {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	for r := range t.a {
+		if r == row {
+			continue
+		}
+		f := t.a[r][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t.a[r] {
+			t.a[r][j] -= f * t.a[row][j]
+		}
+		t.b[r] -= f * t.b[row]
+		if t.b[r] < 0 && t.b[r] > -feasTol {
+			t.b[r] = 0
+		}
+	}
+	f := t.cost[col]
+	if f != 0 {
+		for j := range t.cost {
+			t.cost[j] -= f * t.a[row][j]
+		}
+		t.obj -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// barredCol reports whether column j is excluded from entering the basis.
+func (t *tableau) barredCol(j int) bool {
+	return t.barred != nil && t.barred[j]
+}

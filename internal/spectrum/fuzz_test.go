@@ -1,0 +1,52 @@
+package spectrum
+
+import "testing"
+
+// FuzzMapOperations drives the occupancy map with arbitrary operation
+// streams: accounting must stay consistent and no operation may panic.
+func FuzzMapOperations(f *testing.F) {
+	f.Add([]byte{1, 4, 0, 2, 8})
+	f.Add([]byte{255, 0, 0, 9, 9, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		g := Grid{PixelGHz: 12.5, Pixels: 32}
+		m := NewMap(g)
+		var live []Interval
+		for i := 0; i+1 < len(ops); i += 2 {
+			a, b := int(ops[i]), int(ops[i+1])
+			switch a % 3 {
+			case 0: // place via first fit
+				iv, err := m.FirstFit(1 + b%8)
+				if err == nil {
+					if err := m.Place(iv); err != nil {
+						t.Fatalf("Place after FirstFit: %v", err)
+					}
+					live = append(live, iv)
+				}
+			case 1: // release a live interval
+				if len(live) > 0 {
+					idx := b % len(live)
+					if err := m.Release(live[idx]); err != nil {
+						t.Fatalf("Release live: %v", err)
+					}
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			case 2: // arbitrary (possibly invalid) placement attempt
+				iv := Interval{Start: a % 40, Count: b % 40}
+				_ = m.CanPlace(iv)
+				if err := m.Place(iv); err == nil {
+					live = append(live, iv)
+				}
+			}
+			sum := 0
+			for _, iv := range live {
+				sum += iv.Count
+			}
+			if m.UsedPixels() < sum {
+				t.Fatalf("accounting below live set: used %d < %d", m.UsedPixels(), sum)
+			}
+			if m.FreePixels()+m.UsedPixels() != g.Pixels {
+				t.Fatalf("free+used != total")
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package spectrum models the optical spectrum of a fiber as a grid of
+// fixed-width pixels, following FlexWAN's spectrum-sliced optical line
+// system (§4.2 of the paper).
+//
+// The usable long-haul spectrum is the C-band. A pixel-wise wavelength
+// selective switch (WSS) slices it into 12.5 GHz pixels (or finer); a
+// wavelength occupies a contiguous run of pixels whose total width equals
+// its channel spacing. The same pixel interval must be configured on every
+// fiber the wavelength traverses (spectrum consistency) and no two
+// wavelengths may share a pixel on the same fiber (spectrum conflict).
+package spectrum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Standard constants for the C-band and FlexWAN's pixel grid.
+const (
+	// DefaultPixelGHz is the grid granularity of the pixel-wise WSS.
+	DefaultPixelGHz = 12.5
+
+	// CBandGHz is the usable width of the conventional band
+	// (roughly 1530–1565 nm, ~4.4 THz; we use the common 4.8 THz
+	// flexi-grid figure of 384 × 12.5 GHz).
+	CBandGHz = 4800.0
+
+	// DefaultPixels is the number of 12.5 GHz pixels in the C-band.
+	DefaultPixels = int(CBandGHz / DefaultPixelGHz)
+)
+
+// Grid describes a pixelated spectrum: Pixels slots of PixelGHz each.
+type Grid struct {
+	PixelGHz float64
+	Pixels   int
+}
+
+// DefaultGrid returns the C-band sliced at 12.5 GHz: 384 pixels.
+func DefaultGrid() Grid {
+	return Grid{PixelGHz: DefaultPixelGHz, Pixels: DefaultPixels}
+}
+
+// NewGrid builds a grid with the given pixel width covering widthGHz.
+// The width is truncated down to a whole number of pixels.
+func NewGrid(pixelGHz, widthGHz float64) (Grid, error) {
+	if pixelGHz <= 0 {
+		return Grid{}, fmt.Errorf("spectrum: pixel width must be positive, got %v", pixelGHz)
+	}
+	if widthGHz < pixelGHz {
+		return Grid{}, fmt.Errorf("spectrum: band width %v GHz smaller than one pixel (%v GHz)", widthGHz, pixelGHz)
+	}
+	return Grid{PixelGHz: pixelGHz, Pixels: int(widthGHz / pixelGHz)}, nil
+}
+
+// WidthGHz returns the total spectrum width covered by the grid.
+func (g Grid) WidthGHz() float64 { return float64(g.Pixels) * g.PixelGHz }
+
+// PixelsFor returns the number of contiguous pixels needed to carry a
+// channel spacing of spacingGHz. Channel spacings that are not an exact
+// multiple of the pixel width are rounded up (the passband must fully
+// contain the signal; a smaller passband clips it).
+func (g Grid) PixelsFor(spacingGHz float64) (int, error) {
+	if spacingGHz <= 0 {
+		return 0, fmt.Errorf("spectrum: channel spacing must be positive, got %v", spacingGHz)
+	}
+	n := int(math.Ceil(spacingGHz/g.PixelGHz - 1e-9))
+	if n > g.Pixels {
+		return 0, fmt.Errorf("spectrum: channel spacing %v GHz exceeds band width %v GHz", spacingGHz, g.WidthGHz())
+	}
+	return n, nil
+}
+
+// Interval is a half-open pixel range [Start, Start+Count) on a grid —
+// the spectrum occupied by one wavelength, or the passband configured on
+// a WSS filter port.
+type Interval struct {
+	Start int // index of the first pixel
+	Count int // number of contiguous pixels
+}
+
+// End returns the index one past the last pixel.
+func (iv Interval) End() int { return iv.Start + iv.Count }
+
+// Overlaps reports whether two intervals share any pixel.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End() && other.Start < iv.End()
+}
+
+// Contains reports whether pixel w falls inside the interval.
+func (iv Interval) Contains(w int) bool { return w >= iv.Start && w < iv.End() }
+
+// WidthGHz returns the spectral width of the interval on grid g.
+func (iv Interval) WidthGHz(g Grid) float64 { return float64(iv.Count) * g.PixelGHz }
+
+// Valid reports whether the interval lies inside grid g.
+func (iv Interval) Valid(g Grid) bool {
+	return iv.Start >= 0 && iv.Count > 0 && iv.End() <= g.Pixels
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d,%d)", iv.Start, iv.End())
+}
+
+// ErrNoSpectrum is returned when an allocation request cannot be satisfied.
+var ErrNoSpectrum = errors.New("spectrum: no contiguous free interval of the requested width")
+
+// Map tracks per-pixel occupancy of a single fiber. The zero value is not
+// usable; construct with NewMap.
+type Map struct {
+	grid Grid
+	used []bool
+	free int
+}
+
+// NewMap returns an all-free occupancy map for grid g.
+func NewMap(g Grid) *Map {
+	return &Map{grid: g, used: make([]bool, g.Pixels), free: g.Pixels}
+}
+
+// Grid returns the grid the map was built on.
+func (m *Map) Grid() Grid { return m.grid }
+
+// FreePixels returns the number of unoccupied pixels.
+func (m *Map) FreePixels() int { return m.free }
+
+// UsedPixels returns the number of occupied pixels.
+func (m *Map) UsedPixels() int { return m.grid.Pixels - m.free }
+
+// Used reports whether pixel w is occupied. Out-of-range pixels are
+// reported as occupied (they can never be allocated).
+func (m *Map) Used(w int) bool {
+	if w < 0 || w >= len(m.used) {
+		return true
+	}
+	return m.used[w]
+}
+
+// CanPlace reports whether the interval is entirely free.
+func (m *Map) CanPlace(iv Interval) bool {
+	if !iv.Valid(m.grid) {
+		return false
+	}
+	for w := iv.Start; w < iv.End(); w++ {
+		if m.used[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// Place marks the interval occupied. It fails if any pixel is already in
+// use or the interval is out of range; on failure the map is unchanged.
+func (m *Map) Place(iv Interval) error {
+	if !iv.Valid(m.grid) {
+		return fmt.Errorf("spectrum: interval %v outside grid of %d pixels", iv, m.grid.Pixels)
+	}
+	if !m.CanPlace(iv) {
+		return fmt.Errorf("spectrum: interval %v overlaps an existing allocation: %w", iv, ErrNoSpectrum)
+	}
+	for w := iv.Start; w < iv.End(); w++ {
+		m.used[w] = true
+	}
+	m.free -= iv.Count
+	return nil
+}
+
+// Release frees the interval. Releasing pixels that are already free is an
+// error: it indicates double-release, which would corrupt accounting.
+func (m *Map) Release(iv Interval) error {
+	if !iv.Valid(m.grid) {
+		return fmt.Errorf("spectrum: interval %v outside grid of %d pixels", iv, m.grid.Pixels)
+	}
+	for w := iv.Start; w < iv.End(); w++ {
+		if !m.used[w] {
+			return fmt.Errorf("spectrum: release of free pixel %d in %v", w, iv)
+		}
+	}
+	for w := iv.Start; w < iv.End(); w++ {
+		m.used[w] = false
+	}
+	m.free += iv.Count
+	return nil
+}
+
+// FirstFit returns the lowest-indexed free interval of count pixels.
+func (m *Map) FirstFit(count int) (Interval, error) {
+	if count <= 0 || count > m.grid.Pixels {
+		return Interval{}, fmt.Errorf("spectrum: invalid interval width %d", count)
+	}
+	run := 0
+	for w := 0; w < m.grid.Pixels; w++ {
+		if m.used[w] {
+			run = 0
+			continue
+		}
+		run++
+		if run == count {
+			return Interval{Start: w - count + 1, Count: count}, nil
+		}
+	}
+	return Interval{}, ErrNoSpectrum
+}
+
+// BestFit returns the free interval of count pixels inside the smallest
+// free run that can hold it (ties broken by lowest start). Best-fit keeps
+// large runs intact for future wide channels.
+func (m *Map) BestFit(count int) (Interval, error) {
+	if count <= 0 || count > m.grid.Pixels {
+		return Interval{}, fmt.Errorf("spectrum: invalid interval width %d", count)
+	}
+	bestStart, bestLen := -1, m.grid.Pixels+1
+	w := 0
+	for w < m.grid.Pixels {
+		if m.used[w] {
+			w++
+			continue
+		}
+		start := w
+		for w < m.grid.Pixels && !m.used[w] {
+			w++
+		}
+		runLen := w - start
+		if runLen >= count && runLen < bestLen {
+			bestStart, bestLen = start, runLen
+		}
+	}
+	if bestStart < 0 {
+		return Interval{}, ErrNoSpectrum
+	}
+	return Interval{Start: bestStart, Count: count}, nil
+}
+
+// FreeRuns returns the maximal free intervals in ascending order.
+func (m *Map) FreeRuns() []Interval {
+	var runs []Interval
+	w := 0
+	for w < m.grid.Pixels {
+		if m.used[w] {
+			w++
+			continue
+		}
+		start := w
+		for w < m.grid.Pixels && !m.used[w] {
+			w++
+		}
+		runs = append(runs, Interval{Start: start, Count: w - start})
+	}
+	return runs
+}
+
+// LargestFreeRun returns the widest contiguous free interval, or a
+// zero-count interval when the map is full.
+func (m *Map) LargestFreeRun() Interval {
+	var best Interval
+	for _, r := range m.FreeRuns() {
+		if r.Count > best.Count {
+			best = r
+		}
+	}
+	return best
+}
+
+// Clone returns an independent copy of the map.
+func (m *Map) Clone() *Map {
+	c := &Map{grid: m.grid, used: make([]bool, len(m.used)), free: m.free}
+	copy(c.used, m.used)
+	return c
+}
+
+// Fragmentation returns 1 − largestFreeRun/freePixels: 0 when all free
+// spectrum is contiguous (or the map is full), approaching 1 as the free
+// spectrum shatters into small runs.
+func (m *Map) Fragmentation() float64 {
+	if m.free == 0 {
+		return 0
+	}
+	return 1 - float64(m.LargestFreeRun().Count)/float64(m.free)
+}

@@ -1,0 +1,318 @@
+package spectrum
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid()
+	if g.Pixels != 384 {
+		t.Errorf("DefaultGrid pixels = %d, want 384", g.Pixels)
+	}
+	if g.WidthGHz() != 4800 {
+		t.Errorf("DefaultGrid width = %v GHz, want 4800", g.WidthGHz())
+	}
+}
+
+func TestNewGrid(t *testing.T) {
+	tests := []struct {
+		name       string
+		pixel, w   float64
+		wantPixels int
+		wantErr    bool
+	}{
+		{"standard", 12.5, 4800, 384, false},
+		{"fine grid", 6.25, 4800, 768, false},
+		{"coarse 75GHz grid", 75, 4800, 64, false},
+		{"truncates partial pixel", 12.5, 4805, 384, false},
+		{"zero pixel", 0, 4800, 0, true},
+		{"negative pixel", -1, 4800, 0, true},
+		{"band smaller than pixel", 12.5, 10, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := NewGrid(tt.pixel, tt.w)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewGrid(%v,%v) err = %v, wantErr %v", tt.pixel, tt.w, err, tt.wantErr)
+			}
+			if err == nil && g.Pixels != tt.wantPixels {
+				t.Errorf("pixels = %d, want %d", g.Pixels, tt.wantPixels)
+			}
+		})
+	}
+}
+
+func TestPixelsFor(t *testing.T) {
+	g := DefaultGrid()
+	tests := []struct {
+		spacing float64
+		want    int
+		wantErr bool
+	}{
+		{50, 4, false},
+		{62.5, 5, false},
+		{75, 6, false},
+		{87.5, 7, false},
+		{100, 8, false},
+		{112.5, 9, false},
+		{125, 10, false},
+		{137.5, 11, false},
+		{150, 12, false},
+		// Non-multiples round up: the passband must contain the signal.
+		{51, 5, false},
+		{76, 7, false},
+		{1, 1, false},
+		{0, 0, true},
+		{-75, 0, true},
+		{5000, 0, true},
+	}
+	for _, tt := range tests {
+		got, err := g.PixelsFor(tt.spacing)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("PixelsFor(%v) err = %v, wantErr %v", tt.spacing, err, tt.wantErr)
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("PixelsFor(%v) = %d, want %d", tt.spacing, got, tt.want)
+		}
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{Start: 4, Count: 4} // [4,8)
+	tests := []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{0, 4}, false},  // adjacent below
+		{Interval{8, 4}, false},  // adjacent above
+		{Interval{0, 5}, true},   // overlaps start
+		{Interval{7, 1}, true},   // overlaps end
+		{Interval{5, 2}, true},   // contained
+		{Interval{0, 20}, true},  // contains
+		{Interval{4, 4}, true},   // identical
+		{Interval{20, 3}, false}, // disjoint
+	}
+	for _, tt := range tests {
+		if got := a.Overlaps(tt.b); got != tt.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Overlaps(a); got != tt.want {
+			t.Errorf("overlap not symmetric for %v and %v", a, tt.b)
+		}
+	}
+}
+
+func TestMapPlaceRelease(t *testing.T) {
+	g := Grid{PixelGHz: 12.5, Pixels: 16}
+	m := NewMap(g)
+	iv := Interval{Start: 2, Count: 6}
+
+	if err := m.Place(iv); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if m.FreePixels() != 10 {
+		t.Errorf("free = %d, want 10", m.FreePixels())
+	}
+	if m.CanPlace(Interval{Start: 5, Count: 2}) {
+		t.Error("CanPlace reported overlap interval as free")
+	}
+	if err := m.Place(Interval{Start: 7, Count: 2}); err == nil {
+		t.Error("Place over occupied pixels succeeded")
+	}
+	// Adjacent placements must work.
+	if err := m.Place(Interval{Start: 8, Count: 8}); err != nil {
+		t.Errorf("adjacent Place: %v", err)
+	}
+	if err := m.Release(iv); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if m.FreePixels() != 8 {
+		t.Errorf("free after release = %d, want 8", m.FreePixels())
+	}
+	if err := m.Release(iv); err == nil {
+		t.Error("double Release succeeded")
+	}
+}
+
+func TestMapPlaceOutOfRange(t *testing.T) {
+	m := NewMap(Grid{PixelGHz: 12.5, Pixels: 8})
+	for _, iv := range []Interval{{-1, 4}, {6, 4}, {0, 0}, {0, -2}, {0, 9}} {
+		if err := m.Place(iv); err == nil {
+			t.Errorf("Place(%v) out of range succeeded", iv)
+		}
+	}
+	if m.FreePixels() != 8 {
+		t.Errorf("failed placements changed occupancy: free = %d", m.FreePixels())
+	}
+}
+
+func TestFirstFit(t *testing.T) {
+	m := NewMap(Grid{PixelGHz: 12.5, Pixels: 16})
+	mustPlace(t, m, Interval{0, 2})
+	mustPlace(t, m, Interval{6, 2})
+
+	iv, err := m.FirstFit(4)
+	if err != nil {
+		t.Fatalf("FirstFit: %v", err)
+	}
+	if iv != (Interval{2, 4}) {
+		t.Errorf("FirstFit(4) = %v, want [2,6)", iv)
+	}
+	iv, err = m.FirstFit(8)
+	if err != nil {
+		t.Fatalf("FirstFit(8): %v", err)
+	}
+	if iv != (Interval{8, 8}) {
+		t.Errorf("FirstFit(8) = %v, want [8,16)", iv)
+	}
+	if _, err := m.FirstFit(13); !errors.Is(err, ErrNoSpectrum) {
+		t.Errorf("FirstFit(13) err = %v, want ErrNoSpectrum", err)
+	}
+}
+
+func TestBestFit(t *testing.T) {
+	m := NewMap(Grid{PixelGHz: 12.5, Pixels: 20})
+	// Free runs: [0,3) len 3, [5,11) len 6, [13,20) len 7.
+	mustPlace(t, m, Interval{3, 2})
+	mustPlace(t, m, Interval{11, 2})
+
+	iv, err := m.BestFit(3)
+	if err != nil {
+		t.Fatalf("BestFit: %v", err)
+	}
+	if iv != (Interval{0, 3}) {
+		t.Errorf("BestFit(3) = %v, want the exact-size run [0,3)", iv)
+	}
+	iv, err = m.BestFit(5)
+	if err != nil {
+		t.Fatalf("BestFit(5): %v", err)
+	}
+	if iv != (Interval{5, 5}) {
+		t.Errorf("BestFit(5) = %v, want start of len-6 run [5,10)", iv)
+	}
+	if _, err := m.BestFit(8); !errors.Is(err, ErrNoSpectrum) {
+		t.Errorf("BestFit(8) err = %v, want ErrNoSpectrum", err)
+	}
+}
+
+func TestFreeRunsAndFragmentation(t *testing.T) {
+	m := NewMap(Grid{PixelGHz: 12.5, Pixels: 12})
+	if frag := m.Fragmentation(); frag != 0 {
+		t.Errorf("empty map fragmentation = %v, want 0", frag)
+	}
+	mustPlace(t, m, Interval{4, 2})
+	runs := m.FreeRuns()
+	want := []Interval{{0, 4}, {6, 6}}
+	if len(runs) != len(want) {
+		t.Fatalf("FreeRuns = %v, want %v", runs, want)
+	}
+	for i := range runs {
+		if runs[i] != want[i] {
+			t.Errorf("run %d = %v, want %v", i, runs[i], want[i])
+		}
+	}
+	if lr := m.LargestFreeRun(); lr != (Interval{6, 6}) {
+		t.Errorf("LargestFreeRun = %v, want [6,12)", lr)
+	}
+	if frag := m.Fragmentation(); frag != 1-6.0/10.0 {
+		t.Errorf("Fragmentation = %v, want 0.4", frag)
+	}
+}
+
+func TestMapClone(t *testing.T) {
+	m := NewMap(Grid{PixelGHz: 12.5, Pixels: 8})
+	mustPlace(t, m, Interval{0, 4})
+	c := m.Clone()
+	mustPlace(t, c, Interval{4, 4})
+	if m.FreePixels() != 4 {
+		t.Errorf("clone mutation leaked into original: free = %d", m.FreePixels())
+	}
+	if c.FreePixels() != 0 {
+		t.Errorf("clone free = %d, want 0", c.FreePixels())
+	}
+}
+
+func mustPlace(t *testing.T, m *Map, iv Interval) {
+	t.Helper()
+	if err := m.Place(iv); err != nil {
+		t.Fatalf("Place(%v): %v", iv, err)
+	}
+}
+
+// Property: for any sequence of random place/release operations, the free
+// count always equals pixels minus the pixels of live intervals, and
+// FirstFit never returns an interval overlapping a live one.
+func TestMapAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Grid{PixelGHz: 12.5, Pixels: 64}
+		m := NewMap(g)
+		var live []Interval
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				count := 1 + rng.Intn(12)
+				iv, err := m.FirstFit(count)
+				if errors.Is(err, ErrNoSpectrum) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				for _, l := range live {
+					if iv.Overlaps(l) {
+						return false // FirstFit returned an occupied interval
+					}
+				}
+				if m.Place(iv) != nil {
+					return false
+				}
+				live = append(live, iv)
+			} else {
+				i := rng.Intn(len(live))
+				if m.Release(live[i]) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			sum := 0
+			for _, l := range live {
+				sum += l.Count
+			}
+			if m.FreePixels() != g.Pixels-sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BestFit and FirstFit agree on feasibility — one finds a slot
+// iff the other does.
+func TestFitFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMap(Grid{PixelGHz: 12.5, Pixels: 48})
+		for i := 0; i < 10; i++ {
+			if iv, err := m.FirstFit(1 + rng.Intn(6)); err == nil {
+				_ = m.Place(iv)
+			}
+		}
+		for count := 1; count <= 48; count++ {
+			_, errFF := m.FirstFit(count)
+			_, errBF := m.BestFit(count)
+			if (errFF == nil) != (errBF == nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

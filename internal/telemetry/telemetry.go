@@ -1,0 +1,303 @@
+// Package telemetry is FlexWAN's data stream module (§4.4 of the paper):
+// it periodically collects optical-layer key performance indicators from
+// every device, stores them in an online time-series store, and turns
+// loss-of-signal transitions into fiber-cut events for the controller.
+//
+// The paper's production deployment uses a scalable collector with
+// one-second granularity feeding an online database (the Kalfa system);
+// here the store is an in-memory ring buffer per series and the collector
+// is a polling loop plus the devices' asynchronous alarms, which exercises
+// the same detection path: power collapse on a fiber's amplifiers →
+// fiber-cut event → restoration.
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"flexwan/internal/device"
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+)
+
+// Point is one sample of one metric on one device.
+type Point struct {
+	Device string
+	Metric string
+	Time   time.Time
+	Value  float64
+}
+
+// Store keeps a bounded history per (device, metric) series. It is safe
+// for concurrent use.
+type Store struct {
+	capacity int
+
+	mu     sync.Mutex
+	series map[seriesKey][]Point
+}
+
+type seriesKey struct {
+	device, metric string
+}
+
+// NewStore returns a store holding up to capacity points per series
+// (older points are evicted).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Store{capacity: capacity, series: make(map[seriesKey][]Point)}
+}
+
+// Append records a sample.
+func (s *Store) Append(p Point) {
+	k := seriesKey{p.Device, p.Metric}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := append(s.series[k], p)
+	if len(pts) > s.capacity {
+		pts = pts[len(pts)-s.capacity:]
+	}
+	s.series[k] = pts
+}
+
+// Latest returns the most recent sample of the series.
+func (s *Store) Latest(deviceID, metric string) (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.series[seriesKey{deviceID, metric}]
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// Since returns the samples of the series at or after t, oldest first.
+func (s *Store) Since(deviceID, metric string, t time.Time) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.series[seriesKey{deviceID, metric}]
+	var out []Point
+	for _, p := range pts {
+		if !p.Time.Before(t) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SeriesCount returns the number of distinct (device, metric) series.
+func (s *Store) SeriesCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.series)
+}
+
+// Event is a detected optical-layer event.
+type Event struct {
+	// Kind is "fiber-cut" or "fiber-restored".
+	Kind string
+	// Fiber is the affected fiber segment, localized from the reporting
+	// device's descriptor.
+	Fiber string
+	// Device is the device whose signal transition triggered detection.
+	Device string
+	Time   time.Time
+}
+
+// Source is one device under collection.
+type Source struct {
+	Desc   devmodel.Descriptor
+	Client *netconf.Client
+}
+
+// Collector polls sources on a fixed interval, feeds the store, and
+// emits fiber events. Detection is double-pathed as in production:
+// asynchronous device alarms give sub-interval latency, and the polling
+// loop catches anything the alarm stream missed.
+type Collector struct {
+	store    *Store
+	interval time.Duration
+	sources  []Source
+	events   chan Event
+
+	// DegradeBERThreshold, when positive, arms early-warning detection:
+	// a transponder whose pre-FEC BER rises above the threshold (while
+	// still decoding) raises a "ber-degradation" event, and a
+	// "ber-clear" once it falls back under half the threshold. This is
+	// the OpTel-style ephemeral-event detection the paper's data stream
+	// is built for — the channel is still error-free post-FEC, but its
+	// margin is eroding. Set before Run.
+	DegradeBERThreshold float64
+
+	mu       sync.Mutex
+	los      map[string]bool // device → last observed LOS
+	degraded map[string]bool // device → BER alarm latched
+	stopped  chan struct{}
+	stopGrp  sync.WaitGroup
+	once     sync.Once
+}
+
+// NewCollector builds a collector over the given sources. Events are
+// delivered on Events(); call Run to start and Stop to halt.
+func NewCollector(store *Store, interval time.Duration, sources []Source) *Collector {
+	if interval <= 0 {
+		interval = time.Second // the paper's one-second granularity
+	}
+	return &Collector{
+		store:    store,
+		interval: interval,
+		sources:  sources,
+		events:   make(chan Event, 256),
+		los:      make(map[string]bool),
+		degraded: make(map[string]bool),
+		stopped:  make(chan struct{}),
+	}
+}
+
+// Events streams detected fiber events.
+func (c *Collector) Events() <-chan Event { return c.events }
+
+// Run starts the polling loop and alarm listeners. It returns
+// immediately; collection continues until Stop.
+func (c *Collector) Run() {
+	for _, src := range c.sources {
+		src := src
+		c.stopGrp.Add(1)
+		go func() {
+			defer c.stopGrp.Done()
+			c.listenAlarms(src)
+		}()
+	}
+	c.stopGrp.Add(1)
+	go func() {
+		defer c.stopGrp.Done()
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		c.pollAll() // immediate first sweep
+		for {
+			select {
+			case <-c.stopped:
+				return
+			case <-ticker.C:
+				c.pollAll()
+			}
+		}
+	}()
+}
+
+// Stop halts collection. Safe to call more than once.
+func (c *Collector) Stop() {
+	c.once.Do(func() { close(c.stopped) })
+	c.stopGrp.Wait()
+}
+
+func (c *Collector) listenAlarms(src Source) {
+	for {
+		select {
+		case <-c.stopped:
+			return
+		case raw, ok := <-src.Client.Notifications():
+			if !ok {
+				return
+			}
+			var al device.Alarm
+			if err := json.Unmarshal(raw, &al); err != nil {
+				continue
+			}
+			c.observeLOS(src.Desc, al.Device, al.Fiber, al.Kind == "los")
+		}
+	}
+}
+
+func (c *Collector) pollAll() {
+	now := time.Now()
+	for _, src := range c.sources {
+		switch src.Desc.Class {
+		case devmodel.ClassTransponder:
+			var st devmodel.TransponderState
+			if err := src.Client.Call(netconf.OpGetState, nil, &st); err != nil {
+				continue
+			}
+			c.store.Append(Point{src.Desc.ID, "rx-osnr-db", now, st.RxOSNRdB})
+			c.store.Append(Point{src.Desc.ID, "pre-fec-ber", now, st.PreFECBER})
+			c.store.Append(Point{src.Desc.ID, "post-fec-ber", now, st.PostFECBER})
+			c.store.Append(Point{src.Desc.ID, "rx-power-dbm", now, st.RxPowerDBm})
+			c.store.Append(Point{src.Desc.ID, "los", now, boolTo01(st.LossOfSignal)})
+			c.observeBER(src.Desc.ID, st)
+			// A transponder's LOS cannot localize the cut by itself: its
+			// circuit crosses many fibers. Only record it.
+		case devmodel.ClassAmplifier:
+			var st devmodel.AmplifierState
+			if err := src.Client.Call(netconf.OpGetState, nil, &st); err != nil {
+				continue
+			}
+			c.store.Append(Point{src.Desc.ID, "gain-db", now, st.GainDB})
+			c.store.Append(Point{src.Desc.ID, "out-power-dbm", now, st.OutPowerDBm})
+			c.store.Append(Point{src.Desc.ID, "los", now, boolTo01(st.LossOfSignal)})
+			// Amplifiers sit on a known fiber: their LOS localizes it.
+			c.observeLOS(src.Desc, src.Desc.ID, src.Desc.Fiber, st.LossOfSignal)
+		}
+	}
+}
+
+// observeLOS updates per-device LOS state and emits a fiber event on
+// transitions that carry a fiber localization.
+func (c *Collector) observeLOS(desc devmodel.Descriptor, deviceID, fiber string, los bool) {
+	c.mu.Lock()
+	prev := c.los[deviceID]
+	c.los[deviceID] = los
+	c.mu.Unlock()
+	if prev == los {
+		return
+	}
+	// Only amplifier alarms (or alarms carrying an explicit fiber from a
+	// device that owns one) localize a cut.
+	if fiber == "" || desc.Class != devmodel.ClassAmplifier {
+		return
+	}
+	kind := "fiber-cut"
+	if !los {
+		kind = "fiber-restored"
+	}
+	select {
+	case c.events <- Event{Kind: kind, Fiber: fiber, Device: deviceID, Time: time.Now()}:
+	default:
+	}
+}
+
+// observeBER runs the early-warning margin detector with hysteresis:
+// latch above the threshold, release below half of it.
+func (c *Collector) observeBER(deviceID string, st devmodel.TransponderState) {
+	if c.DegradeBERThreshold <= 0 || !st.Config.Enabled || st.LossOfSignal {
+		return
+	}
+	c.mu.Lock()
+	latched := c.degraded[deviceID]
+	var kind string
+	switch {
+	case !latched && st.PreFECBER > c.DegradeBERThreshold:
+		c.degraded[deviceID] = true
+		kind = "ber-degradation"
+	case latched && st.PreFECBER < c.DegradeBERThreshold/2:
+		c.degraded[deviceID] = false
+		kind = "ber-clear"
+	}
+	c.mu.Unlock()
+	if kind == "" {
+		return
+	}
+	select {
+	case c.events <- Event{Kind: kind, Device: deviceID, Time: time.Now()}:
+	default:
+	}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,470 @@
+// Package topology models the two layers of a WAN backbone: the optical
+// topology (ROADM sites connected by fiber segments) and the IP topology
+// (router pairs with bandwidth-capacity demands riding on optical paths).
+//
+// Algorithm 1 of the FlexWAN paper takes both graphs as input and
+// pre-computes, per IP link, the K shortest optical paths (§5, "we use K
+// shortest path (KSP) algorithm to find the K optimal optical paths").
+// This package provides those primitives: an undirected multigraph with
+// fiber lengths, Dijkstra shortest paths, and Yen's loopless K shortest
+// paths, plus failure projection (removing cut fibers) for the
+// restoration algorithm (§8).
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID names a ROADM site (equivalently a region; the paper maps each
+// IP node to the region's optical site).
+type NodeID string
+
+// Fiber is one fiber segment between two ROADM sites. Fibers are
+// undirected: a wavelength can be added/dropped in either direction.
+type Fiber struct {
+	ID       string
+	A, B     NodeID
+	LengthKm float64
+}
+
+// Other returns the far end of the fiber from n, and false if n is not an
+// endpoint.
+func (f Fiber) Other(n NodeID) (NodeID, bool) {
+	switch n {
+	case f.A:
+		return f.B, true
+	case f.B:
+		return f.A, true
+	default:
+		return "", false
+	}
+}
+
+// Optical is the optical-layer topology G_o(V_o, E_o): ROADMs and fibers.
+// It is a multigraph — parallel fibers between the same sites are common
+// in production. The zero value is empty and ready to use via New.
+type Optical struct {
+	nodes  map[NodeID]struct{}
+	fibers map[string]Fiber
+	adj    map[NodeID][]string // node → incident fiber IDs, insertion order
+}
+
+// New returns an empty optical topology.
+func New() *Optical {
+	return &Optical{
+		nodes:  make(map[NodeID]struct{}),
+		fibers: make(map[string]Fiber),
+		adj:    make(map[NodeID][]string),
+	}
+}
+
+// AddNode inserts a ROADM site. Adding an existing node is a no-op.
+func (g *Optical) AddNode(id NodeID) {
+	g.nodes[id] = struct{}{}
+}
+
+// HasNode reports whether the site exists.
+func (g *Optical) HasNode(id NodeID) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// AddFiber inserts a fiber segment, creating endpoints as needed.
+func (g *Optical) AddFiber(id string, a, b NodeID, lengthKm float64) error {
+	if id == "" {
+		return fmt.Errorf("topology: empty fiber ID")
+	}
+	if a == b {
+		return fmt.Errorf("topology: fiber %s is a self-loop at %s", id, a)
+	}
+	if lengthKm <= 0 {
+		return fmt.Errorf("topology: fiber %s has nonpositive length %v", id, lengthKm)
+	}
+	if _, dup := g.fibers[id]; dup {
+		return fmt.Errorf("topology: duplicate fiber ID %s", id)
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.fibers[id] = Fiber{ID: id, A: a, B: b, LengthKm: lengthKm}
+	g.adj[a] = append(g.adj[a], id)
+	g.adj[b] = append(g.adj[b], id)
+	return nil
+}
+
+// Fiber returns the fiber with the given ID.
+func (g *Optical) Fiber(id string) (Fiber, bool) {
+	f, ok := g.fibers[id]
+	return f, ok
+}
+
+// Nodes returns all sites in sorted order.
+func (g *Optical) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fibers returns all fibers sorted by ID.
+func (g *Optical) Fibers() []Fiber {
+	out := make([]Fiber, 0, len(g.fibers))
+	for _, f := range g.fibers {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumNodes returns the site count.
+func (g *Optical) NumNodes() int { return len(g.nodes) }
+
+// NumFibers returns the fiber count.
+func (g *Optical) NumFibers() int { return len(g.fibers) }
+
+// Without returns a copy of the topology with the given fibers removed —
+// the post-failure topology G'_o of a fiber-cut scenario (§8).
+func (g *Optical) Without(cut ...string) *Optical {
+	cutSet := make(map[string]struct{}, len(cut))
+	for _, id := range cut {
+		cutSet[id] = struct{}{}
+	}
+	out := New()
+	for n := range g.nodes {
+		out.AddNode(n)
+	}
+	// Preserve insertion order of adjacency for determinism.
+	seen := make(map[string]struct{})
+	for _, n := range g.Nodes() {
+		for _, fid := range g.adj[n] {
+			if _, isCut := cutSet[fid]; isCut {
+				continue
+			}
+			if _, dup := seen[fid]; dup {
+				continue
+			}
+			seen[fid] = struct{}{}
+			f := g.fibers[fid]
+			if err := out.AddFiber(f.ID, f.A, f.B, f.LengthKm); err != nil {
+				// Cannot happen: we copy validated fibers exactly once.
+				panic(err)
+			}
+		}
+	}
+	return out
+}
+
+// Path is a loopless walk through the optical topology: the node sequence
+// and the fiber chosen for each hop. LengthKm is the total fiber length —
+// the transmission distance that the optical reach must cover.
+type Path struct {
+	Nodes    []NodeID
+	Fibers   []string
+	LengthKm float64
+}
+
+// Src returns the first node of the path.
+func (p Path) Src() NodeID { return p.Nodes[0] }
+
+// Dst returns the last node of the path.
+func (p Path) Dst() NodeID { return p.Nodes[len(p.Nodes)-1] }
+
+// Hops returns the number of fiber segments.
+func (p Path) Hops() int { return len(p.Fibers) }
+
+// Equal reports whether two paths use the identical fiber sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p.Fibers) != len(q.Fibers) {
+		return false
+	}
+	for i := range p.Fibers {
+		if p.Fibers[i] != q.Fibers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Path) String() string {
+	return fmt.Sprintf("%v (%.0f km)", p.Nodes, p.LengthKm)
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ShortestPath runs Dijkstra from src to dst over fiber lengths. The
+// second return is false when dst is unreachable. Ties are broken
+// deterministically by fiber ID.
+func (g *Optical) ShortestPath(src, dst NodeID) (Path, bool) {
+	return g.shortestPathAvoiding(src, dst, nil, nil)
+}
+
+// shortestPathAvoiding is Dijkstra with banned fibers and banned nodes —
+// the spur computation Yen's algorithm needs.
+func (g *Optical) shortestPathAvoiding(src, dst NodeID, bannedFibers map[string]struct{}, bannedNodes map[NodeID]struct{}) (Path, bool) {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Nodes: []NodeID{src}}, true
+	}
+	dist := map[NodeID]float64{src: 0}
+	prevFiber := map[NodeID]string{}
+	prevNode := map[NodeID]NodeID{}
+	done := map[NodeID]struct{}{}
+	frontier := &pq{{node: src, dist: 0}}
+	for frontier.Len() > 0 {
+		cur := heap.Pop(frontier).(pqItem)
+		if _, ok := done[cur.node]; ok {
+			continue
+		}
+		done[cur.node] = struct{}{}
+		if cur.node == dst {
+			break
+		}
+		for _, fid := range g.adj[cur.node] {
+			if bannedFibers != nil {
+				if _, banned := bannedFibers[fid]; banned {
+					continue
+				}
+			}
+			f := g.fibers[fid]
+			next, _ := f.Other(cur.node)
+			if bannedNodes != nil {
+				if _, banned := bannedNodes[next]; banned {
+					continue
+				}
+			}
+			nd := cur.dist + f.LengthKm
+			old, seen := dist[next]
+			// Deterministic tie-break: keep the lexicographically
+			// smaller predecessor fiber on exact ties.
+			if !seen || nd < old || (nd == old && fid < prevFiber[next]) {
+				dist[next] = nd
+				prevFiber[next] = fid
+				prevNode[next] = cur.node
+				heap.Push(frontier, pqItem{node: next, dist: nd})
+			}
+		}
+	}
+	if _, ok := done[dst]; !ok {
+		return Path{}, false
+	}
+	// Reconstruct.
+	var nodes []NodeID
+	var fibers []string
+	for n := dst; n != src; n = prevNode[n] {
+		nodes = append(nodes, n)
+		fibers = append(fibers, prevFiber[n])
+	}
+	nodes = append(nodes, src)
+	reverseNodes(nodes)
+	reverseStrings(fibers)
+	return Path{Nodes: nodes, Fibers: fibers, LengthKm: dist[dst]}, true
+}
+
+func reverseNodes(s []NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseStrings(s []string) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst
+// in nondecreasing length order (Yen's algorithm). Fewer than k paths are
+// returned when the graph does not contain k distinct loopless paths.
+func (g *Optical) KShortestPaths(src, dst NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	// Candidate pool, deduplicated by fiber sequence.
+	var candidates []Path
+	seen := map[string]struct{}{pathKey(first): {}}
+
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// Each node of the previous path except the terminal is a
+		// potential spur node.
+		for i := 0; i < len(last.Nodes)-1; i++ {
+			spur := last.Nodes[i]
+			rootNodes := last.Nodes[:i+1]
+			rootFibers := last.Fibers[:i]
+			rootLen := 0.0
+			for _, fid := range rootFibers {
+				rootLen += g.fibers[fid].LengthKm
+			}
+			// Ban the next fiber of every accepted path sharing this root.
+			bannedFibers := make(map[string]struct{})
+			for _, p := range paths {
+				if len(p.Fibers) > i && sameRoot(p, rootNodes, rootFibers) {
+					bannedFibers[p.Fibers[i]] = struct{}{}
+				}
+			}
+			// Ban root nodes (except the spur) to keep paths loopless.
+			bannedNodes := make(map[NodeID]struct{})
+			for _, n := range rootNodes[:i] {
+				bannedNodes[n] = struct{}{}
+			}
+			spurPath, ok := g.shortestPathAvoiding(spur, dst, bannedFibers, bannedNodes)
+			if !ok {
+				continue
+			}
+			total := Path{
+				Nodes:    append(append([]NodeID{}, rootNodes...), spurPath.Nodes[1:]...),
+				Fibers:   append(append([]string{}, rootFibers...), spurPath.Fibers...),
+				LengthKm: rootLen + spurPath.LengthKm,
+			}
+			key := pathKey(total)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			candidates = append(candidates, total)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Take the shortest candidate (stable tie-break by fiber key).
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].LengthKm != candidates[j].LengthKm {
+				return candidates[i].LengthKm < candidates[j].LengthKm
+			}
+			return pathKey(candidates[i]) < pathKey(candidates[j])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func sameRoot(p Path, rootNodes []NodeID, rootFibers []string) bool {
+	if len(p.Nodes) < len(rootNodes) || len(p.Fibers) < len(rootFibers) {
+		return false
+	}
+	for i, n := range rootNodes {
+		if p.Nodes[i] != n {
+			return false
+		}
+	}
+	for i, f := range rootFibers {
+		if p.Fibers[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p Path) string {
+	key := ""
+	for _, f := range p.Fibers {
+		key += f + "|"
+	}
+	return key
+}
+
+// Diameter returns the longest shortest-path distance between any two
+// sites, or +Inf if the graph is disconnected. Useful for sanity checks
+// on generated topologies.
+func (g *Optical) Diameter() float64 {
+	nodes := g.Nodes()
+	worst := 0.0
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			p, ok := g.ShortestPath(a, b)
+			if !ok {
+				return math.Inf(1)
+			}
+			if p.LengthKm > worst {
+				worst = p.LengthKm
+			}
+		}
+	}
+	return worst
+}
+
+// IPLink is one IP-layer link e ∈ E: a router pair with a bandwidth
+// capacity demand c_e, provisioned over optical paths between the same
+// regions.
+type IPLink struct {
+	ID         string
+	A, B       NodeID
+	DemandGbps int
+}
+
+// IPTopology is the IP layer G(V, E): the demand set the planner must
+// satisfy. Links are kept in insertion order.
+type IPTopology struct {
+	Links []IPLink
+}
+
+// AddLink appends an IP link. It rejects duplicates and nonpositive
+// demands.
+func (t *IPTopology) AddLink(l IPLink) error {
+	if l.ID == "" {
+		return fmt.Errorf("topology: empty IP link ID")
+	}
+	if l.A == l.B {
+		return fmt.Errorf("topology: IP link %s is a self-loop", l.ID)
+	}
+	if l.DemandGbps <= 0 {
+		return fmt.Errorf("topology: IP link %s has nonpositive demand %d", l.ID, l.DemandGbps)
+	}
+	for _, e := range t.Links {
+		if e.ID == l.ID {
+			return fmt.Errorf("topology: duplicate IP link ID %s", l.ID)
+		}
+	}
+	t.Links = append(t.Links, l)
+	return nil
+}
+
+// TotalDemandGbps sums all link demands.
+func (t *IPTopology) TotalDemandGbps() int {
+	total := 0
+	for _, l := range t.Links {
+		total += l.DemandGbps
+	}
+	return total
+}
+
+// Scale returns a copy with every demand multiplied by factor, rounding
+// up — the paper's "bandwidth capacity scale" sweep (Fig. 12).
+func (t *IPTopology) Scale(factor float64) *IPTopology {
+	out := &IPTopology{Links: make([]IPLink, len(t.Links))}
+	for i, l := range t.Links {
+		l.DemandGbps = int(math.Ceil(float64(l.DemandGbps) * factor))
+		out.Links[i] = l
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+// Package traffic derives IP-link bandwidth-capacity demands from a
+// region-level traffic matrix — the input side of FlexWAN's IP TopoMgr.
+//
+// The paper takes per-link capacities as given ("we use the bandwidth
+// capacity of each IP link provided by network operators according to
+// their experience", §4.4) and cites the capacity-provisioning
+// literature ([10] hose-model planning, [46]) for how operators produce
+// them. This package implements the standard derivation those operators
+// use: route the region-to-region traffic matrix over the IP topology,
+// sum the load each IP link carries, apply an over-provisioning headroom
+// for surges and failures, and round up to the 100G client-rate grain.
+package traffic
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"flexwan/internal/topology"
+)
+
+// Demand is one entry of the traffic matrix: average offered load
+// between two regions, in Gbps. Direction is ignored (WAN links are
+// provisioned symmetrically).
+type Demand struct {
+	A, B topology.NodeID
+	Gbps float64
+}
+
+// Matrix is a region-to-region traffic matrix.
+type Matrix []Demand
+
+// Total returns the sum of offered load.
+func (m Matrix) Total() float64 {
+	t := 0.0
+	for _, d := range m {
+		t += d.Gbps
+	}
+	return t
+}
+
+// LinkSpec declares one IP link's endpoints (capacity to be derived).
+type LinkSpec struct {
+	ID   string
+	A, B topology.NodeID
+}
+
+// Options tune the derivation.
+type Options struct {
+	// Headroom multiplies routed load before rounding (operators
+	// over-provision for surges and failures; 1.3–2.0 is typical).
+	// Zero means DefaultHeadroom.
+	Headroom float64
+	// GrainGbps is the capacity granularity (client rate). Zero means
+	// 100.
+	GrainGbps int
+	// DistanceWeighted routes over IP-link lengths (derived from the
+	// optical shortest path between the link's endpoints) instead of hop
+	// count.
+	DistanceWeighted bool
+	// Optical supplies link lengths for distance-weighted routing.
+	Optical *topology.Optical
+}
+
+// DefaultHeadroom is the default over-provisioning factor.
+const DefaultHeadroom = 1.5
+
+// Derive routes every matrix entry over the IP-link graph by shortest
+// path and returns the IP topology with derived per-link demands. Matrix
+// entries between regions with no IP-layer route are reported as an
+// error — an operator would add links, not silently drop traffic.
+func Derive(links []LinkSpec, m Matrix, opts Options) (*topology.IPTopology, error) {
+	if opts.Headroom <= 0 {
+		opts.Headroom = DefaultHeadroom
+	}
+	if opts.GrainGbps <= 0 {
+		opts.GrainGbps = 100
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("traffic: no IP links declared")
+	}
+	// Build the IP-layer graph: nodes are regions, edges are links.
+	adj := make(map[topology.NodeID][]ipEdge)
+	seen := make(map[string]bool, len(links))
+	for i, l := range links {
+		if l.ID == "" || l.A == l.B {
+			return nil, fmt.Errorf("traffic: invalid link spec %+v", l)
+		}
+		if seen[l.ID] {
+			return nil, fmt.Errorf("traffic: duplicate link ID %s", l.ID)
+		}
+		seen[l.ID] = true
+		w := 1.0
+		if opts.DistanceWeighted {
+			if opts.Optical == nil {
+				return nil, fmt.Errorf("traffic: DistanceWeighted needs Options.Optical")
+			}
+			p, ok := opts.Optical.ShortestPath(l.A, l.B)
+			if !ok {
+				return nil, fmt.Errorf("traffic: link %s endpoints not connected optically", l.ID)
+			}
+			w = p.LengthKm
+		}
+		adj[l.A] = append(adj[l.A], ipEdge{linkIdx: i, to: l.B, weight: w})
+		adj[l.B] = append(adj[l.B], ipEdge{linkIdx: i, to: l.A, weight: w})
+	}
+
+	load := make([]float64, len(links))
+	for _, d := range m {
+		if d.Gbps <= 0 {
+			return nil, fmt.Errorf("traffic: nonpositive demand %v between %s and %s", d.Gbps, d.A, d.B)
+		}
+		path, ok := shortestLinkPath(adj, d.A, d.B)
+		if !ok {
+			return nil, fmt.Errorf("traffic: no IP route between %s and %s", d.A, d.B)
+		}
+		for _, li := range path {
+			load[li] += d.Gbps
+		}
+	}
+
+	ip := &topology.IPTopology{}
+	for i, l := range links {
+		if load[i] == 0 {
+			continue // unused link: no capacity provisioned
+		}
+		grain := float64(opts.GrainGbps)
+		demand := int(math.Ceil(load[i]*opts.Headroom/grain)) * opts.GrainGbps
+		if err := ip.AddLink(topology.IPLink{ID: l.ID, A: l.A, B: l.B, DemandGbps: demand}); err != nil {
+			return nil, err
+		}
+	}
+	if len(ip.Links) == 0 {
+		return nil, fmt.Errorf("traffic: matrix routed over no links")
+	}
+	return ip, nil
+}
+
+// ipEdge is one IP link as seen from a region in the routing graph.
+type ipEdge struct {
+	linkIdx int
+	to      topology.NodeID
+	weight  float64
+}
+
+type tqItem struct {
+	node topology.NodeID
+	dist float64
+}
+
+type tq []tqItem
+
+func (q tq) Len() int            { return len(q) }
+func (q tq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q tq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *tq) Push(x interface{}) { *q = append(*q, x.(tqItem)) }
+func (q *tq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// shortestLinkPath runs Dijkstra over the IP-link graph, returning the
+// traversed link indices in order. Deterministic tie-breaking by link
+// index.
+func shortestLinkPath(adj map[topology.NodeID][]ipEdge, src, dst topology.NodeID) ([]int, bool) {
+	if src == dst {
+		return nil, true
+	}
+	// Sort adjacency for determinism.
+	for n := range adj {
+		es := adj[n]
+		sort.Slice(es, func(i, j int) bool { return es[i].linkIdx < es[j].linkIdx })
+		adj[n] = es
+	}
+	dist := map[topology.NodeID]float64{src: 0}
+	prevLink := map[topology.NodeID]int{}
+	prevNode := map[topology.NodeID]topology.NodeID{}
+	done := map[topology.NodeID]bool{}
+	frontier := &tq{{node: src}}
+	for frontier.Len() > 0 {
+		cur := heap.Pop(frontier).(tqItem)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == dst {
+			break
+		}
+		for _, e := range adj[cur.node] {
+			nd := cur.dist + e.weight
+			old, seen := dist[e.to]
+			if !seen || nd < old || (nd == old && e.linkIdx < prevLink[e.to]) {
+				dist[e.to] = nd
+				prevLink[e.to] = e.linkIdx
+				prevNode[e.to] = cur.node
+				heap.Push(frontier, tqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	if !done[dst] {
+		return nil, false
+	}
+	var path []int
+	for n := dst; n != src; n = prevNode[n] {
+		path = append(path, prevLink[n])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}

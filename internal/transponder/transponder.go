@@ -1,0 +1,395 @@
+// Package transponder models optical transponders and their operating
+// modes: the fixed-rate 100G transponder of traditional WANs, the
+// bandwidth-variable transponder (BVT) of RADWAN, and FlexWAN's
+// spacing-variable transponder (SVT).
+//
+// A transponder mode is one (data rate, channel spacing, optical reach)
+// operating point, realized inside the device by a combination of baud
+// rate, constellation, and FEC overhead (§4.2 of the paper). The SVT
+// catalog is Table 2 of the paper verbatim — the specifications measured
+// on the production-level testbed (§6) — which is exactly what the
+// paper's planning and restoration algorithms consume.
+package transponder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flexwan/internal/phy"
+	"flexwan/internal/spectrum"
+)
+
+// rolloffFactor maps channel spacing to symbol rate: the signal's baud is
+// 75% of the spacing, leaving room for pulse-shaping roll-off and guard
+// bands. A 50 GHz channel carries the paper's 37.5 GBd example signal.
+const rolloffFactor = 0.75
+
+// Mode is one operating point of a transponder.
+type Mode struct {
+	// DataRateGbps is the net (post-FEC) client data rate.
+	DataRateGbps int
+	// SpacingGHz is the channel spacing the wavelength occupies.
+	SpacingGHz float64
+	// ReachKm is the maximum error-free transmission distance.
+	ReachKm float64
+	// Modulation is the DSP constellation realizing the mode.
+	Modulation phy.Modulation
+	// BaudGBd is the symbol rate.
+	BaudGBd float64
+	// FEC is the forward-error-correction configuration.
+	FEC phy.FEC
+}
+
+// newMode derives the DSP parameters (baud, FEC, constellation) for a
+// (rate, spacing, reach) operating point. Long-reach modes use the
+// stronger 27% FEC; short-reach modes the lighter 15% code.
+func newMode(rateGbps int, spacingGHz, reachKm float64) Mode {
+	baud := spacingGHz * rolloffFactor
+	fec := phy.FEC15
+	if reachKm > 1000 {
+		fec = phy.FEC27
+	}
+	bits := float64(rateGbps) * (1 + fec.Overhead) / baud
+	return Mode{
+		DataRateGbps: rateGbps,
+		SpacingGHz:   spacingGHz,
+		ReachKm:      reachKm,
+		Modulation:   nearestModulation(bits),
+		BaudGBd:      baud,
+		FEC:          fec,
+	}
+}
+
+// nearestModulation labels a bits-per-symbol working point with the
+// standard constellation that realizes it, or a PCS format when the
+// point falls between square constellations.
+func nearestModulation(bitsPerSymbol float64) phy.Modulation {
+	standard := []phy.Modulation{phy.BPSK, phy.QPSK, phy.QAM8, phy.QAM16, phy.QAM32, phy.QAM64, phy.QAM256}
+	for _, m := range standard {
+		if math.Abs(m.BitsPerSymbol-bitsPerSymbol) < 0.25 {
+			return m
+		}
+	}
+	return phy.PCS(bitsPerSymbol)
+}
+
+// Pixels returns the number of grid pixels the mode's channel occupies.
+func (m Mode) Pixels(g spectrum.Grid) int {
+	n, err := g.PixelsFor(m.SpacingGHz)
+	if err != nil {
+		// Catalog modes are validated against the default grid at
+		// construction; a failure here means a caller-supplied grid
+		// cannot hold the channel at all.
+		return g.Pixels + 1
+	}
+	return n
+}
+
+// Feasible reports whether the mode can carry a signal over distKm.
+func (m Mode) Feasible(distKm float64) bool { return m.ReachKm >= distKm }
+
+// SpectralEfficiency returns data rate per spectrum width (bps/Hz), the
+// paper's link spectral efficiency metric (Fig. 14b).
+func (m Mode) SpectralEfficiency() float64 {
+	return float64(m.DataRateGbps) / m.SpacingGHz
+}
+
+// RequiredOSNRdB returns the minimum received OSNR for error-free
+// decoding, derived by inverting the link model at the measured reach.
+// This is how the simulated hardware turns Table 2 into datasheet
+// thresholds (see internal/phy).
+func (m Mode) RequiredOSNRdB(link phy.LinkModel) float64 {
+	return link.RequiredOSNRForReach(m.ReachKm)
+}
+
+func (m Mode) String() string {
+	return fmt.Sprintf("%dG@%.1fGHz/%.0fkm(%s)", m.DataRateGbps, m.SpacingGHz, m.ReachKm, m.Modulation.Name)
+}
+
+// Catalog is the set of operating modes one transponder family offers.
+type Catalog struct {
+	Name  string
+	Modes []Mode
+}
+
+// Fixed100G returns the fixed-rate WAN transponder used by traditional
+// backbones (§2, "100G-WAN" benchmark): 100 Gbps on a 50 GHz grid with
+// 3000 km reach.
+func Fixed100G() Catalog {
+	return Catalog{
+		Name:  "100G-WAN",
+		Modes: []Mode{newMode(100, 50, 3000)},
+	}
+}
+
+// RADWAN returns the bandwidth-variable transponder of RADWAN adapted to
+// the paper's setting (§2): BPSK/QPSK/8QAM at a fixed 75 GHz spacing.
+func RADWAN() Catalog {
+	return Catalog{
+		Name: "RADWAN",
+		Modes: []Mode{
+			newMode(100, 75, 5000),
+			newMode(200, 75, 2000),
+			newMode(300, 75, 1100),
+		},
+	}
+}
+
+// SVT returns FlexWAN's spacing-variable transponder catalog — Table 2 of
+// the paper, measured on the production testbed. Entries marked "/" in
+// the table (not recommended) are absent.
+func SVT() Catalog {
+	type row struct {
+		spacing float64
+		reach   map[int]float64 // data rate Gbps → reach km
+	}
+	rows := []row{
+		{50, map[int]float64{100: 3000, 200: 1000}},
+		{62.5, map[int]float64{200: 1500}},
+		{75, map[int]float64{100: 5000, 200: 2000, 300: 1100, 400: 600}},
+		{87.5, map[int]float64{300: 1500, 400: 1000, 500: 600, 600: 300}},
+		{100, map[int]float64{300: 2000, 400: 1500, 500: 900, 600: 400, 700: 200}},
+		{112.5, map[int]float64{400: 1600, 500: 1100, 600: 500, 700: 300, 800: 150}},
+		{125, map[int]float64{400: 1700, 500: 1200, 600: 600, 700: 350, 800: 200}},
+		{137.5, map[int]float64{400: 1800, 500: 1300, 600: 700, 700: 450, 800: 250}},
+		{150, map[int]float64{400: 1900, 500: 1400, 600: 800, 700: 500, 800: 300}},
+	}
+	var modes []Mode
+	for _, r := range rows {
+		rates := make([]int, 0, len(r.reach))
+		for rate := range r.reach {
+			rates = append(rates, rate)
+		}
+		sort.Ints(rates)
+		for _, rate := range rates {
+			modes = append(modes, newMode(rate, r.spacing, r.reach[rate]))
+		}
+	}
+	return Catalog{Name: "FlexWAN", Modes: modes}
+}
+
+// FeasibleModes returns the modes whose reach covers distKm, preserving
+// catalog order.
+func (c Catalog) FeasibleModes(distKm float64) []Mode {
+	var out []Mode
+	for _, m := range c.Modes {
+		if m.Feasible(distKm) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MaxRateAt returns the highest data rate any mode supports at distKm,
+// or 0 when the distance exceeds every mode's reach (Fig. 2b).
+func (c Catalog) MaxRateAt(distKm float64) int {
+	best := 0
+	for _, m := range c.Modes {
+		if m.Feasible(distKm) && m.DataRateGbps > best {
+			best = m.DataRateGbps
+		}
+	}
+	return best
+}
+
+// BestModeAt returns the preferred mode for a path of distKm: the highest
+// feasible data rate, breaking ties by the narrowest channel spacing and
+// then by the tightest reach (least over-provisioned margin). The second
+// return is false when no mode reaches.
+func (c Catalog) BestModeAt(distKm float64) (Mode, bool) {
+	var best Mode
+	found := false
+	for _, m := range c.Modes {
+		if !m.Feasible(distKm) {
+			continue
+		}
+		if !found || better(m, best) {
+			best, found = m, true
+		}
+	}
+	return best, found
+}
+
+func better(a, b Mode) bool {
+	if a.DataRateGbps != b.DataRateGbps {
+		return a.DataRateGbps > b.DataRateGbps
+	}
+	if a.SpacingGHz != b.SpacingGHz {
+		return a.SpacingGHz < b.SpacingGHz
+	}
+	return a.ReachKm < b.ReachKm
+}
+
+// MaxReachKm returns the longest reach of any mode in the catalog.
+func (c Catalog) MaxReachKm() float64 {
+	best := 0.0
+	for _, m := range c.Modes {
+		if m.ReachKm > best {
+			best = m.ReachKm
+		}
+	}
+	return best
+}
+
+// Provision is a multiset of modes provisioning one demand: Counts[i]
+// transponder pairs operating in Modes[i].
+type Provision struct {
+	Modes  []Mode
+	Counts []int
+}
+
+// Transponders returns the total number of transponder pairs.
+func (p Provision) Transponders() int {
+	total := 0
+	for _, c := range p.Counts {
+		total += c
+	}
+	return total
+}
+
+// CapacityGbps returns the total data rate of the provision.
+func (p Provision) CapacityGbps() int {
+	total := 0
+	for i, c := range p.Counts {
+		total += c * p.Modes[i].DataRateGbps
+	}
+	return total
+}
+
+// SpectrumGHz returns the total channel spacing of the provision.
+func (p Provision) SpectrumGHz() float64 {
+	total := 0.0
+	for i, c := range p.Counts {
+		total += float64(c) * p.Modes[i].SpacingGHz
+	}
+	return total
+}
+
+// MinProvision computes the cheapest way to carry capacityGbps over a
+// path of distKm with this catalog: primarily the fewest transponder
+// pairs, secondarily the least spectrum (the planning objective of
+// Algorithm 1 applied to a single demand, as in the Fig. 3 cost study).
+// It returns false when no mode reaches distKm or capacity is 0.
+//
+// The search is an exact dynamic program over capacity in gcd-of-rates
+// steps; catalogs are small (≤ 40 modes), demands are ≤ tens of Tbps, so
+// this stays trivially fast.
+func (c Catalog) MinProvision(capacityGbps int, distKm float64) (Provision, bool) {
+	if capacityGbps <= 0 {
+		return Provision{}, false
+	}
+	feasible := c.FeasibleModes(distKm)
+	if len(feasible) == 0 {
+		return Provision{}, false
+	}
+	step := feasible[0].DataRateGbps
+	maxRate := 0
+	for _, m := range feasible {
+		step = gcd(step, m.DataRateGbps)
+		if m.DataRateGbps > maxRate {
+			maxRate = m.DataRateGbps
+		}
+	}
+	// dp[u] = best (transponders, spectrum) to provide at least u·step Gbps.
+	// Cap the table one max-rate beyond the demand: overshoot past that
+	// can never help.
+	units := (capacityGbps + step - 1) / step
+	limit := units + maxRate/step
+	type cell struct {
+		count    int
+		spectrum float64
+		mode     int // index into feasible of the last mode added
+	}
+	const unset = math.MaxInt32
+	dp := make([]cell, limit+1)
+	for i := 1; i <= limit; i++ {
+		dp[i] = cell{count: unset}
+	}
+	for u := 1; u <= limit; u++ {
+		for mi, m := range feasible {
+			prev := u - m.DataRateGbps/step
+			if prev < 0 {
+				prev = 0
+			}
+			if dp[prev].count == unset {
+				continue
+			}
+			cand := cell{count: dp[prev].count + 1, spectrum: dp[prev].spectrum + m.SpacingGHz, mode: mi}
+			if cand.count < dp[u].count || (cand.count == dp[u].count && cand.spectrum < dp[u].spectrum) {
+				dp[u] = cand
+			}
+		}
+	}
+	// The optimum may overshoot the demand; scan all states ≥ units.
+	best := -1
+	for u := units; u <= limit; u++ {
+		if dp[u].count == unset {
+			continue
+		}
+		if best < 0 || dp[u].count < dp[best].count ||
+			(dp[u].count == dp[best].count && dp[u].spectrum < dp[best].spectrum) {
+			best = u
+		}
+	}
+	if best < 0 {
+		return Provision{}, false
+	}
+	// Reconstruct the multiset.
+	counts := make(map[int]int)
+	for u := best; u > 0 && dp[u].count > 0; {
+		mi := dp[u].mode
+		counts[mi]++
+		u -= feasible[mi].DataRateGbps / step
+		if u < 0 {
+			u = 0
+		}
+	}
+	var p Provision
+	for mi, n := range counts {
+		p.Modes = append(p.Modes, feasible[mi])
+		p.Counts = append(p.Counts, n)
+	}
+	sort.Slice(p.Modes, func(i, j int) bool {
+		if p.Modes[i].DataRateGbps != p.Modes[j].DataRateGbps {
+			return p.Modes[i].DataRateGbps > p.Modes[j].DataRateGbps
+		}
+		return p.Modes[i].SpacingGHz < p.Modes[j].SpacingGHz
+	})
+	// Re-pair counts with the sorted modes.
+	// (Rebuild from the map keyed by mode value to keep pairing correct.)
+	countByMode := make(map[string]int)
+	for mi, n := range counts {
+		countByMode[feasible[mi].String()] = n
+	}
+	p.Counts = p.Counts[:0]
+	for _, m := range p.Modes {
+		p.Counts = append(p.Counts, countByMode[m.String()])
+	}
+	return p, true
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// WithReaches returns a copy of the catalog under a new name with every
+// mode's optical reach replaced by fn(mode); modes for which fn returns
+// a nonpositive reach are dropped. This supports sensitivity studies —
+// e.g. re-planning with GN-model-predicted reaches instead of the
+// testbed-measured Table 2 — without touching the planning code.
+func (c Catalog) WithReaches(name string, fn func(Mode) float64) Catalog {
+	out := Catalog{Name: name}
+	for _, m := range c.Modes {
+		r := fn(m)
+		if r <= 0 {
+			continue
+		}
+		m.ReachKm = r
+		out.Modes = append(out.Modes, m)
+	}
+	return out
+}

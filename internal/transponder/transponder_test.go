@@ -1,0 +1,378 @@
+package transponder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexwan/internal/phy"
+	"flexwan/internal/spectrum"
+)
+
+func TestCatalogSizes(t *testing.T) {
+	if n := len(Fixed100G().Modes); n != 1 {
+		t.Errorf("100G-WAN modes = %d, want 1", n)
+	}
+	if n := len(RADWAN().Modes); n != 3 {
+		t.Errorf("RADWAN modes = %d, want 3", n)
+	}
+	// Table 2 has 2+1+4+4+5+5+5+5+5 = 36 recommended entries.
+	if n := len(SVT().Modes); n != 36 {
+		t.Errorf("SVT modes = %d, want 36", n)
+	}
+}
+
+func TestTable2SpotChecks(t *testing.T) {
+	svt := SVT()
+	find := func(rate int, spacing float64) (Mode, bool) {
+		for _, m := range svt.Modes {
+			if m.DataRateGbps == rate && m.SpacingGHz == spacing {
+				return m, true
+			}
+		}
+		return Mode{}, false
+	}
+	tests := []struct {
+		rate    int
+		spacing float64
+		reach   float64
+	}{
+		{100, 50, 3000},
+		{100, 75, 5000},
+		{200, 62.5, 1500},
+		{300, 75, 1100},
+		{400, 75, 600},
+		{400, 112.5, 1600},
+		{500, 125, 1200},
+		{600, 150, 800},
+		{700, 100, 200},
+		{800, 112.5, 150},
+		{800, 150, 300},
+	}
+	for _, tt := range tests {
+		m, ok := find(tt.rate, tt.spacing)
+		if !ok {
+			t.Errorf("SVT missing %dG @ %v GHz", tt.rate, tt.spacing)
+			continue
+		}
+		if m.ReachKm != tt.reach {
+			t.Errorf("SVT %dG@%vGHz reach = %v, want %v", tt.rate, tt.spacing, m.ReachKm, tt.reach)
+		}
+	}
+	// "/" entries must be absent.
+	for _, absent := range []struct {
+		rate    int
+		spacing float64
+	}{{300, 50}, {800, 75}, {100, 100}, {800, 100}, {200, 87.5}} {
+		if _, ok := find(absent.rate, absent.spacing); ok {
+			t.Errorf("SVT has %dG @ %v GHz, Table 2 marks it '/'", absent.rate, absent.spacing)
+		}
+	}
+}
+
+func TestTable2Monotonicity(t *testing.T) {
+	// Within a spacing, higher rate → shorter (or equal) reach; within a
+	// rate, wider spacing → longer (or equal) reach. Both hold in Table 2
+	// and both are physical necessities the catalog must preserve.
+	svt := SVT()
+	for _, a := range svt.Modes {
+		for _, b := range svt.Modes {
+			if a.SpacingGHz == b.SpacingGHz && a.DataRateGbps < b.DataRateGbps && a.ReachKm < b.ReachKm {
+				t.Errorf("at %v GHz: %dG reaches %v but %dG reaches %v",
+					a.SpacingGHz, a.DataRateGbps, a.ReachKm, b.DataRateGbps, b.ReachKm)
+			}
+			if a.DataRateGbps == b.DataRateGbps && a.SpacingGHz < b.SpacingGHz && a.ReachKm > b.ReachKm {
+				t.Errorf("at %dG: %v GHz reaches %v but %v GHz reaches %v",
+					a.DataRateGbps, a.SpacingGHz, a.ReachKm, b.SpacingGHz, b.ReachKm)
+			}
+		}
+	}
+}
+
+func TestMaxRateAt(t *testing.T) {
+	svt, bvt, fixed := SVT(), RADWAN(), Fixed100G()
+	tests := []struct {
+		dist                  float64
+		svtWant, bvtWant, fxd int
+	}{
+		{100, 800, 300, 100},  // short path: SVT hits 800G, BVT capped at 300G
+		{150, 800, 300, 100},  // 800G@112.5 reaches exactly 150
+		{300, 800, 300, 100},  // 800G@150 reaches exactly 300
+		{301, 700, 300, 100},  // beyond every 800G reach
+		{600, 600, 300, 100},  // 600G@150 reaches 800
+		{900, 500, 300, 100},  // 500G@100 at 900
+		{1100, 500, 300, 100}, // 500G@112.5 reaches exactly 1100
+		{1200, 500, 200, 100}, // BVT drops to QPSK beyond 1100
+		{1500, 400, 200, 100}, // Fig. 4's example regime
+		{1900, 400, 200, 100}, // 400G@150 reaches 1900
+		{2000, 300, 200, 100}, // 300G@100 reaches 2000
+		{2500, 100, 100, 100}, // Table 2's longest 200G reach is 2000 km
+		{3000, 100, 100, 100}, // fixed 100G reaches exactly 3000
+		{3500, 100, 100, 0},   // fixed-grid 100G exhausted
+		{5000, 100, 100, 0},   // BPSK limit
+		{5001, 0, 0, 0},       // beyond everything
+	}
+	for _, tt := range tests {
+		if got := svt.MaxRateAt(tt.dist); got != tt.svtWant {
+			t.Errorf("SVT MaxRateAt(%v) = %d, want %d", tt.dist, got, tt.svtWant)
+		}
+		if got := bvt.MaxRateAt(tt.dist); got != tt.bvtWant {
+			t.Errorf("RADWAN MaxRateAt(%v) = %d, want %d", tt.dist, got, tt.bvtWant)
+		}
+		if got := fixed.MaxRateAt(tt.dist); got != tt.fxd {
+			t.Errorf("100G-WAN MaxRateAt(%v) = %d, want %d", tt.dist, got, tt.fxd)
+		}
+	}
+}
+
+func TestBestModeAt(t *testing.T) {
+	svt := SVT()
+	// At 100 km, the best mode is 800G at the narrowest spacing offering
+	// it with reach ≥ 100 (112.5 GHz reaches 150).
+	m, ok := svt.BestModeAt(100)
+	if !ok {
+		t.Fatal("no mode at 100 km")
+	}
+	if m.DataRateGbps != 800 || m.SpacingGHz != 112.5 {
+		t.Errorf("BestModeAt(100) = %v, want 800G@112.5GHz", m)
+	}
+	// The §8 example: a 1200 km path is served at 500G/125 GHz.
+	m, ok = svt.BestModeAt(1200)
+	if !ok {
+		t.Fatal("no mode at 1200 km")
+	}
+	if m.DataRateGbps != 500 || m.SpacingGHz != 125 {
+		t.Errorf("BestModeAt(1200) = %v, want 500G@125GHz (paper §8 example)", m)
+	}
+	if _, ok := svt.BestModeAt(6000); ok {
+		t.Error("BestModeAt(6000) should fail")
+	}
+}
+
+func TestFeasibleModes(t *testing.T) {
+	bvt := RADWAN()
+	if got := len(bvt.FeasibleModes(1500)); got != 2 {
+		t.Errorf("RADWAN feasible at 1500 km = %d modes, want 2 (BPSK, QPSK)", got)
+	}
+	if got := len(bvt.FeasibleModes(500)); got != 3 {
+		t.Errorf("RADWAN feasible at 500 km = %d, want 3", got)
+	}
+	if got := bvt.FeasibleModes(5001); got != nil {
+		t.Errorf("RADWAN feasible at 5001 km = %v, want none", got)
+	}
+}
+
+func TestModePixels(t *testing.T) {
+	g := spectrum.DefaultGrid()
+	m := Mode{SpacingGHz: 100}
+	if got := m.Pixels(g); got != 8 {
+		t.Errorf("100 GHz mode pixels = %d, want 8", got)
+	}
+	wide := Mode{SpacingGHz: 99999}
+	if got := wide.Pixels(g); got <= g.Pixels {
+		t.Errorf("oversized mode pixels = %d, should exceed grid", got)
+	}
+}
+
+func TestSpectralEfficiency(t *testing.T) {
+	// 100G-WAN is fixed at 2.0 b/s/Hz (Fig. 14b).
+	m := Fixed100G().Modes[0]
+	if se := m.SpectralEfficiency(); se != 2.0 {
+		t.Errorf("100G-WAN spectral efficiency = %v, want 2.0", se)
+	}
+	// SVT's 800G@112.5 reaches 7.1 b/s/Hz.
+	if se := (Mode{DataRateGbps: 800, SpacingGHz: 112.5}).SpectralEfficiency(); se < 7 {
+		t.Errorf("800G@112.5 spectral efficiency = %v, want > 7", se)
+	}
+}
+
+func TestMinProvisionFig3(t *testing.T) {
+	// Fig. 3: provisioning 800 Gbps. At ≤ 300 km one pair of SVTs
+	// suffices versus three pairs of BVTs; at 1800 km SVT uses half the
+	// BVT count. Spectrum: ≤ 300 km BVT burns 225 GHz, SVT ≤ 150 GHz.
+	svt, bvt := SVT(), RADWAN()
+
+	p, ok := svt.MinProvision(800, 250)
+	if !ok {
+		t.Fatal("SVT cannot provision 800G at 250 km")
+	}
+	if p.Transponders() != 1 {
+		t.Errorf("SVT transponders at 250 km = %d, want 1", p.Transponders())
+	}
+	if p.SpectrumGHz() > 150 {
+		t.Errorf("SVT spectrum at 250 km = %v GHz, want ≤ 150", p.SpectrumGHz())
+	}
+
+	p, ok = bvt.MinProvision(800, 250)
+	if !ok {
+		t.Fatal("BVT cannot provision 800G at 250 km")
+	}
+	if p.Transponders() != 3 {
+		t.Errorf("BVT transponders at 250 km = %d, want 3 (3×300G)", p.Transponders())
+	}
+	if p.SpectrumGHz() != 225 {
+		t.Errorf("BVT spectrum at 250 km = %v GHz, want 225", p.SpectrumGHz())
+	}
+
+	pS, okS := svt.MinProvision(800, 1800)
+	pB, okB := bvt.MinProvision(800, 1800)
+	if !okS || !okB {
+		t.Fatal("cannot provision 800G at 1800 km")
+	}
+	if pS.Transponders()*2 != pB.Transponders() {
+		t.Errorf("at 1800 km SVT uses %d, BVT %d transponders; paper says half",
+			pS.Transponders(), pB.Transponders())
+	}
+}
+
+func TestMinProvisionEdges(t *testing.T) {
+	svt := SVT()
+	if _, ok := svt.MinProvision(0, 100); ok {
+		t.Error("MinProvision(0) succeeded")
+	}
+	if _, ok := svt.MinProvision(-100, 100); ok {
+		t.Error("MinProvision(-100) succeeded")
+	}
+	if _, ok := svt.MinProvision(400, 9000); ok {
+		t.Error("MinProvision beyond max reach succeeded")
+	}
+	// Demand not a multiple of any rate still gets covered.
+	p, ok := svt.MinProvision(150, 100)
+	if !ok || p.CapacityGbps() < 150 {
+		t.Errorf("MinProvision(150) = %+v, ok=%v", p, ok)
+	}
+}
+
+func TestMinProvisionCoversDemand(t *testing.T) {
+	f := func(rawCap uint16, rawDist uint16) bool {
+		capacity := 100 + int(rawCap%80)*100 // 100..8000 Gbps
+		dist := 50 + float64(rawDist%100)*50 // 50..5000 km
+		for _, cat := range []Catalog{Fixed100G(), RADWAN(), SVT()} {
+			p, ok := cat.MinProvision(capacity, dist)
+			if !ok {
+				if len(cat.FeasibleModes(dist)) != 0 {
+					return false // feasible modes existed but provisioning failed
+				}
+				continue
+			}
+			if p.CapacityGbps() < capacity {
+				return false
+			}
+			for _, m := range p.Modes {
+				if !m.Feasible(dist) {
+					return false
+				}
+			}
+			// Count must not beat the trivial lower bound.
+			maxRate := cat.MaxRateAt(dist)
+			lower := (capacity + maxRate - 1) / maxRate
+			if p.Transponders() < lower {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinProvision with SVT never uses more transponders or more
+// spectrum than with RADWAN — the SVT catalog is a strict superset of
+// capability at every distance within RADWAN's reach.
+func TestSVTDominatesRADWAN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	svt, bvt := SVT(), RADWAN()
+	for i := 0; i < 200; i++ {
+		capacity := (1 + rng.Intn(60)) * 100
+		dist := 50 + rng.Float64()*4950
+		pB, okB := bvt.MinProvision(capacity, dist)
+		if !okB {
+			continue
+		}
+		pS, okS := svt.MinProvision(capacity, dist)
+		if !okS {
+			t.Fatalf("SVT failed where RADWAN succeeded: %dG at %.0f km", capacity, dist)
+		}
+		if pS.Transponders() > pB.Transponders() {
+			t.Errorf("%dG at %.0f km: SVT %d transponders > RADWAN %d",
+				capacity, dist, pS.Transponders(), pB.Transponders())
+		}
+	}
+}
+
+func TestModeDSPParameters(t *testing.T) {
+	// Every catalog mode must have coherent DSP parameters: positive
+	// baud, a constellation dense enough for the net rate after FEC,
+	// and ≤ 16 bits per dual-pol symbol (DP-256QAM ceiling — beyond it
+	// the mode would be unphysical).
+	for _, cat := range []Catalog{Fixed100G(), RADWAN(), SVT()} {
+		for _, m := range cat.Modes {
+			if m.BaudGBd <= 0 {
+				t.Errorf("%s %v: nonpositive baud", cat.Name, m)
+			}
+			if m.Modulation.BitsPerSymbol <= 0 || m.Modulation.BitsPerSymbol > 16.5 {
+				t.Errorf("%s %v: bits/symbol %v out of range", cat.Name, m, m.Modulation.BitsPerSymbol)
+			}
+			gross := m.BaudGBd * m.Modulation.BitsPerSymbol
+			net := gross / (1 + m.FEC.Overhead)
+			if net < float64(m.DataRateGbps)*0.95 {
+				t.Errorf("%s %v: DSP carries only %.0f Gbps net", cat.Name, m, net)
+			}
+		}
+	}
+}
+
+func TestRequiredOSNRConsistent(t *testing.T) {
+	// Modes with longer reach require less OSNR; the threshold must be
+	// met at the mode's reach and violated beyond it.
+	link := phy.DefaultLink()
+	for _, m := range SVT().Modes {
+		req := m.RequiredOSNRdB(link)
+		if link.OSNRdB(m.ReachKm) < req {
+			t.Errorf("%v: OSNR at reach below own threshold", m)
+		}
+		if link.OSNRdB(m.ReachKm+2*link.SpanKm) >= req {
+			t.Errorf("%v: OSNR two spans past reach still meets threshold", m)
+		}
+	}
+}
+
+func TestProvisionAccessorsEmpty(t *testing.T) {
+	var p Provision
+	if p.Transponders() != 0 || p.CapacityGbps() != 0 || p.SpectrumGHz() != 0 {
+		t.Error("zero Provision should report zero totals")
+	}
+}
+
+func TestWithReaches(t *testing.T) {
+	svt := SVT()
+	halved := svt.WithReaches("half", func(m Mode) float64 { return m.ReachKm / 2 })
+	if halved.Name != "half" || len(halved.Modes) != len(svt.Modes) {
+		t.Fatalf("halved catalog = %s with %d modes", halved.Name, len(halved.Modes))
+	}
+	for i, m := range halved.Modes {
+		if m.ReachKm != svt.Modes[i].ReachKm/2 {
+			t.Errorf("mode %d reach = %v", i, m.ReachKm)
+		}
+		if m.DataRateGbps != svt.Modes[i].DataRateGbps {
+			t.Errorf("mode %d rate changed", i)
+		}
+	}
+	// Original untouched.
+	if svt.Modes[0].ReachKm != 3000 {
+		t.Error("WithReaches mutated the source catalog")
+	}
+	// Nonpositive reaches drop the mode.
+	dropped := svt.WithReaches("none", func(m Mode) float64 {
+		if m.DataRateGbps >= 800 {
+			return 0
+		}
+		return m.ReachKm
+	})
+	for _, m := range dropped.Modes {
+		if m.DataRateGbps >= 800 {
+			t.Errorf("800G mode survived: %v", m)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flexwan/internal/topology"
+)
+
+// cernetCity is one CERNET point of presence with its coordinates.
+type cernetCity struct {
+	name     string
+	lat, lon float64
+}
+
+// cernetCities approximates the CERNET national backbone nodes (the
+// public education-and-research network the paper evaluates as its
+// second topology, §7.2). Coordinates are the host cities'.
+var cernetCities = []cernetCity{
+	{"beijing", 39.90, 116.40},
+	{"tianjin", 39.34, 117.36},
+	{"shijiazhuang", 38.04, 114.51},
+	{"taiyuan", 37.87, 112.55},
+	{"hohhot", 40.84, 111.75},
+	{"shenyang", 41.80, 123.43},
+	{"changchun", 43.82, 125.32},
+	{"harbin", 45.80, 126.53},
+	{"dalian", 38.91, 121.61},
+	{"jinan", 36.65, 117.00},
+	{"qingdao", 36.07, 120.38},
+	{"zhengzhou", 34.75, 113.62},
+	{"wuhan", 30.59, 114.31},
+	{"changsha", 28.23, 112.94},
+	{"nanchang", 28.68, 115.86},
+	{"hefei", 31.82, 117.23},
+	{"nanjing", 32.06, 118.80},
+	{"shanghai", 31.23, 121.47},
+	{"hangzhou", 30.27, 120.16},
+	{"fuzhou", 26.07, 119.30},
+	{"xiamen", 24.48, 118.09},
+	{"guangzhou", 23.13, 113.26},
+	{"shenzhen", 22.54, 114.06},
+	{"nanning", 22.82, 108.32},
+	{"haikou", 20.04, 110.34},
+	{"guiyang", 26.65, 106.63},
+	{"kunming", 24.88, 102.83},
+	{"chengdu", 30.57, 104.07},
+	{"chongqing", 29.56, 106.55},
+	{"xian", 34.34, 108.94},
+	{"lanzhou", 36.06, 103.83},
+	{"xining", 36.62, 101.78},
+	{"yinchuan", 38.49, 106.23},
+	{"urumqi", 43.83, 87.62},
+}
+
+// cernetEdges lists the backbone fiber segments (city name pairs).
+var cernetEdges = [][2]string{
+	{"beijing", "tianjin"},
+	{"beijing", "shijiazhuang"},
+	{"shijiazhuang", "taiyuan"},
+	{"beijing", "hohhot"},
+	{"beijing", "shenyang"},
+	{"shenyang", "changchun"},
+	{"changchun", "harbin"},
+	{"shenyang", "dalian"},
+	{"beijing", "jinan"},
+	{"jinan", "qingdao"},
+	{"jinan", "zhengzhou"},
+	{"zhengzhou", "wuhan"},
+	{"zhengzhou", "xian"},
+	{"xian", "lanzhou"},
+	{"lanzhou", "xining"},
+	{"lanzhou", "yinchuan"},
+	{"lanzhou", "urumqi"},
+	{"xian", "chengdu"},
+	{"chengdu", "chongqing"},
+	{"chongqing", "guiyang"},
+	{"guiyang", "kunming"},
+	{"kunming", "nanning"},
+	{"wuhan", "changsha"},
+	{"changsha", "guangzhou"},
+	{"guangzhou", "shenzhen"},
+	{"guangzhou", "nanning"},
+	{"guangzhou", "haikou"},
+	{"nanning", "haikou"},
+	{"wuhan", "hefei"},
+	{"hefei", "nanjing"},
+	{"nanjing", "shanghai"},
+	{"nanjing", "qingdao"},
+	{"shanghai", "hangzhou"},
+	{"hangzhou", "nanchang"},
+	{"nanchang", "changsha"},
+	{"nanchang", "fuzhou"},
+	{"fuzhou", "xiamen"},
+	{"xiamen", "shenzhen"},
+	{"beijing", "zhengzhou"},
+	{"wuhan", "nanchang"},
+	{"chengdu", "kunming"},
+	{"taiyuan", "xian"},
+}
+
+// haversineKm is the great-circle distance between two coordinates.
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+// Cernet builds the CERNET optical topology and, following the paper,
+// generates the IP topology and bandwidth demands over it ("we assume
+// Cernet operates a point-to-point optical backbone and use
+// distributions in [49] to generate the IP topology and bandwidth
+// capacity"). IP links are the optical adjacencies plus a deterministic
+// sample of multi-hop city pairs; demands are drawn in 100 Gbps units
+// from a heavy-tailed distribution. The same seed yields the same
+// network.
+func Cernet(seed int64) Network {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.New()
+	ip := &topology.IPTopology{}
+	pos := make(map[string]cernetCity, len(cernetCities))
+	for _, c := range cernetCities {
+		pos[c.name] = c
+	}
+	for i, e := range cernetEdges {
+		a, b := pos[e[0]], pos[e[1]]
+		d := math.Round(haversineKm(a.lat, a.lon, b.lat, b.lon) * routingFactor)
+		if err := g.AddFiber(fmt.Sprintf("cfib%03d", i), topology.NodeID(e[0]), topology.NodeID(e[1]), d); err != nil {
+			panic(err)
+		}
+	}
+
+	linkSeq := 0
+	addLink := func(a, b string, demand100G int) {
+		linkSeq++
+		if err := ip.AddLink(topology.IPLink{
+			ID: fmt.Sprintf("ce%03d", linkSeq), A: topology.NodeID(a), B: topology.NodeID(b),
+			DemandGbps: demand100G * 100,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	// Point-to-point: every adjacency is an IP link. Demand 2–12 ×100G,
+	// heavy-tailed (most links light, a few heavy).
+	demand := func() int {
+		d := 2 + int(math.Floor(math.Abs(rng.NormFloat64())*4))
+		if d > 12 {
+			d = 12
+		}
+		return d
+	}
+	for _, e := range cernetEdges {
+		addLink(e[0], e[1], demand())
+	}
+	// Long-haul IP links between major hubs (multi-hop optical paths).
+	// Pairs beyond 2800 km of routed fiber are skipped: no single-hop
+	// optical service is offered past the longest commercial reach, as
+	// in the paper's point-to-point assumption.
+	hubs := []string{"beijing", "shanghai", "guangzhou", "wuhan", "chengdu", "xian", "shenyang"}
+	for i := 0; i < len(hubs); i++ {
+		for j := i + 1; j < len(hubs); j++ {
+			p, ok := g.ShortestPath(topology.NodeID(hubs[i]), topology.NodeID(hubs[j]))
+			if !ok || p.LengthKm > 2800 {
+				continue
+			}
+			addLink(hubs[i], hubs[j], demand())
+		}
+	}
+	return Network{Name: "Cernet", Optical: g, IP: ip}
+}

@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadNetwork drives the JSON network parser with arbitrary input:
+// it must never panic, and anything it accepts must round-trip through
+// WriteNetwork into an equivalent network.
+func FuzzReadNetwork(f *testing.F) {
+	f.Add(`{"name":"x","fibers":[{"id":"f1","a":"A","b":"B","km":10}],"links":[{"id":"e1","a":"A","b":"B","gbps":100}]}`)
+	f.Add(`{"fibers":[{"id":"f","a":"A","b":"B","km":1}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"name":"y","fibers":[{"id":"f","a":"A","b":"B","km":-5}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := ReadNetwork(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Accepted networks are well-formed and serializable.
+		if n.Optical == nil || n.IP == nil || n.Optical.NumFibers() == 0 {
+			t.Fatalf("accepted malformed network: %+v", n)
+		}
+		var buf bytes.Buffer
+		if err := WriteNetwork(&buf, n); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadNetwork(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Optical.NumFibers() != n.Optical.NumFibers() || len(back.IP.Links) != len(n.IP.Links) {
+			t.Fatal("round trip changed the network")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flexwan/internal/topology"
+)
+
+// networkJSON is the on-disk network format consumed by the CLI tools:
+//
+//	{
+//	  "name": "my-wan",
+//	  "fibers": [{"id": "f1", "a": "SEA", "b": "PDX", "km": 280}, ...],
+//	  "links":  [{"id": "e1", "a": "SEA", "b": "PDX", "gbps": 1600}, ...]
+//	}
+type networkJSON struct {
+	Name   string      `json:"name"`
+	Fibers []fiberJSON `json:"fibers"`
+	Links  []linkJSON  `json:"links"`
+}
+
+type fiberJSON struct {
+	ID string  `json:"id"`
+	A  string  `json:"a"`
+	B  string  `json:"b"`
+	Km float64 `json:"km"`
+}
+
+type linkJSON struct {
+	ID   string `json:"id"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+	Gbps int    `json:"gbps"`
+}
+
+// ReadNetwork parses a network from JSON, validating it through the same
+// topology constructors the generators use.
+func ReadNetwork(r io.Reader) (Network, error) {
+	var doc networkJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return Network{}, fmt.Errorf("workload: parsing network: %w", err)
+	}
+	if len(doc.Fibers) == 0 {
+		return Network{}, fmt.Errorf("workload: network %q has no fibers", doc.Name)
+	}
+	g := topology.New()
+	for _, f := range doc.Fibers {
+		if err := g.AddFiber(f.ID, topology.NodeID(f.A), topology.NodeID(f.B), f.Km); err != nil {
+			return Network{}, fmt.Errorf("workload: %w", err)
+		}
+	}
+	ip := &topology.IPTopology{}
+	for _, l := range doc.Links {
+		if err := ip.AddLink(topology.IPLink{
+			ID: l.ID, A: topology.NodeID(l.A), B: topology.NodeID(l.B), DemandGbps: l.Gbps,
+		}); err != nil {
+			return Network{}, fmt.Errorf("workload: %w", err)
+		}
+	}
+	name := doc.Name
+	if name == "" {
+		name = "network"
+	}
+	return Network{Name: name, Optical: g, IP: ip}, nil
+}
+
+// WriteNetwork serializes a network to indented JSON.
+func WriteNetwork(w io.Writer, n Network) error {
+	doc := networkJSON{Name: n.Name}
+	for _, f := range n.Optical.Fibers() {
+		doc.Fibers = append(doc.Fibers, fiberJSON{ID: f.ID, A: string(f.A), B: string(f.B), Km: f.LengthKm})
+	}
+	for _, l := range n.IP.Links {
+		doc.Links = append(doc.Links, linkJSON{ID: l.ID, A: string(l.A), B: string(l.B), Gbps: l.DemandGbps})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadNetwork(t *testing.T) {
+	doc := `{
+	  "name": "tiny",
+	  "fibers": [
+	    {"id": "f1", "a": "X", "b": "Y", "km": 120},
+	    {"id": "f2", "a": "Y", "b": "Z", "km": 340}
+	  ],
+	  "links": [
+	    {"id": "e1", "a": "X", "b": "Z", "gbps": 400}
+	  ]
+	}`
+	n, err := ReadNetwork(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "tiny" || n.Optical.NumFibers() != 2 || len(n.IP.Links) != 1 {
+		t.Errorf("parsed network = %s, %d fibers, %d links", n.Name, n.Optical.NumFibers(), len(n.IP.Links))
+	}
+	p, ok := n.Optical.ShortestPath("X", "Z")
+	if !ok || p.LengthKm != 460 {
+		t.Errorf("path X→Z = %v, %v", p, ok)
+	}
+}
+
+func TestReadNetworkValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty fibers":   `{"name": "x", "fibers": [], "links": []}`,
+		"bad fiber":      `{"fibers": [{"id": "", "a": "X", "b": "Y", "km": 1}]}`,
+		"self loop":      `{"fibers": [{"id": "f", "a": "X", "b": "X", "km": 1}]}`,
+		"bad link":       `{"fibers": [{"id": "f", "a": "X", "b": "Y", "km": 1}], "links": [{"id": "e", "a": "X", "b": "Y", "gbps": 0}]}`,
+		"unknown field":  `{"fibers": [{"id": "f", "a": "X", "b": "Y", "km": 1}], "frobnicate": 7}`,
+		"malformed json": `{`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadNetwork(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNetworkRoundTrip(t *testing.T) {
+	orig := TBackbone(1)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name {
+		t.Errorf("name = %q", back.Name)
+	}
+	if back.Optical.NumFibers() != orig.Optical.NumFibers() || back.Optical.NumNodes() != orig.Optical.NumNodes() {
+		t.Errorf("topology changed: %d/%d fibers, %d/%d nodes",
+			back.Optical.NumFibers(), orig.Optical.NumFibers(),
+			back.Optical.NumNodes(), orig.Optical.NumNodes())
+	}
+	if back.IP.TotalDemandGbps() != orig.IP.TotalDemandGbps() {
+		t.Errorf("demand changed: %d vs %d", back.IP.TotalDemandGbps(), orig.IP.TotalDemandGbps())
+	}
+	// Path lengths survive.
+	a, b := orig.PathLengthsKm(), back.PathLengthsKm()
+	if len(a) != len(b) {
+		t.Fatalf("path count changed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("path %d length %v vs %v", i, a[i], b[i])
+		}
+	}
+}

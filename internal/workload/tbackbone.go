@@ -1,0 +1,178 @@
+// Package workload generates the evaluation inputs of the FlexWAN paper:
+// a synthetic production-like backbone ("T-backbone") whose optical path
+// length distribution matches the published measurements (§3.1: roughly
+// half of all optical paths are shorter than 200 km, with a tail past
+// 2000 km), the public CERNET topology the paper uses as its second
+// network (§7.2), and demand generation for both.
+//
+// The real T-backbone demands and layout are confidential; this generator
+// reproduces the only property the paper's results depend on — the
+// distribution of optical path lengths and the relative demand weights —
+// deterministically from a seed. See DESIGN.md for the substitution
+// rationale.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flexwan/internal/topology"
+)
+
+// Network bundles the two topology layers of one evaluation input.
+type Network struct {
+	Name    string
+	Optical *topology.Optical
+	IP      *topology.IPTopology
+}
+
+// site is a ROADM location on a synthetic plane (coordinates in km).
+type site struct {
+	id   topology.NodeID
+	x, y float64
+}
+
+func dist(a, b site) float64 {
+	return math.Hypot(a.x-b.x, a.y-b.y)
+}
+
+// routingFactor inflates straight-line distance to fiber-route distance
+// (real fiber follows roads and rail, not geodesics).
+const routingFactor = 1.3
+
+// TBackbone generates the synthetic production backbone: metro clusters
+// of closely spaced sites (providing the dominant population of short
+// optical paths) linked by a long-haul core. The same seed always yields
+// the same network.
+//
+// Shape targets, calibrated against the paper's Figure 2(a)/13(a):
+//   - ≈ half of the IP links' primary optical paths are under 200 km;
+//   - path lengths range from ~100 km to beyond 2000 km;
+//   - demand is skewed toward short metro links (the capacity-weighted
+//     distribution of Fig. 13a sits well left of CERNET's).
+func TBackbone(seed int64) Network {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.New()
+	ip := &topology.IPTopology{}
+
+	// Eight metro clusters on a rough 2300×1400 km plane. The extent is
+	// sized so the longest routed optical path stays within 100G-WAN's
+	// 3000 km reach (every scheme serves scale 1, as in the paper) while
+	// the tail still crosses 2000 km (Fig. 2a).
+	centers := []site{
+		{"c0", 200, 330},
+		{"c1", 600, 200},
+		{"c2", 1000, 400},
+		{"c3", 1460, 270},
+		{"c4", 1930, 460},
+		{"c5", 730, 930},
+		{"c6", 1330, 1060},
+		{"c7", 1870, 1270},
+	}
+	// Each cluster hosts three sites 40–110 km from its center.
+	var clusters [][]site
+	fiberSeq := 0
+	addFiber := func(a, b site) {
+		fiberSeq++
+		d := dist(a, b) * routingFactor
+		// Fibers have a practical floor (~30 km metro spans).
+		if d < 30 {
+			d = 30
+		}
+		id := fmt.Sprintf("fib%03d", fiberSeq)
+		if err := g.AddFiber(id, a.id, b.id, math.Round(d)); err != nil {
+			panic(err) // generator bug: IDs are sequential, nodes distinct
+		}
+	}
+	for ci, c := range centers {
+		var cluster []site
+		for si := 0; si < 3; si++ {
+			angle := rng.Float64() * 2 * math.Pi
+			radius := 40 + rng.Float64()*70
+			s := site{
+				id: topology.NodeID(fmt.Sprintf("m%d-%d", ci, si)),
+				x:  c.x + radius*math.Cos(angle),
+				y:  c.y + radius*math.Sin(angle),
+			}
+			cluster = append(cluster, s)
+		}
+		// Intra-cluster ring: three short metro fibers.
+		addFiber(cluster[0], cluster[1])
+		addFiber(cluster[1], cluster[2])
+		addFiber(cluster[2], cluster[0])
+		clusters = append(clusters, cluster)
+	}
+	// Long-haul core: a ring over the clusters plus two cross chords,
+	// attaching at each cluster's first site.
+	core := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 7}, {7, 6}, {6, 5}, {5, 0},
+		{2, 5}, {3, 6}, {1, 5}, {4, 6},
+	}
+	for _, e := range core {
+		addFiber(clusters[e[0]][0], clusters[e[1]][0])
+	}
+
+	// Demands. Production WANs are metro-heavy: every intra-cluster pair
+	// carries a large demand; adjacent core clusters carry medium ones; a
+	// sample of distant pairs carries long-haul demand.
+	linkSeq := 0
+	addLink := func(a, b topology.NodeID, demand100G int) {
+		linkSeq++
+		if err := ip.AddLink(topology.IPLink{
+			ID: fmt.Sprintf("e%03d", linkSeq), A: a, B: b, DemandGbps: demand100G * 100,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	for _, cluster := range clusters {
+		// Three metro pairs per cluster, 16–40 × 100G each: metro links
+		// dominate production demand, which is what makes the
+		// capacity-weighted path distribution short (Fig. 13a) and puts
+		// the spectrum bottleneck on short fibers.
+		addLink(cluster[0].id, cluster[1].id, 10+rng.Intn(16))
+		addLink(cluster[1].id, cluster[2].id, 10+rng.Intn(16))
+		addLink(cluster[2].id, cluster[0].id, 10+rng.Intn(16))
+	}
+	for _, e := range core[:8] { // ring neighbours: medium demand
+		addLink(clusters[e[0]][1].id, clusters[e[1]][1].id, 2+rng.Intn(4))
+	}
+	// Long-haul: six distant cluster pairs, lighter demand.
+	longPairs := [][2]int{{0, 3}, {0, 4}, {1, 7}, {2, 7}, {0, 6}, {1, 4}}
+	for _, e := range longPairs {
+		addLink(clusters[e[0]][2].id, clusters[e[1]][2].id, 1+rng.Intn(3))
+	}
+
+	return Network{Name: "T-backbone", Optical: g, IP: ip}
+}
+
+// PathLengthsKm returns the primary (shortest) optical path length of
+// every IP link — the population plotted in Fig. 2(a).
+func (n Network) PathLengthsKm() []float64 {
+	out := make([]float64, 0, len(n.IP.Links))
+	for _, l := range n.IP.Links {
+		if p, ok := n.Optical.ShortestPath(l.A, l.B); ok {
+			out = append(out, p.LengthKm)
+		}
+	}
+	return out
+}
+
+// WeightedPathLengthsKm returns (length, demand) pairs — the
+// capacity-weighted population of Fig. 13(a).
+func (n Network) WeightedPathLengthsKm() ([]float64, []float64) {
+	lengths := make([]float64, 0, len(n.IP.Links))
+	weights := make([]float64, 0, len(n.IP.Links))
+	for _, l := range n.IP.Links {
+		if p, ok := n.Optical.ShortestPath(l.A, l.B); ok {
+			lengths = append(lengths, p.LengthKm)
+			weights = append(weights, float64(l.DemandGbps))
+		}
+	}
+	return lengths, weights
+}
+
+// Scale returns the network with demands multiplied by factor.
+func (n Network) Scale(factor float64) Network {
+	return Network{Name: n.Name, Optical: n.Optical, IP: n.IP.Scale(factor)}
+}

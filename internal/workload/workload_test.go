@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"flexwan/internal/plan"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/transponder"
+)
+
+func TestTBackboneDeterministic(t *testing.T) {
+	a, b := TBackbone(1), TBackbone(1)
+	if a.Optical.NumFibers() != b.Optical.NumFibers() || a.IP.TotalDemandGbps() != b.IP.TotalDemandGbps() {
+		t.Error("same seed produced different networks")
+	}
+	c := TBackbone(2)
+	if a.IP.TotalDemandGbps() == c.IP.TotalDemandGbps() {
+		t.Error("different seeds produced identical demands (suspicious)")
+	}
+}
+
+func TestTBackboneShape(t *testing.T) {
+	n := TBackbone(1)
+	if n.Optical.NumNodes() != 24 {
+		t.Errorf("nodes = %d, want 24 (8 clusters × 3)", n.Optical.NumNodes())
+	}
+	if n.Optical.NumFibers() != 36 {
+		t.Errorf("fibers = %d, want 36 (24 metro + 12 core)", n.Optical.NumFibers())
+	}
+	if len(n.IP.Links) != 38 {
+		t.Errorf("IP links = %d, want 38", len(n.IP.Links))
+	}
+	// Connectivity: every IP link has an optical path.
+	lengths := n.PathLengthsKm()
+	if len(lengths) != len(n.IP.Links) {
+		t.Fatalf("only %d/%d links have optical paths", len(lengths), len(n.IP.Links))
+	}
+	// Fig. 2a shape: ~half the paths under 200 km, tail beyond 2000 km.
+	sort.Float64s(lengths)
+	under200 := 0
+	for _, l := range lengths {
+		if l < 200 {
+			under200++
+		}
+	}
+	frac := float64(under200) / float64(len(lengths))
+	if frac < 0.4 || frac > 0.7 {
+		t.Errorf("fraction of paths < 200 km = %.2f, want ≈ 0.5 (Fig. 2a)", frac)
+	}
+	if lengths[len(lengths)-1] < 2000 {
+		t.Errorf("longest path = %v km, want > 2000 (Fig. 2a tail)", lengths[len(lengths)-1])
+	}
+	if lengths[0] < 30 || lengths[0] > 250 {
+		t.Errorf("shortest path = %v km, want metro-scale", lengths[0])
+	}
+}
+
+func TestTBackbonePlannable(t *testing.T) {
+	n := TBackbone(1)
+	for _, cat := range []transponder.Catalog{transponder.Fixed100G(), transponder.RADWAN(), transponder.SVT()} {
+		r, err := plan.Solve(plan.Problem{
+			Optical: n.Optical, IP: n.IP, Catalog: cat, Grid: spectrum.DefaultGrid(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Name, err)
+		}
+		if !r.Feasible() {
+			t.Errorf("%s infeasible at scale 1: unserved %v", cat.Name, r.Unserved)
+		}
+	}
+}
+
+func TestTBackboneScale(t *testing.T) {
+	n := TBackbone(1)
+	s := n.Scale(3)
+	if s.IP.TotalDemandGbps() != 3*n.IP.TotalDemandGbps() {
+		t.Errorf("scale 3: demand %d, want %d", s.IP.TotalDemandGbps(), 3*n.IP.TotalDemandGbps())
+	}
+	if n.Name != s.Name || s.Optical != n.Optical {
+		t.Error("Scale should preserve name and optical topology")
+	}
+}
+
+func TestWeightedPathLengths(t *testing.T) {
+	n := TBackbone(1)
+	lengths, weights := n.WeightedPathLengthsKm()
+	if len(lengths) != len(weights) || len(lengths) == 0 {
+		t.Fatalf("weighted lengths: %d lengths, %d weights", len(lengths), len(weights))
+	}
+	for i := range weights {
+		if weights[i] <= 0 {
+			t.Errorf("weight %d = %v", i, weights[i])
+		}
+	}
+}
+
+func TestCernetShape(t *testing.T) {
+	n := Cernet(1)
+	if n.Optical.NumNodes() != len(cernetCities) {
+		t.Errorf("nodes = %d, want %d", n.Optical.NumNodes(), len(cernetCities))
+	}
+	if n.Optical.NumFibers() != len(cernetEdges) {
+		t.Errorf("fibers = %d, want %d", n.Optical.NumFibers(), len(cernetEdges))
+	}
+	// Connected: a diameter exists.
+	if d := n.Optical.Diameter(); math.IsInf(d, 1) {
+		t.Fatal("CERNET topology disconnected")
+	}
+	// All IP links routable.
+	if got := len(n.PathLengthsKm()); got != len(n.IP.Links) {
+		t.Errorf("routable links = %d of %d", got, len(n.IP.Links))
+	}
+	// Sanity on embedded distances: Beijing–Tianjin ≈ 110 km geodesic
+	// ×1.3 ≈ 140; Lanzhou–Urumqi is ~1600 km geodesic ×1.3 ≈ 2100.
+	for _, f := range n.Optical.Fibers() {
+		if f.LengthKm < 50 || f.LengthKm > 3000 {
+			t.Errorf("fiber %s (%s–%s) length %v km implausible", f.ID, f.A, f.B, f.LengthKm)
+		}
+	}
+}
+
+func TestCernetLongerThanTBackbone(t *testing.T) {
+	// Fig. 13a: the capacity-weighted median path of CERNET is much
+	// longer than the T-backbone's.
+	tb, ce := TBackbone(1), Cernet(1)
+	if m1, m2 := weightedMedian(tb.WeightedPathLengthsKm()), weightedMedian(ce.WeightedPathLengthsKm()); m1 >= m2 {
+		t.Errorf("weighted median: T-backbone %v ≥ Cernet %v", m1, m2)
+	}
+}
+
+func TestCernetPlannable(t *testing.T) {
+	n := Cernet(1)
+	r, err := plan.Solve(plan.Problem{
+		Optical: n.Optical, IP: n.IP, Catalog: transponder.SVT(), Grid: spectrum.DefaultGrid(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible() {
+		t.Errorf("CERNET infeasible at scale 1: %v", r.Unserved)
+	}
+}
+
+func TestHaversine(t *testing.T) {
+	// Beijing–Shanghai ≈ 1070 km great circle.
+	d := haversineKm(39.90, 116.40, 31.23, 121.47)
+	if d < 1000 || d > 1150 {
+		t.Errorf("Beijing–Shanghai = %v km, want ≈ 1070", d)
+	}
+	if haversineKm(10, 20, 10, 20) != 0 {
+		t.Error("zero distance expected for identical points")
+	}
+}
+
+func weightedMedian(lengths, weights []float64) float64 {
+	type lw struct{ l, w float64 }
+	items := make([]lw, len(lengths))
+	total := 0.0
+	for i := range lengths {
+		items[i] = lw{lengths[i], weights[i]}
+		total += weights[i]
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].l < items[j].l })
+	acc := 0.0
+	for _, it := range items {
+		acc += it.w
+		if acc >= total/2 {
+			return it.l
+		}
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package flexwan
+
+import (
+	"flexwan/internal/controller"
+	"flexwan/internal/core"
+	"flexwan/internal/devmodel"
+	"flexwan/internal/restore"
+	"flexwan/internal/traffic"
+)
+
+// Service layer (internal/core): the long-lived backbone state machine
+// for incremental operations (§9 smooth evolution).
+type (
+	// Backbone owns topologies, live wavelengths and spectrum state.
+	Backbone = core.Backbone
+	// BackboneConfig assembles a backbone.
+	BackboneConfig = core.Config
+	// FiberUtilization is one fiber's occupancy report.
+	FiberUtilization = core.FiberUtilization
+)
+
+// NewBackbone validates a configuration and returns an unplanned backbone.
+var NewBackbone = core.New
+
+// Controller replication (§4.4 fault tolerance) and repair (§9
+// zero-touch misconnection recovery).
+type (
+	// ControllerSnapshot is the replication payload for standby takeover.
+	ControllerSnapshot = controller.Snapshot
+	// ChannelSnapshot is one live channel in a snapshot.
+	ChannelSnapshot = controller.ChannelSnapshot
+)
+
+// Snapshot codecs.
+var (
+	MarshalSnapshot   = controller.MarshalSnapshot
+	UnmarshalSnapshot = controller.UnmarshalSnapshot
+)
+
+// Failure-scenario generators beyond 1-fiber cuts (§8's k-failure and
+// probabilistic models).
+var (
+	// DoubleFiberScenarios enumerates simultaneous 2-fiber failures.
+	DoubleFiberScenarios = restore.DoubleFiberScenarios
+	// ProbabilisticScenarios samples length-weighted multi-fiber cuts.
+	ProbabilisticScenarios = restore.ProbabilisticScenarios
+)
+
+// Traffic-matrix demand derivation (internal/traffic): the input side of
+// the IP TopoMgr.
+type (
+	// TrafficDemand is one region-pair entry of a traffic matrix.
+	TrafficDemand = traffic.Demand
+	// TrafficMatrix is a region-to-region offered-load matrix.
+	TrafficMatrix = traffic.Matrix
+	// IPLinkSpec declares an IP link whose capacity is to be derived.
+	IPLinkSpec = traffic.LinkSpec
+	// TrafficOptions tunes demand derivation.
+	TrafficOptions = traffic.Options
+)
+
+// DeriveDemands routes a traffic matrix over the IP links and returns the
+// demand set the planner consumes.
+var DeriveDemands = traffic.Derive
+
+// Standard device model introspection (§4.3).
+type (
+	// DeviceComponent is one logical block of the standard device model.
+	DeviceComponent = devmodel.Component
+	// DeviceModelSpec describes a class's components and workflow.
+	DeviceModelSpec = devmodel.ModelSpec
+)
+
+// StandardDeviceModel returns the vendor-neutral model per device class.
+var StandardDeviceModel = devmodel.StandardModel

@@ -6,6 +6,7 @@
 package flexwan_test
 
 import (
+	"runtime"
 	"testing"
 
 	"flexwan/internal/device"
@@ -128,7 +129,7 @@ func BenchmarkFig14bSpectralEff(b *testing.B) {
 func BenchmarkFig15aRestorePathGap(b *testing.B) {
 	var fracLonger float64
 	for i := 0; i < b.N; i++ {
-		f, err := eval.Fig15aRestoredPathGaps(tb)
+		f, err := eval.Fig15aRestoredPathGaps(tb, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,22 +138,77 @@ func BenchmarkFig15aRestorePathGap(b *testing.B) {
 	b.ReportMetric(fracLonger*100, "%restored-longer")
 }
 
+// BenchmarkFig15bRestoration regenerates Fig 15b at each worker count so
+// a single bench run shows the parallel sweep's wall-clock speedup
+// (workers=1 is the sequential path; workers=GOMAXPROCS the full pool).
 func BenchmarkFig15bRestoration(b *testing.B) {
-	var flexAt5 float64
-	for i := 0; i < b.N; i++ {
-		f, err := eval.Fig15bRestorationVsScale(tb, []float64{1, 3, 5})
-		if err != nil {
-			b.Fatal(err)
-		}
-		flexAt5 = f.Capability["FlexWAN"][2]
+	for _, workers := range benchWorkerCounts() {
+		b.Run(bName("workers", workers), func(b *testing.B) {
+			var flexAt5 float64
+			for i := 0; i < b.N; i++ {
+				f, err := eval.Fig15bRestorationVsScale(tb, []float64{1, 3, 5}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flexAt5 = f.Capability["FlexWAN"][2]
+			}
+			b.ReportMetric(flexAt5, "flexwan-capability@5x")
+		})
 	}
-	b.ReportMetric(flexAt5, "flexwan-capability@5x")
+}
+
+// BenchmarkSweepWorkers isolates the scenario sweep itself (one plan,
+// all 1-fiber cuts at 3× load) across worker counts — the cleanest
+// speedup measurement, with no planning time mixed in.
+func BenchmarkSweepWorkers(b *testing.B) {
+	base, err := plan.Solve(plan.Problem{
+		Optical: tb.Optical, IP: tb.IP.Scale(3), Catalog: transponder.SVT(),
+		Grid: spectrum.DefaultGrid(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := restore.Problem{
+		Optical: tb.Optical, IP: tb.IP.Scale(3), Catalog: transponder.SVT(),
+		Grid: spectrum.DefaultGrid(), Base: base,
+	}
+	scs := restore.SingleFiberScenarios(tb.Optical)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(bName("workers", workers), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				sweep, err := restore.SweepWithOptions(prob, scs, restore.SweepOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sweep.Failed() > 0 {
+					b.Fatalf("failed scenarios: %v", sweep.FailedIDs())
+				}
+				mean = sweep.MeanCapability()
+			}
+			b.ReportMetric(mean, "mean-capability")
+		})
+	}
+}
+
+// benchWorkerCounts is the sweep-parallelism ladder benchmarked above:
+// sequential, then doublings up to GOMAXPROCS.
+func benchWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
 }
 
 func BenchmarkFig16Restoration(b *testing.B) {
 	var plusMean float64
 	for i := 0; i < b.N; i++ {
-		f, err := eval.Fig16RestorationCDF(tb, 1)
+		f, err := eval.Fig16RestorationCDF(tb, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -435,7 +491,7 @@ func BenchmarkGNCrossCheck(b *testing.B) {
 func BenchmarkProbabilisticRestoration(b *testing.B) {
 	var flex float64
 	for i := 0; i < b.N; i++ {
-		f, err := eval.ProbabilisticRestorationSweep(tb, 1, 7, 25, 0.3)
+		f, err := eval.ProbabilisticRestorationSweep(tb, 1, 7, 25, 0.3, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

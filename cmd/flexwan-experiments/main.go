@@ -8,6 +8,8 @@
 //	flexwan-experiments                 # run everything
 //	flexwan-experiments -fig 12,16      # selected figures
 //	flexwan-experiments -seed 7         # different synthetic T-backbone
+//	flexwan-experiments -workers 8      # restoration-sweep parallelism
+//	                                      (0 = all cores, 1 = sequential)
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	figFlag := flag.String("fig", "all", "comma-separated figures to run: 2a,2b,3,table2,gn,12,13a,13b,14,15a,15b,16,prob,headline or 'all'")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic T-backbone")
 	csvDir := flag.String("csv", "", "also write plotting-ready CSV files into this directory")
+	workers := flag.Int("workers", 0, "concurrent restoration-scenario solves per sweep (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -128,7 +131,7 @@ func main() {
 		writeCSV("fig14.csv", f)
 	}
 	if run("15a") {
-		f, err := eval.Fig15aRestoredPathGaps(tb)
+		f, err := eval.Fig15aRestoredPathGaps(tb, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -136,7 +139,7 @@ func main() {
 		writeCSV("fig15a.csv", f)
 	}
 	if run("15b") {
-		f, err := eval.Fig15bRestorationVsScale(tb, []float64{1, 2, 3, 4, 5})
+		f, err := eval.Fig15bRestorationVsScale(tb, []float64{1, 2, 3, 4, 5}, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -145,7 +148,7 @@ func main() {
 	}
 	if run("16") {
 		for _, scale := range []float64{1, 5} {
-			f, err := eval.Fig16RestorationCDF(tb, scale)
+			f, err := eval.Fig16RestorationCDF(tb, scale, *workers)
 			if err != nil {
 				fail(err)
 			}
@@ -154,7 +157,7 @@ func main() {
 		}
 	}
 	if run("prob") {
-		f, err := eval.ProbabilisticRestorationSweep(tb, 1, *seed, 40, 0.3)
+		f, err := eval.ProbabilisticRestorationSweep(tb, 1, *seed, 40, 0.3, *workers)
 		if err != nil {
 			fail(err)
 		}

@@ -167,6 +167,10 @@ type (
 	Restored = restore.Restored
 	// SweepResult aggregates restoration over a scenario set.
 	SweepResult = restore.SweepResult
+	// SweepOptions tunes a scenario sweep (worker count, cancellation).
+	SweepOptions = restore.SweepOptions
+	// ScenarioError records one failed scenario within a sweep.
+	ScenarioError = restore.ScenarioError
 )
 
 // Restoration entry points.
@@ -175,8 +179,12 @@ var (
 	Restore = restore.Solve
 	// RestoreExact solves the §8 MIP exactly.
 	RestoreExact = restore.SolveExact
-	// RestoreSweep restores every scenario against one base plan.
+	// RestoreSweep restores every scenario against one base plan,
+	// solving scenarios on all cores.
 	RestoreSweep = restore.Sweep
+	// RestoreSweepWithOptions is RestoreSweep with an explicit worker
+	// count and cancellation context.
+	RestoreSweepWithOptions = restore.SweepWithOptions
 	// SingleFiberScenarios enumerates all 1-failure cases.
 	SingleFiberScenarios = restore.SingleFiberScenarios
 	// PlusSpares computes FlexWAN+ spare transponders.

@@ -229,7 +229,7 @@ func TestFig14(t *testing.T) {
 }
 
 func TestFig15a(t *testing.T) {
-	f, err := Fig15aRestoredPathGaps(workload.TBackbone(1))
+	f, err := Fig15aRestoredPathGaps(workload.TBackbone(1), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestFig15a(t *testing.T) {
 }
 
 func TestFig15b(t *testing.T) {
-	f, err := Fig15bRestorationVsScale(workload.TBackbone(1), []float64{1, 3, 5})
+	f, err := Fig15bRestorationVsScale(workload.TBackbone(1), []float64{1, 3, 5}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestFig15b(t *testing.T) {
 
 func TestFig16(t *testing.T) {
 	n := workload.TBackbone(1)
-	under, err := Fig16RestorationCDF(n, 1)
+	under, err := Fig16RestorationCDF(n, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestFig16(t *testing.T) {
 	}
 	_ = under.String()
 
-	over, err := Fig16RestorationCDF(n, 5)
+	over, err := Fig16RestorationCDF(n, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestGNCrossCheck(t *testing.T) {
 }
 
 func TestProbabilisticRestorationSweep(t *testing.T) {
-	f, err := ProbabilisticRestorationSweep(workload.TBackbone(1), 1, 7, 12, 0.3)
+	f, err := ProbabilisticRestorationSweep(workload.TBackbone(1), 1, 7, 12, 0.3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +387,7 @@ func TestCSVEmitters(t *testing.T) {
 		t.Fatal(err)
 	}
 	emitters["fig14"] = f14
-	f15a, err := Fig15aRestoredPathGaps(n)
+	f15a, err := Fig15aRestoredPathGaps(n, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,21 +11,27 @@ import (
 	"flexwan/internal/workload"
 )
 
+// sweepOpts maps an experiment's worker knob onto restore.SweepOptions.
+// workers == 0 uses all cores; 1 forces the sequential path.
+func sweepOpts(workers int) restore.SweepOptions {
+	return restore.SweepOptions{Workers: workers}
+}
+
 // restorationSweep plans the network with one scheme, then restores every
-// 1-fiber failure scenario against that base.
-func restorationSweep(n workload.Network, cat transponder.Catalog, extraSpares map[string]int) (restore.SweepResult, *plan.Result, error) {
+// 1-fiber failure scenario against that base, workers scenarios at a time.
+func restorationSweep(n workload.Network, cat transponder.Catalog, extraSpares map[string]int, workers int) (restore.SweepResult, *plan.Result, error) {
 	base, err := planScheme(n, cat)
 	if err != nil {
 		return restore.SweepResult{}, nil, err
 	}
-	sweep, err := restore.Sweep(restore.Problem{
+	sweep, err := restore.SweepWithOptions(restore.Problem{
 		Optical:     n.Optical,
 		IP:          n.IP,
 		Catalog:     cat,
 		Grid:        spectrum.DefaultGrid(),
 		Base:        base,
 		ExtraSpares: extraSpares,
-	}, restore.SingleFiberScenarios(n.Optical))
+	}, restore.SingleFiberScenarios(n.Optical), sweepOpts(workers))
 	if err != nil {
 		return restore.SweepResult{}, nil, err
 	}
@@ -39,19 +45,24 @@ type Fig15a struct {
 	Network    string
 	Stretch    CDF
 	FracLonger float64
+	// FailedScenarios counts 1-failure cases whose restoration solve
+	// failed and were excluded from the distribution.
+	FailedScenarios int
 }
 
 // Fig15aRestoredPathGaps measures FlexWAN's restoration path stretch.
-func Fig15aRestoredPathGaps(n workload.Network) (Fig15a, error) {
-	sweep, _, err := restorationSweep(n, transponder.SVT(), nil)
+// workers bounds the concurrent scenario solves (0 = all cores).
+func Fig15aRestoredPathGaps(n workload.Network, workers int) (Fig15a, error) {
+	sweep, _, err := restorationSweep(n, transponder.SVT(), nil, workers)
 	if err != nil {
 		return Fig15a{}, err
 	}
 	cdf := NewCDF(sweep.PathStretches())
 	return Fig15a{
-		Network:    n.Name,
-		Stretch:    cdf,
-		FracLonger: 1 - cdf.FractionBelow(1),
+		Network:         n.Name,
+		Stretch:         cdf,
+		FracLonger:      1 - cdf.FractionBelow(1),
+		FailedScenarios: sweep.Failed(),
 	}, nil
 }
 
@@ -68,8 +79,9 @@ type Fig15b struct {
 	Capability map[string][]float64 // scheme → mean capability per scale; −1 when planning infeasible
 }
 
-// Fig15bRestorationVsScale sweeps scales and schemes.
-func Fig15bRestorationVsScale(n workload.Network, scales []float64) (Fig15b, error) {
+// Fig15bRestorationVsScale sweeps scales and schemes. workers bounds the
+// concurrent scenario solves within each sweep (0 = all cores).
+func Fig15bRestorationVsScale(n workload.Network, scales []float64, workers int) (Fig15b, error) {
 	out := Fig15b{
 		Network:    n.Name,
 		Scales:     scales,
@@ -86,10 +98,10 @@ func Fig15bRestorationVsScale(n workload.Network, scales []float64) (Fig15b, err
 				out.Capability[cat.Name] = append(out.Capability[cat.Name], -1)
 				continue
 			}
-			sweep, err := restore.Sweep(restore.Problem{
+			sweep, err := restore.SweepWithOptions(restore.Problem{
 				Optical: n.Optical, IP: scaled.IP, Catalog: cat,
 				Grid: spectrum.DefaultGrid(), Base: base,
-			}, restore.SingleFiberScenarios(n.Optical))
+			}, restore.SingleFiberScenarios(n.Optical), sweepOpts(workers))
 			if err != nil {
 				return Fig15b{}, err
 			}
@@ -133,8 +145,9 @@ type Fig16 struct {
 
 // Fig16RestorationCDF sweeps all 1-failure scenarios at the given scale.
 // FlexWAN+ gives every link extra spares equal to half the transponders
-// FlexWAN saved against RADWAN (§8).
-func Fig16RestorationCDF(n workload.Network, scale float64) (Fig16, error) {
+// FlexWAN saved against RADWAN (§8). workers bounds the concurrent
+// scenario solves (0 = all cores).
+func Fig16RestorationCDF(n workload.Network, scale float64, workers int) (Fig16, error) {
 	scaled := n.Scale(scale)
 	out := Fig16{
 		Network:    n.Name,
@@ -150,10 +163,10 @@ func Fig16RestorationCDF(n workload.Network, scale float64) (Fig16, error) {
 		if !base.Feasible() {
 			continue // scheme cannot even serve the load; omitted as in Fig 12
 		}
-		sweep, err := restore.Sweep(restore.Problem{
+		sweep, err := restore.SweepWithOptions(restore.Problem{
 			Optical: n.Optical, IP: scaled.IP, Catalog: cat,
 			Grid: spectrum.DefaultGrid(), Base: base,
-		}, restore.SingleFiberScenarios(n.Optical))
+		}, restore.SingleFiberScenarios(n.Optical), sweepOpts(workers))
 		if err != nil {
 			return Fig16{}, err
 		}
@@ -167,10 +180,10 @@ func Fig16RestorationCDF(n workload.Network, scale float64) (Fig16, error) {
 	}
 	if flexBase != nil && radBase != nil {
 		spares := restore.PlusSpares(flexBase, radBase, 0.5)
-		sweep, err := restore.Sweep(restore.Problem{
+		sweep, err := restore.SweepWithOptions(restore.Problem{
 			Optical: n.Optical, IP: scaled.IP, Catalog: transponder.SVT(),
 			Grid: spectrum.DefaultGrid(), Base: flexBase, ExtraSpares: spares,
-		}, restore.SingleFiberScenarios(n.Optical))
+		}, restore.SingleFiberScenarios(n.Optical), sweepOpts(workers))
 		if err != nil {
 			return Fig16{}, err
 		}
@@ -207,8 +220,9 @@ type ProbabilisticRestoration struct {
 }
 
 // ProbabilisticRestorationSweep samples n multi-fiber scenarios and
-// restores each against every scheme's plan.
-func ProbabilisticRestorationSweep(n workload.Network, scale float64, seed int64, scenarios int, cutsPerThousandKm float64) (ProbabilisticRestoration, error) {
+// restores each against every scheme's plan, workers scenarios at a
+// time (0 = all cores).
+func ProbabilisticRestorationSweep(n workload.Network, scale float64, seed int64, scenarios int, cutsPerThousandKm float64, workers int) (ProbabilisticRestoration, error) {
 	scaled := n.Scale(scale)
 	out := ProbabilisticRestoration{
 		Network:    n.Name,
@@ -226,10 +240,10 @@ func ProbabilisticRestorationSweep(n workload.Network, scale float64, seed int64
 			out.Capability[cat.Name] = -1
 			continue
 		}
-		sweep, err := restore.Sweep(restore.Problem{
+		sweep, err := restore.SweepWithOptions(restore.Problem{
 			Optical: n.Optical, IP: scaled.IP, Catalog: cat,
 			Grid: spectrum.DefaultGrid(), Base: base,
-		}, scs)
+		}, scs, sweepOpts(workers))
 		if err != nil {
 			return ProbabilisticRestoration{}, err
 		}

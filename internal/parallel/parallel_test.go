@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	// Results must land at their input index for every worker count,
+	// even when completion order is scrambled.
+	const n = 64
+	for _, workers := range []int{1, 2, 4, 16, 0} {
+		results, errs := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			if i%3 == 0 {
+				time.Sleep(time.Duration(i%5) * time.Millisecond)
+			}
+			return i * i, nil
+		})
+		if err := First(errs); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range results {
+			if r != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestMapPerItemErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	results, errs := Map(context.Background(), 4, 10, func(_ context.Context, i int) (string, error) {
+		if i%2 == 1 {
+			return "", fmt.Errorf("item %d: %w", i, sentinel)
+		}
+		return fmt.Sprintf("ok-%d", i), nil
+	})
+	for i := 0; i < 10; i++ {
+		if i%2 == 1 {
+			if !errors.Is(errs[i], sentinel) {
+				t.Errorf("errs[%d] = %v, want sentinel", i, errs[i])
+			}
+		} else if errs[i] != nil || results[i] != fmt.Sprintf("ok-%d", i) {
+			t.Errorf("item %d: result %q err %v", i, results[i], errs[i])
+		}
+	}
+}
+
+func TestMapPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		results, errs := Map(context.Background(), workers, 6, func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("worker exploded")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(errs[3], &pe) {
+			t.Fatalf("workers=%d: errs[3] = %v, want PanicError", workers, errs[3])
+		}
+		if pe.Value != "worker exploded" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: panic value %v, stack %d bytes", workers, pe.Value, len(pe.Stack))
+		}
+		for i := range results {
+			if i != 3 && (errs[i] != nil || results[i] != i) {
+				t.Errorf("workers=%d: item %d corrupted by sibling panic: %d, %v", workers, i, results[i], errs[i])
+			}
+		}
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		_, errs := Map(ctx, workers, 100, func(_ context.Context, i int) (int, error) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return i, nil
+		})
+		cancel()
+		cancelled := 0
+		for _, err := range errs {
+			if errors.Is(err, context.Canceled) {
+				cancelled++
+			}
+		}
+		if cancelled == 0 {
+			t.Errorf("workers=%d: no items marked cancelled", workers)
+		}
+		if int(ran.Load())+cancelled < 100 {
+			t.Errorf("workers=%d: ran %d + cancelled %d < 100", workers, ran.Load(), cancelled)
+		}
+	}
+}
+
+func TestMapEmptyAndNilContext(t *testing.T) {
+	results, errs := Map[int](nil, 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if len(results) != 0 || len(errs) != 0 {
+		t.Errorf("empty input returned %d results, %d errs", len(results), len(errs))
+	}
+	// nil ctx with real work must not crash.
+	r, e := Map[int](nil, 2, 3, func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if err := First(e); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 1 || r[1] != 2 || r[2] != 3 {
+		t.Errorf("results = %v", r)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	errs := ForEach(context.Background(), 0, 50, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	})
+	if err := First(errs); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 49*50/2 {
+		t.Errorf("sum = %d, want %d", sum.Load(), 49*50/2)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	if First(nil) != nil {
+		t.Error("First(nil) non-nil")
+	}
+	if First([]error{nil, nil}) != nil {
+		t.Error("First all-nil non-nil")
+	}
+	e := errors.New("x")
+	if First([]error{nil, e, errors.New("y")}) != e {
+		t.Error("First skipped the first error")
+	}
+}

@@ -1,9 +1,12 @@
 package plan
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
+	"flexwan/internal/parallel"
 	"flexwan/internal/solver"
 	"flexwan/internal/spectrum"
 	"flexwan/internal/topology"
@@ -412,28 +415,41 @@ func TestHeuristicMatchesExactCount(t *testing.T) {
 	}{
 		{100, 1}, {300, 1}, {500, 2}, {600, 2}, {900, 3},
 	}
-	for _, tc := range cases {
-		p := Problem{
+	// Problems are built on the test goroutine (the helpers may t.Fatal);
+	// the independent heuristic-vs-exact solves then run concurrently,
+	// which also exercises Solve/SolveExact under -race.
+	probs := make([]Problem, len(cases))
+	for i, tc := range cases {
+		probs[i] = Problem{
 			Optical: lineTopology(t),
 			IP:      ipLinks(t, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: tc.demand}),
 			Catalog: transponder.RADWAN(),
 			Grid:    spectrum.Grid{PixelGHz: 12.5, Pixels: 24},
 			K:       1,
 		}
-		h, err := Solve(p)
+	}
+	errs := parallel.ForEach(context.Background(), 0, len(cases), func(_ context.Context, i int) error {
+		tc := cases[i]
+		h, err := Solve(probs[i])
 		if err != nil {
-			t.Fatal(err)
+			return fmt.Errorf("demand %d: heuristic: %w", tc.demand, err)
 		}
-		e, err := SolveExact(p, solver.Options{MaxNodes: 50000})
+		e, err := SolveExact(probs[i], solver.Options{MaxNodes: 50000})
 		if err != nil {
-			t.Fatal(err)
+			return fmt.Errorf("demand %d: exact: %w", tc.demand, err)
 		}
 		if h.Transponders() != e.Transponders() {
-			t.Errorf("demand %d: heuristic %d vs exact %d transponders",
+			return fmt.Errorf("demand %d: heuristic %d vs exact %d transponders",
 				tc.demand, h.Transponders(), e.Transponders())
 		}
 		if e.Transponders() != tc.want {
-			t.Errorf("demand %d: exact = %d, want %d", tc.demand, e.Transponders(), tc.want)
+			return fmt.Errorf("demand %d: exact = %d, want %d", tc.demand, e.Transponders(), tc.want)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
 		}
 	}
 }

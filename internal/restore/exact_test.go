@@ -1,8 +1,11 @@
 package restore
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"flexwan/internal/parallel"
 	"flexwan/internal/solver"
 	"flexwan/internal/spectrum"
 	"flexwan/internal/transponder"
@@ -41,28 +44,37 @@ func TestSolveExactFig4(t *testing.T) {
 
 func TestExactNeverWorseThanHeuristic(t *testing.T) {
 	// The exact optimum upper-bounds the heuristic on every 1-failure
-	// scenario of the ring.
+	// scenario of the ring. Scenarios are independent, so they run
+	// concurrently — which also exercises Solve/SolveExact under -race.
 	g := ring(t)
 	grid := spectrum.Grid{PixelGHz: 12.5, Pixels: 20}
 	p, r := planFor(t, g, ipAB(t, 900), transponder.SVT(), grid)
-	for _, sc := range SingleFiberScenarios(g) {
+	scs := SingleFiberScenarios(g)
+	errs := parallel.ForEach(context.Background(), 0, len(scs), func(_ context.Context, i int) error {
+		sc := scs[i]
 		base := Problem{
 			Optical: g, IP: p.IP, Catalog: p.Catalog, Grid: grid, Base: r,
 			Scenario: sc, K: 2,
 		}
 		h, err := Solve(base)
 		if err != nil {
-			t.Fatal(err)
+			return fmt.Errorf("%s: heuristic: %w", sc.ID, err)
 		}
 		e, err := SolveExact(base, solver.Options{MaxNodes: 50000})
 		if err != nil {
-			t.Fatal(err)
+			return fmt.Errorf("%s: exact: %w", sc.ID, err)
 		}
 		if e.RestoredGbps < h.RestoredGbps {
-			t.Errorf("%s: exact %d < heuristic %d", sc.ID, e.RestoredGbps, h.RestoredGbps)
+			return fmt.Errorf("%s: exact %d < heuristic %d", sc.ID, e.RestoredGbps, h.RestoredGbps)
 		}
 		if e.RestoredGbps > e.AffectedGbps {
-			t.Errorf("%s: exact restored %d > affected %d", sc.ID, e.RestoredGbps, e.AffectedGbps)
+			return fmt.Errorf("%s: exact restored %d > affected %d", sc.ID, e.RestoredGbps, e.AffectedGbps)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
 		}
 	}
 }

@@ -19,9 +19,11 @@
 package restore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"flexwan/internal/parallel"
 	"flexwan/internal/plan"
 	"flexwan/internal/spectrum"
 	"flexwan/internal/topology"
@@ -300,26 +302,78 @@ func restoreOne(p Problem, alloc *spectrum.Allocator, linkID string, paths []top
 	return Restored{}, false
 }
 
+// ScenarioError records one scenario whose solve failed during a sweep.
+type ScenarioError struct {
+	// ID is the failing scenario's identifier.
+	ID  string
+	Err error
+}
+
+func (e ScenarioError) Error() string {
+	return fmt.Sprintf("restore: scenario %s: %v", e.ID, e.Err)
+}
+
+// Unwrap exposes the underlying solve error to errors.Is/As.
+func (e ScenarioError) Unwrap() error { return e.Err }
+
 // SweepResult aggregates restoration over a scenario set.
 type SweepResult struct {
+	// Results holds the successfully restored scenarios in input order.
+	// Scenarios whose solve failed are absent here and recorded in
+	// Errors instead, so one infeasible cut cannot void a whole sweep.
 	Results []*Result
+	// Errors lists the failed scenarios (input order). Aggregate metrics
+	// (MeanCapability, Capabilities, PathStretches) are computed over
+	// Results only.
+	Errors []ScenarioError
+}
+
+// Failed returns the number of scenarios whose solve failed.
+func (s SweepResult) Failed() int { return len(s.Errors) }
+
+// FailedIDs returns the IDs of the failed scenarios in input order.
+func (s SweepResult) FailedIDs() []string {
+	if len(s.Errors) == 0 {
+		return nil
+	}
+	ids := make([]string, len(s.Errors))
+	for i, e := range s.Errors {
+		ids[i] = e.ID
+	}
+	return ids
 }
 
 // MeanCapability returns the probability-weighted mean restoration
-// capability over the sweep (Fig. 15b's y-axis).
+// capability over the sweep (Fig. 15b's y-axis). When every scenario in
+// the sweep has an unset probability (<= 0) the mean is unweighted;
+// otherwise scenarios with non-positive probabilities contribute
+// nothing — mixing defaulted weight-1 entries into a probabilistic set
+// (p ≈ 1e-4) would skew the mean by orders of magnitude.
 func (s SweepResult) MeanCapability() float64 {
 	if len(s.Results) == 0 {
 		return 1
+	}
+	allUnset := true
+	for _, r := range s.Results {
+		if r.Scenario.Probability > 0 {
+			allUnset = false
+			break
+		}
 	}
 	totalP := 0.0
 	sum := 0.0
 	for _, r := range s.Results {
 		p := r.Scenario.Probability
-		if p <= 0 {
+		if allUnset {
 			p = 1
+		} else if p <= 0 {
+			continue
 		}
 		totalP += p
 		sum += p * r.Capability()
+	}
+	if totalP == 0 {
+		return 1
 	}
 	return sum / totalP
 }
@@ -350,17 +404,54 @@ func (s SweepResult) PathStretches() []float64 {
 	return out
 }
 
-// Sweep restores every scenario against the same base plan.
+// SweepOptions tune a scenario sweep.
+type SweepOptions struct {
+	// Workers is the number of scenarios solved concurrently: 0 (the
+	// default) uses runtime.GOMAXPROCS, 1 forces the sequential path.
+	// Every worker clones the per-scenario state (allocator, post-cut
+	// topology) and treats the base Problem as read-only, so results are
+	// identical for every worker count.
+	Workers int
+	// Context, when non-nil, cancels the sweep early; undispatched
+	// scenarios are recorded as failed with the context's error.
+	Context context.Context
+}
+
+// Sweep restores every scenario against the same base plan with default
+// options (all cores).
 func Sweep(base Problem, scenarios []Scenario) (SweepResult, error) {
-	var out SweepResult
-	for _, sc := range scenarios {
+	return SweepWithOptions(base, scenarios, SweepOptions{})
+}
+
+// SweepWithOptions restores every scenario against the same base plan.
+// Scenarios are independent solves, so they run on a bounded worker
+// pool; results keep the input scenario order regardless of completion
+// order. A scenario whose solve fails is recorded in SweepResult.Errors
+// and the sweep continues; the returned error is non-nil only when the
+// sweep was cancelled or every scenario failed.
+func SweepWithOptions(base Problem, scenarios []Scenario, opts SweepOptions) (SweepResult, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, errs := parallel.Map(ctx, opts.Workers, len(scenarios), func(ctx context.Context, i int) (*Result, error) {
 		p := base
-		p.Scenario = sc
-		r, err := Solve(p)
-		if err != nil {
-			return SweepResult{}, fmt.Errorf("restore: scenario %s: %w", sc.ID, err)
+		p.Scenario = scenarios[i]
+		return Solve(p)
+	})
+	var out SweepResult
+	for i, sc := range scenarios {
+		if errs[i] != nil {
+			out.Errors = append(out.Errors, ScenarioError{ID: sc.ID, Err: errs[i]})
+			continue
 		}
-		out.Results = append(out.Results, r)
+		out.Results = append(out.Results, results[i])
+	}
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("restore: sweep cancelled after %d/%d scenarios: %w", len(out.Results), len(scenarios), err)
+	}
+	if len(scenarios) > 0 && len(out.Results) == 0 {
+		return out, fmt.Errorf("restore: all %d scenarios failed: %w", len(scenarios), out.Errors[0])
 	}
 	return out, nil
 }

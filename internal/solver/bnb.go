@@ -80,6 +80,10 @@ func (m *Model) branchAndBound(opts Options) Solution {
 	heap.Push(queue, &bbNode{bound: root.Objective})
 	nodes := 0
 	bestBound := root.Objective
+	// provenOptimal distinguishes the two early exits below: pruning
+	// against the incumbent proves optimality, while the RelGap stop
+	// only proves the incumbent is within the requested gap.
+	provenOptimal := true
 
 	for queue.Len() > 0 {
 		if nodes >= opts.MaxNodes {
@@ -96,10 +100,13 @@ func (m *Model) branchAndBound(opts Options) Solution {
 		// Prune against the incumbent.
 		if incumbent != nil {
 			if !betterObj(node.bound, incumbent.Objective) {
-				// Best-first order: every remaining node is no better.
+				// Best-first order: every remaining node is no better,
+				// so the incumbent is optimal.
+				bestBound = incumbent.Objective
 				break
 			}
 			if relGap(incumbent.Objective, node.bound) <= opts.RelGap {
+				provenOptimal = false
 				break
 			}
 		}
@@ -162,10 +169,21 @@ func (m *Model) branchAndBound(opts Options) Solution {
 	if incumbent == nil {
 		return Solution{Status: Infeasible, Nodes: nodes}
 	}
-	incumbent.Status = Optimal
 	incumbent.Nodes = nodes
-	if queue.Len() > 0 {
+	if provenOptimal {
+		// Queue exhausted or every remaining bound no better than the
+		// incumbent: optimality is proven regardless of bestBound.
+		incumbent.Gap = 0
+		incumbent.Status = Optimal
+	} else {
+		// RelGap stop: bestBound (the last popped, most promising bound)
+		// is all the search proved.
 		incumbent.Gap = relGap(incumbent.Objective, bestBound)
+		if incumbent.Gap <= intTol {
+			incumbent.Status = Optimal
+		} else {
+			incumbent.Status = GapLimit
+		}
 	}
 	return *incumbent
 }

@@ -153,6 +153,11 @@ const (
 	// LimitReached means the node or iteration budget ran out before the
 	// search completed; Solution carries the incumbent if one exists.
 	LimitReached
+	// GapLimit means branch-and-bound stopped at the requested relative
+	// optimality gap (Options.RelGap) with a nonzero proven gap: the
+	// incumbent is within that gap of optimal but not proven optimal.
+	// Solution.Gap carries the proven gap.
+	GapLimit
 )
 
 func (s Status) String() string {
@@ -163,6 +168,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case GapLimit:
+		return "gap-limit"
 	default:
 		return "limit-reached"
 	}

@@ -336,6 +336,7 @@ func TestStatusStrings(t *testing.T) {
 	for s, want := range map[Status]string{
 		Optimal: "optimal", Infeasible: "infeasible",
 		Unbounded: "unbounded", LimitReached: "limit-reached",
+		GapLimit: "gap-limit",
 	} {
 		if s.String() != want {
 			t.Errorf("Status(%d).String() = %s", s, s.String())
@@ -346,6 +347,44 @@ func TestStatusStrings(t *testing.T) {
 	}
 	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
 		t.Error("Rel strings wrong")
+	}
+}
+
+// TestMIPRelGapStop forces the RelGap early exit: max x + y subject to
+// 2x + 2y ≤ 3 over binaries has LP bound 1.5 but integer optimum 1, a
+// proven 50% gap at the first incumbent. A loose RelGap must stop there
+// and report GapLimit — not claim the incumbent Optimal — while the
+// default tight gap must prove optimality with Gap 0.
+func TestMIPRelGapStop(t *testing.T) {
+	build := func() *Model {
+		m := NewModel("relgap", Maximize)
+		x := m.AddBinVar("x", 1)
+		y := m.AddBinVar("y", 1)
+		mustCon(t, m, "pack", []Term{{x, 2}, {y, 2}}, LE, 3)
+		return m
+	}
+
+	s := build().SolveWithOptions(Options{RelGap: 0.6})
+	if s.Status != GapLimit {
+		t.Fatalf("RelGap-stopped search status = %v, want gap-limit", s.Status)
+	}
+	if !approx(s.Objective, 1) {
+		t.Errorf("incumbent objective = %v, want 1", s.Objective)
+	}
+	if s.Gap <= intTol || s.Gap > 0.6 {
+		t.Errorf("proven gap = %v, want within (%v, 0.6]", s.Gap, intTol)
+	}
+
+	// Default options run the search to an optimality proof.
+	s = build().SolveWithOptions(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("full search status = %v, want optimal", s.Status)
+	}
+	if !approx(s.Objective, 1) {
+		t.Errorf("optimal objective = %v, want 1", s.Objective)
+	}
+	if s.Gap > intTol {
+		t.Errorf("proven-optimal Gap = %v, want 0", s.Gap)
 	}
 }
 

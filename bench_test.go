@@ -67,16 +67,22 @@ func BenchmarkTable2Testbed(b *testing.B) {
 	b.ReportMetric(float64(matched), "rows-within-1-span")
 }
 
+// BenchmarkFig12Planning regenerates Fig 12 at each worker count: the
+// (scheme, scale) plans are independent and now run through the pool.
 func BenchmarkFig12Planning(b *testing.B) {
-	var flexMax float64
-	for i := 0; i < b.N; i++ {
-		f, err := eval.Fig12HardwareVsScale(tb, []float64{1, 2, 3, 4, 5, 6, 7, 8})
-		if err != nil {
-			b.Fatal(err)
-		}
-		flexMax = f.MaxScale["FlexWAN"]
+	for _, workers := range benchWorkerCounts() {
+		b.Run(bName("workers", workers), func(b *testing.B) {
+			var flexMax float64
+			for i := 0; i < b.N; i++ {
+				f, err := eval.Fig12HardwareVsScale(tb, []float64{1, 2, 3, 4, 5, 6, 7, 8}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flexMax = f.MaxScale["FlexWAN"]
+			}
+			b.ReportMetric(flexMax, "flexwan-max-scale")
+		})
 	}
-	b.ReportMetric(flexMax, "flexwan-max-scale")
 }
 
 func BenchmarkFig13aTopologies(b *testing.B) {
@@ -364,19 +370,23 @@ func BenchmarkHeuristicVsExact(b *testing.B) {
 		Optical: g, IP: ip, Catalog: transponder.RADWAN(),
 		Grid: spectrum.Grid{PixelGHz: 12.5, Pixels: 24}, K: 2,
 	}
-	var gap float64
-	for i := 0; i < b.N; i++ {
-		h, err := plan.Solve(p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 50000})
-		if err != nil {
-			b.Fatal(err)
-		}
-		gap = float64(h.Transponders() - e.Transponders())
+	for _, workers := range eval.SolverBenchWorkerCounts() {
+		b.Run(bName("solver-workers", workers), func(b *testing.B) {
+			var gap float64
+			for i := 0; i < b.N; i++ {
+				h, err := plan.Solve(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := plan.SolveExact(p, solver.Options{MaxNodes: 50000, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gap = float64(h.Transponders() - e.Transponders())
+			}
+			b.ReportMetric(gap, "heuristic-minus-exact-tx")
+		})
 	}
-	b.ReportMetric(gap, "heuristic-minus-exact-tx")
 }
 
 // --- Core-primitive micro-benchmarks ---
@@ -562,39 +572,37 @@ func BenchmarkIncrementalVsReplan(b *testing.B) {
 // BenchmarkExactScaling shows how the exact MIP's cost grows with the
 // spectrum grid (the paper's Gurobi runs take "hours" at production
 // size; the heuristic stays near-instant — this bench quantifies the
-// gap on solvable instances).
+// gap on solvable instances). The exact solves run once per worker
+// count on a fixed ladder so the branch-and-bound speedup is visible on
+// any machine; sub-runs also cross-check that the objective is
+// identical at every worker count.
 func BenchmarkExactScaling(b *testing.B) {
-	mk := func(pixels int) plan.Problem {
-		g := topology.New()
-		if err := g.AddFiber("f1", "A", "B", 100); err != nil {
+	for _, pixels := range []int{16, 20, 24, 32} {
+		p, err := eval.ExactScalingProblem(pixels)
+		if err != nil {
 			b.Fatal(err)
 		}
-		if err := g.AddFiber("f2", "B", "C", 400); err != nil {
-			b.Fatal(err)
-		}
-		ip := &topology.IPTopology{}
-		for _, l := range []topology.IPLink{
-			{ID: "e1", A: "A", B: "B", DemandGbps: 300},
-			{ID: "e2", A: "A", B: "C", DemandGbps: 200},
-		} {
-			if err := ip.AddLink(l); err != nil {
-				b.Fatal(err)
-			}
-		}
-		return plan.Problem{
-			Optical: g, IP: ip, Catalog: transponder.RADWAN(),
-			Grid: spectrum.Grid{PixelGHz: 12.5, Pixels: pixels}, K: 1,
-		}
-	}
-	for _, pixels := range []int{16, 20, 24} {
-		p := mk(pixels)
-		b.Run("exact/pixels="+itoa(pixels), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000}); err != nil {
-					b.Fatal(err)
+		var refObjective float64
+		for _, workers := range eval.SolverBenchWorkerCounts() {
+			b.Run("exact/pixels="+itoa(pixels)+"/"+bName("workers", workers), func(b *testing.B) {
+				var last *plan.Result
+				for i := 0; i < b.N; i++ {
+					last, err = plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+				if workers == 1 {
+					refObjective = last.Solver.Objective
+				} else if refObjective != 0 && last.Solver.Objective != refObjective {
+					// refObjective stays 0 when -bench filters out the
+					// workers=1 sub-run; skip the cross-check then.
+					b.Fatalf("objective %v at workers=%d differs from workers=1 objective %v",
+						last.Solver.Objective, workers, refObjective)
+				}
+				b.ReportMetric(float64(last.Solver.Nodes), "bnb-nodes")
+			})
+		}
 		b.Run("heuristic/pixels="+itoa(pixels), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := plan.Solve(p); err != nil {

@@ -8,26 +8,33 @@
 //	flexwan-experiments                 # run everything
 //	flexwan-experiments -fig 12,16      # selected figures
 //	flexwan-experiments -seed 7         # different synthetic T-backbone
-//	flexwan-experiments -workers 8      # restoration-sweep parallelism
+//	flexwan-experiments -workers 8      # sweep parallelism
 //	                                      (0 = all cores, 1 = sequential)
+//	flexwan-experiments -fig exact -solver-workers 4
+//	                                    # exact cross-check, parallel B&B
+//	flexwan-experiments -fig bench      # solver benchmarks → BENCH_solver.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"flexwan/internal/eval"
 	"flexwan/internal/workload"
 )
 
 func main() {
-	figFlag := flag.String("fig", "all", "comma-separated figures to run: 2a,2b,3,table2,gn,12,13a,13b,14,15a,15b,16,prob,headline or 'all'")
+	figFlag := flag.String("fig", "all", "comma-separated figures to run: 2a,2b,3,table2,gn,12,13a,13b,14,15a,15b,16,prob,headline,exact or 'all'; 'bench' runs solver benchmarks (never part of 'all')")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic T-backbone")
 	csvDir := flag.String("csv", "", "also write plotting-ready CSV files into this directory")
-	workers := flag.Int("workers", 0, "concurrent restoration-scenario solves per sweep (0 = all cores, 1 = sequential)")
+	workers := flag.Int("workers", 0, "concurrent scenario/plan solves per sweep (0 = all cores, 1 = sequential)")
+	solverWorkers := flag.Int("solver-workers", 0, "branch-and-bound workers per exact MIP solve (0 = all cores)")
+	benchOut := flag.String("bench-out", "BENCH_solver.json", "output path for the 'bench' mode record")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -93,7 +100,7 @@ func main() {
 		fmt.Println(r)
 	}
 	if run("12") {
-		f, err := eval.Fig12HardwareVsScale(tb, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+		f, err := eval.Fig12HardwareVsScale(tb, []float64{1, 2, 3, 4, 5, 6, 7, 8}, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -162,5 +169,33 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(f)
+	}
+	if run("exact") {
+		rows, err := eval.ExactCrossCheck([]int{16, 20, 24}, *solverWorkers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.ExactCheckString(rows))
+	}
+	// Solver benchmarks are expensive and machine-dependent, so they run
+	// only when asked for explicitly — never as part of "all".
+	if want["bench"] {
+		counts := eval.SolverBenchWorkerCounts()
+		if *solverWorkers > 0 {
+			counts = []int{1, *solverWorkers}
+		}
+		bench, err := eval.SolverBenchmarks([]int{16, 20, 24, 32}, counts, 3, 300*time.Millisecond)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench)
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *benchOut)
 	}
 }

@@ -117,7 +117,7 @@ func TestTable2Sweep(t *testing.T) {
 
 func TestFig12AndHeadlines(t *testing.T) {
 	n := workload.TBackbone(1)
-	f, err := Fig12HardwareVsScale(n, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	f, err := Fig12HardwareVsScale(n, []float64{1, 2, 3, 4, 5, 6, 7, 8}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"flexwan/internal/parallel"
 	"flexwan/internal/plan"
 	"flexwan/internal/spectrum"
 	"flexwan/internal/transponder"
@@ -42,8 +44,9 @@ type Fig12 struct {
 }
 
 // Fig12HardwareVsScale sweeps demands from 1× upward in the given
-// scales (e.g. 1..8).
-func Fig12HardwareVsScale(n workload.Network, scales []float64) (Fig12, error) {
+// scales (e.g. 1..8). The (scheme, scale) points are independent plans,
+// so they run through the shared worker pool (workers ≤ 0 = GOMAXPROCS).
+func Fig12HardwareVsScale(n workload.Network, scales []float64, workers int) (Fig12, error) {
 	out := Fig12{
 		Network:      n.Name,
 		Scales:       scales,
@@ -51,22 +54,42 @@ func Fig12HardwareVsScale(n workload.Network, scales []float64) (Fig12, error) {
 		SpectrumGHz:  make(map[string][]float64),
 		MaxScale:     make(map[string]float64),
 	}
-	for _, cat := range Schemes() {
+	schemes := Schemes()
+	type point struct {
+		cat   transponder.Catalog
+		scale float64
+	}
+	points := make([]point, 0, len(schemes)*len(scales))
+	for _, cat := range schemes {
 		for _, scale := range scales {
-			res, err := planScheme(n.Scale(scale), cat)
+			points = append(points, point{cat, scale})
+		}
+	}
+	results, errs := parallel.Map(context.Background(), parallel.Workers(workers), len(points),
+		func(_ context.Context, i int) (*plan.Result, error) {
+			pt := points[i]
+			res, err := planScheme(n.Scale(pt.scale), pt.cat)
 			if err != nil {
-				return Fig12{}, fmt.Errorf("eval: %s at %gx: %w", cat.Name, scale, err)
+				return nil, fmt.Errorf("eval: %s at %gx: %w", pt.cat.Name, pt.scale, err)
 			}
-			if res.Feasible() {
-				out.Transponders[cat.Name] = append(out.Transponders[cat.Name], res.Transponders())
-				out.SpectrumGHz[cat.Name] = append(out.SpectrumGHz[cat.Name], res.SpectrumGHz())
-				if scale > out.MaxScale[cat.Name] {
-					out.MaxScale[cat.Name] = scale
-				}
-			} else {
-				out.Transponders[cat.Name] = append(out.Transponders[cat.Name], -1)
-				out.SpectrumGHz[cat.Name] = append(out.SpectrumGHz[cat.Name], -1)
+			return res, nil
+		})
+	for _, err := range errs {
+		if err != nil {
+			return Fig12{}, err
+		}
+	}
+	for i, res := range results {
+		pt := points[i]
+		if res.Feasible() {
+			out.Transponders[pt.cat.Name] = append(out.Transponders[pt.cat.Name], res.Transponders())
+			out.SpectrumGHz[pt.cat.Name] = append(out.SpectrumGHz[pt.cat.Name], res.SpectrumGHz())
+			if pt.scale > out.MaxScale[pt.cat.Name] {
+				out.MaxScale[pt.cat.Name] = pt.scale
 			}
+		} else {
+			out.Transponders[pt.cat.Name] = append(out.Transponders[pt.cat.Name], -1)
+			out.SpectrumGHz[pt.cat.Name] = append(out.SpectrumGHz[pt.cat.Name], -1)
 		}
 	}
 	return out, nil

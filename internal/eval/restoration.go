@@ -1,9 +1,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"flexwan/internal/parallel"
 	"flexwan/internal/plan"
 	"flexwan/internal/restore"
 	"flexwan/internal/spectrum"
@@ -79,34 +81,55 @@ type Fig15b struct {
 	Capability map[string][]float64 // scheme → mean capability per scale; −1 when planning infeasible
 }
 
-// Fig15bRestorationVsScale sweeps scales and schemes. workers bounds the
-// concurrent scenario solves within each sweep (0 = all cores).
+// Fig15bRestorationVsScale sweeps scales and schemes. The (scheme, scale)
+// points run through the worker pool; the scenario sweeps inside each
+// point then run sequentially, so the total concurrency stays bounded by
+// workers (0 = all cores).
 func Fig15bRestorationVsScale(n workload.Network, scales []float64, workers int) (Fig15b, error) {
 	out := Fig15b{
 		Network:    n.Name,
 		Scales:     scales,
 		Capability: make(map[string][]float64),
 	}
-	for _, cat := range Schemes() {
+	schemes := Schemes()
+	type point struct {
+		cat   transponder.Catalog
+		scale float64
+	}
+	points := make([]point, 0, len(schemes)*len(scales))
+	for _, cat := range schemes {
 		for _, scale := range scales {
-			scaled := n.Scale(scale)
-			base, err := planScheme(scaled, cat)
+			points = append(points, point{cat, scale})
+		}
+	}
+	caps, errs := parallel.Map(context.Background(), parallel.Workers(workers), len(points),
+		func(ctx context.Context, i int) (float64, error) {
+			pt := points[i]
+			scaled := n.Scale(pt.scale)
+			base, err := planScheme(scaled, pt.cat)
 			if err != nil {
-				return Fig15b{}, err
+				return 0, err
 			}
 			if !base.Feasible() {
-				out.Capability[cat.Name] = append(out.Capability[cat.Name], -1)
-				continue
+				return -1, nil
 			}
 			sweep, err := restore.SweepWithOptions(restore.Problem{
-				Optical: n.Optical, IP: scaled.IP, Catalog: cat,
+				Optical: n.Optical, IP: scaled.IP, Catalog: pt.cat,
 				Grid: spectrum.DefaultGrid(), Base: base,
-			}, restore.SingleFiberScenarios(n.Optical), sweepOpts(workers))
+			}, restore.SingleFiberScenarios(n.Optical),
+				restore.SweepOptions{Workers: 1, Context: ctx})
 			if err != nil {
-				return Fig15b{}, err
+				return 0, err
 			}
-			out.Capability[cat.Name] = append(out.Capability[cat.Name], sweep.MeanCapability())
+			return sweep.MeanCapability(), nil
+		})
+	for _, err := range errs {
+		if err != nil {
+			return Fig15b{}, err
 		}
+	}
+	for i, c := range caps {
+		out.Capability[points[i].cat.Name] = append(out.Capability[points[i].cat.Name], c)
 	}
 	return out, nil
 }

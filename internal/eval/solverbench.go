@@ -1,0 +1,226 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"flexwan/internal/plan"
+	"flexwan/internal/solver"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+// ExactScalingProblem builds the seed exact-planning instance used by
+// BenchmarkExactScaling and the `bench` experiment mode: a two-fiber line
+// A—B—C with two IP links on the RADWAN catalog over a pixels-wide grid.
+// More pixels means more starting-pixel γ variables, hence a harder MIP;
+// the instance stays within MaxExactVars up to at least 48 pixels.
+func ExactScalingProblem(pixels int) (plan.Problem, error) {
+	g := topology.New()
+	if err := g.AddFiber("f1", "A", "B", 100); err != nil {
+		return plan.Problem{}, err
+	}
+	if err := g.AddFiber("f2", "B", "C", 400); err != nil {
+		return plan.Problem{}, err
+	}
+	ip := &topology.IPTopology{}
+	for _, l := range []topology.IPLink{
+		{ID: "e1", A: "A", B: "B", DemandGbps: 300},
+		{ID: "e2", A: "A", B: "C", DemandGbps: 200},
+	} {
+		if err := ip.AddLink(l); err != nil {
+			return plan.Problem{}, err
+		}
+	}
+	return plan.Problem{
+		Optical: g, IP: ip, Catalog: transponder.RADWAN(),
+		Grid: spectrum.Grid{PixelGHz: 12.5, Pixels: pixels}, K: 1,
+	}, nil
+}
+
+// SolverBenchWorkerCounts is the fixed worker ladder benchmarked and
+// recorded in BENCH_solver.json: 1, 2, 4, plus GOMAXPROCS when the
+// machine has more cores. Fixed (rather than derived from the local core
+// count) so results from different machines stay comparable.
+func SolverBenchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// SolverBenchPoint is one (instance, worker-count) measurement.
+type SolverBenchPoint struct {
+	Instance    string  `json:"instance"`
+	Pixels      int     `json:"pixels"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Objective   float64 `json:"objective"`
+	Nodes       int     `json:"nodes"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+// SolverBench is the headline solver benchmark record, serialized to
+// BENCH_solver.json by `flexwan-experiments -fig bench`.
+type SolverBench struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    []int              `json:"worker_counts"`
+	Points     []SolverBenchPoint `json:"points"`
+}
+
+// SolverBenchmarks times the exact planning MIP on the BenchmarkExactScaling
+// instances for each worker count. Each point runs until both minIters
+// iterations and minTime have elapsed (a hand-rolled testing.B: the
+// experiment binary cannot import package testing). It verifies the
+// objective is identical across worker counts per instance — the
+// determinism contract — and returns an error if not.
+func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time.Duration) (SolverBench, error) {
+	if minIters < 1 {
+		minIters = 1
+	}
+	out := SolverBench{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: workerCounts}
+	for _, pixels := range pixelSizes {
+		p, err := ExactScalingProblem(pixels)
+		if err != nil {
+			return SolverBench{}, err
+		}
+		instance := fmt.Sprintf("exact-planning/pixels=%d", pixels)
+		var nsAt1, refObjective float64
+		for wi, workers := range workerCounts {
+			opts := solver.Options{MaxNodes: 100000, Workers: workers}
+			// Warm-up solve: page in the instance and the scratch pools,
+			// and capture the objective for the determinism check.
+			warm, err := plan.SolveExact(p, opts)
+			if err != nil {
+				return SolverBench{}, fmt.Errorf("eval: %s workers=%d: %w", instance, workers, err)
+			}
+			if wi == 0 {
+				refObjective = warm.Solver.Objective
+			} else if warm.Solver.Objective != refObjective {
+				return SolverBench{}, fmt.Errorf("eval: %s objective diverged: workers=%d got %v, workers=%d got %v",
+					instance, workers, warm.Solver.Objective, workerCounts[0], refObjective)
+			}
+
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			iters := 0
+			var last *plan.Result
+			for iters < minIters || time.Since(start) < minTime {
+				last, err = plan.SolveExact(p, opts)
+				if err != nil {
+					return SolverBench{}, fmt.Errorf("eval: %s workers=%d: %w", instance, workers, err)
+				}
+				iters++
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+
+			pt := SolverBenchPoint{
+				Instance:    instance,
+				Pixels:      pixels,
+				Workers:     workers,
+				Iterations:  iters,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+				Objective:   last.Solver.Objective,
+				Nodes:       last.Solver.Nodes,
+			}
+			if workers == 1 {
+				nsAt1 = pt.NsPerOp
+			}
+			if nsAt1 > 0 {
+				pt.SpeedupVs1 = nsAt1 / pt.NsPerOp
+			}
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+func (s SolverBench) String() string {
+	header := []string{"instance", "workers", "iters", "ns/op", "allocs/op", "B/op", "nodes", "speedup"}
+	rows := make([][]string, len(s.Points))
+	for i, pt := range s.Points {
+		rows[i] = []string{
+			pt.Instance,
+			fmt.Sprintf("%d", pt.Workers),
+			fmt.Sprintf("%d", pt.Iterations),
+			fmt.Sprintf("%.0f", pt.NsPerOp),
+			fmt.Sprintf("%.0f", pt.AllocsPerOp),
+			fmt.Sprintf("%.0f", pt.BytesPerOp),
+			fmt.Sprintf("%d", pt.Nodes),
+			fmt.Sprintf("%.2fx", pt.SpeedupVs1),
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Solver benchmarks (GOMAXPROCS=%d)\n", s.GoMaxProcs)
+	b.WriteString(renderTable(header, rows))
+	return b.String()
+}
+
+// ExactCheck is one row of the exact-vs-heuristic cross-check.
+type ExactCheck struct {
+	Instance     string
+	HeuristicTx  int
+	ExactTx      int
+	ExactNodes   int
+	ExactWorkers int
+	ExactGap     float64
+}
+
+// ExactCrossCheck solves the scaling instances both heuristically and
+// exactly (with the given solver worker count) and reports transponder
+// counts side by side — the planning-quality check behind Fig 12's
+// claim that the heuristic tracks the optimum.
+func ExactCrossCheck(pixelSizes []int, solverWorkers int) ([]ExactCheck, error) {
+	var out []ExactCheck
+	for _, pixels := range pixelSizes {
+		p, err := ExactScalingProblem(pixels)
+		if err != nil {
+			return nil, err
+		}
+		h, err := plan.Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: solverWorkers})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ExactCheck{
+			Instance:     fmt.Sprintf("exact-planning/pixels=%d", pixels),
+			HeuristicTx:  h.Transponders(),
+			ExactTx:      e.Transponders(),
+			ExactNodes:   e.Solver.Nodes,
+			ExactWorkers: e.Solver.Workers,
+			ExactGap:     e.Solver.Gap,
+		})
+	}
+	return out, nil
+}
+
+// ExactCheckString renders the cross-check rows.
+func ExactCheckString(rows []ExactCheck) string {
+	header := []string{"instance", "heuristic tx", "exact tx", "nodes", "workers", "gap"}
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Instance,
+			fmt.Sprintf("%d", r.HeuristicTx),
+			fmt.Sprintf("%d", r.ExactTx),
+			fmt.Sprintf("%d", r.ExactNodes),
+			fmt.Sprintf("%d", r.ExactWorkers),
+			fmt.Sprintf("%.2g", r.ExactGap),
+		}
+	}
+	return "Exact vs heuristic planning cross-check\n" + renderTable(header, table)
+}

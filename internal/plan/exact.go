@@ -18,6 +18,24 @@ import (
 // Gurobi runs take "hours of runtime" on theirs.
 const MaxExactVars = 8000
 
+// SolveStats records how an exact MIP search terminated: final solver
+// status, branch-and-bound nodes explored, workers used, and the proven
+// optimality gap. Nil on heuristic results.
+type SolveStats struct {
+	Status    solver.Status
+	Objective float64
+	Nodes     int
+	Workers   int
+	Gap       float64
+}
+
+func newSolveStats(sol solver.Solution) *SolveStats {
+	return &SolveStats{
+		Status: sol.Status, Objective: sol.Objective,
+		Nodes: sol.Nodes, Workers: sol.Workers, Gap: sol.Gap,
+	}
+}
+
 // gammaVar mirrors the paper's γ^{e,k}_{j,q}: link e uses, on its k-th
 // candidate path, a transponder at format j whose channel starts at pixel
 // q.
@@ -139,6 +157,7 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 		PerLink:   make(map[string]LinkPlan, len(p.IP.Links)),
 		Paths:     paths,
 		Allocator: spectrum.NewAllocator(p.Grid),
+		Solver:    newSolveStats(sol),
 	}
 	for _, l := range p.IP.Links {
 		res.PerLink[l.ID] = LinkPlan{DemandGbps: l.DemandGbps}

@@ -106,6 +106,8 @@ type Result struct {
 	// Unserved lists IDs of links whose demand could not be fully met
 	// (spectrum or reach exhaustion). Empty means a feasible plan.
 	Unserved []string
+	// Solver records how the exact MIP terminated; nil on heuristic plans.
+	Solver *SolveStats
 }
 
 // Feasible reports whether every demand was fully provisioned.

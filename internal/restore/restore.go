@@ -115,6 +115,9 @@ type Result struct {
 	Restored     []Restored
 	// PerLink maps affected link ID → (affected, restored) Gbps.
 	PerLink map[string][2]int
+	// Solver records how the exact MIP terminated; nil on heuristic
+	// results and on scenarios that never reached the solver.
+	Solver *plan.SolveStats
 }
 
 // Capability returns restored/affected capacity — the paper's restoration

@@ -3,6 +3,8 @@ package solver
 import (
 	"container/heap"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // intTol is the tolerance under which a relaxation value counts as integral.
@@ -14,7 +16,9 @@ func (m *Model) Solve() Solution {
 	return m.SolveWithOptions(Options{})
 }
 
-// SolveWithOptions solves with explicit search limits.
+// SolveWithOptions solves with explicit search limits. Branch-and-bound
+// nodes are explored by Options.Workers concurrent workers (default
+// GOMAXPROCS) sharing a best-first frontier.
 func (m *Model) SolveWithOptions(opts Options) Solution {
 	opts = opts.withDefaults()
 	hasInt := false
@@ -30,10 +34,38 @@ func (m *Model) SolveWithOptions(opts Options) Solution {
 	return m.branchAndBound(opts)
 }
 
-// bbNode is one subproblem: the root LP plus bound tightenings.
+// boundChange is one copy-on-branch bound tightening. A bbNode's bounds
+// are the chain of changes back to the root instead of per-node map
+// clones; since branching only ever tightens, the chain can be applied in
+// any order by taking the max of lower bounds and min of upper bounds.
+type boundChange struct {
+	parent *boundChange
+	v      VarID
+	upper  bool // true: ub ← min(ub, val); false: lb ← max(lb, val)
+	val    float64
+}
+
+// applyBounds resolves the model bounds into sc.lb/sc.ub, then tightens
+// them with the chain.
+func applyBounds(m *Model, c *boundChange, sc *lpScratch) {
+	sc.resolveModelBounds(m)
+	for ; c != nil; c = c.parent {
+		if c.upper {
+			if c.val < sc.ub[c.v] {
+				sc.ub[c.v] = c.val
+			}
+		} else {
+			if c.val > sc.lb[c.v] {
+				sc.lb[c.v] = c.val
+			}
+		}
+	}
+}
+
+// bbNode is one subproblem: the root LP plus a chain of bound tightenings.
 type bbNode struct {
-	lb, ub map[VarID]float64
-	bound  float64 // relaxation objective (optimistic)
+	bounds *boundChange
+	bound  float64 // relaxation objective of the parent (optimistic)
 	depth  int
 }
 
@@ -57,143 +89,306 @@ func (q *nodeQueue) Pop() interface{} {
 	old := q.nodes
 	n := len(old)
 	item := old[n-1]
+	old[n-1] = nil // release the node (and its bound chain) to the GC
 	q.nodes = old[:n-1]
 	return item
 }
 
+// bbSearch is the shared state of one concurrent branch-and-bound run.
+// The mutex guards everything below it; workers block on cond when the
+// frontier is empty but siblings still have nodes in flight.
+type bbSearch struct {
+	m    *Model
+	opts Options
+	min  bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queue    *nodeQueue
+	inFlight int       // nodes popped but not yet fully processed
+	active   []float64 // per-worker bound of the in-flight node (NaN = idle)
+	nodes    int       // nodes expanded so far (LP relaxations solved)
+
+	incumbent *Solution // best integral solution; Values owned (copied)
+
+	stop      bool    // some worker decided the search is over
+	limitHit  bool    // MaxNodes exhausted before completion
+	cancelled bool    // Options.Context cancelled
+	gapStop   bool    // RelGap early stop
+	stopBound float64 // proven bound at the early stop
+}
+
 func (m *Model) branchAndBound(opts Options) Solution {
-	minimize := m.sense == Minimize
-	betterObj := func(a, b float64) bool {
-		if minimize {
-			return a < b
-		}
-		return a > b
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	root := m.solveLPWithBounds(nil, nil)
 	if root.Status != Optimal {
+		root.Workers = workers
 		return root
 	}
 
-	var incumbent *Solution
-	queue := &nodeQueue{min: minimize}
-	heap.Push(queue, &bbNode{bound: root.Objective})
-	nodes := 0
-	bestBound := root.Objective
-	// provenOptimal distinguishes the two early exits below: pruning
-	// against the incumbent proves optimality, while the RelGap stop
-	// only proves the incumbent is within the requested gap.
-	provenOptimal := true
-
-	for queue.Len() > 0 {
-		if nodes >= opts.MaxNodes {
-			if incumbent != nil {
-				incumbent.Status = LimitReached
-				incumbent.Nodes = nodes
-				incumbent.Gap = relGap(incumbent.Objective, bestBound)
-				return *incumbent
-			}
-			return Solution{Status: LimitReached, Nodes: nodes}
-		}
-		node := heap.Pop(queue).(*bbNode)
-		bestBound = node.bound
-		// Prune against the incumbent.
-		if incumbent != nil {
-			if !betterObj(node.bound, incumbent.Objective) {
-				// Best-first order: every remaining node is no better,
-				// so the incumbent is optimal.
-				bestBound = incumbent.Objective
-				break
-			}
-			if relGap(incumbent.Objective, node.bound) <= opts.RelGap {
-				provenOptimal = false
-				break
-			}
-		}
-		nodes++
-		sol := m.solveLPWithBounds(node.lb, node.ub)
-		if sol.Status != Optimal {
-			continue // infeasible subtree
-		}
-		if incumbent != nil && !betterObj(sol.Objective, incumbent.Objective) {
-			continue
-		}
-		// Find the most fractional integer variable.
-		branchVar := VarID(-1)
-		worstFrac := intTol
-		for i, v := range m.vars {
-			if !v.integer {
-				continue
-			}
-			x := sol.Values[i]
-			frac := math.Abs(x - math.Round(x))
-			if frac > worstFrac {
-				worstFrac = frac
-				branchVar = VarID(i)
-			}
-		}
-		if branchVar < 0 {
-			// Integral: new incumbent. Snap values to exact integers.
-			for i, v := range m.vars {
-				if v.integer {
-					sol.Values[i] = math.Round(sol.Values[i])
-				}
-			}
-			s := sol
-			incumbent = &s
-			if opts.Logf != nil {
-				opts.Logf("solver: incumbent %.6g at node %d (bound %.6g)", s.Objective, nodes, bestBound)
-			}
-			continue
-		}
-		// Branch.
-		x := sol.Values[branchVar]
-		down := &bbNode{
-			lb:    copyBounds(node.lb),
-			ub:    copyBounds(node.ub),
-			bound: sol.Objective,
-			depth: node.depth + 1,
-		}
-		down.ub[branchVar] = math.Floor(x)
-		up := &bbNode{
-			lb:    copyBounds(node.lb),
-			ub:    copyBounds(node.ub),
-			bound: sol.Objective,
-			depth: node.depth + 1,
-		}
-		up.lb[branchVar] = math.Ceil(x)
-		heap.Push(queue, down)
-		heap.Push(queue, up)
+	s := &bbSearch{
+		m:      m,
+		opts:   opts,
+		min:    m.sense == Minimize,
+		queue:  &nodeQueue{min: m.sense == Minimize},
+		active: make([]float64, workers),
 	}
-
-	if incumbent == nil {
-		return Solution{Status: Infeasible, Nodes: nodes}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.active {
+		s.active[i] = math.NaN()
 	}
-	incumbent.Nodes = nodes
-	if provenOptimal {
-		// Queue exhausted or every remaining bound no better than the
-		// incumbent: optimality is proven regardless of bestBound.
-		incumbent.Gap = 0
-		incumbent.Status = Optimal
+	heap.Push(s.queue, &bbNode{bound: root.Objective})
+
+	if workers == 1 {
+		s.worker(0)
 	} else {
-		// RelGap stop: bestBound (the last popped, most promising bound)
-		// is all the search proved.
-		incumbent.Gap = relGap(incumbent.Objective, bestBound)
-		if incumbent.Gap <= intTol {
-			incumbent.Status = Optimal
-		} else {
-			incumbent.Status = GapLimit
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func(id int) {
+				defer wg.Done()
+				s.worker(id)
+			}(i)
 		}
+		wg.Wait()
 	}
-	return *incumbent
+	return s.finish(workers)
 }
 
-func copyBounds(b map[VarID]float64) map[VarID]float64 {
-	out := make(map[VarID]float64, len(b)+1)
-	for k, v := range b {
-		out[k] = v
+// betterObj reports whether objective a improves on b.
+func (s *bbSearch) betterObj(a, b float64) bool {
+	if s.min {
+		return a < b
 	}
-	return out
+	return a > b
+}
+
+// globalBoundLocked returns the most optimistic bound over the candidate
+// node, every in-flight node, and the head of the frontier: the proven
+// bound on the true optimum at this instant. Requires s.mu held.
+func (s *bbSearch) globalBoundLocked(candidate float64) float64 {
+	best := candidate
+	improve := func(b float64) {
+		if math.IsNaN(b) {
+			return
+		}
+		if math.IsNaN(best) || s.betterObj(b, best) {
+			best = b
+		}
+	}
+	for _, b := range s.active {
+		improve(b)
+	}
+	if s.queue.Len() > 0 {
+		improve(s.queue.nodes[0].bound)
+	}
+	return best
+}
+
+// worker is one branch-and-bound worker loop. It owns a private lpScratch
+// and pops nodes from the shared frontier until the search terminates.
+func (s *bbSearch) worker(id int) {
+	sc := &lpScratch{}
+	ctx := s.opts.Context
+	s.mu.Lock()
+	for {
+		if s.stop {
+			break
+		}
+		if s.queue.Len() == 0 {
+			if s.inFlight == 0 {
+				// Frontier exhausted with nothing in flight: done.
+				s.stop = true
+				s.cond.Broadcast()
+				break
+			}
+			// Siblings may still push children; wait for them.
+			s.cond.Wait()
+			continue
+		}
+		if ctx != nil && ctx.Err() != nil {
+			s.stop, s.cancelled = true, true
+			s.stopBound = s.globalBoundLocked(math.NaN())
+			s.cond.Broadcast()
+			break
+		}
+		if s.nodes >= s.opts.MaxNodes {
+			s.stop, s.limitHit = true, true
+			s.stopBound = s.globalBoundLocked(math.NaN())
+			s.cond.Broadcast()
+			break
+		}
+		node := heap.Pop(s.queue).(*bbNode)
+		if s.incumbent != nil {
+			if !s.betterObj(node.bound, s.incumbent.Objective) {
+				// Not better than the incumbent: discard. (Unlike the
+				// sequential solver we cannot conclude the whole frontier
+				// is pruned — an in-flight sibling may still improve the
+				// incumbent — so just drop this node and keep looping.)
+				continue
+			}
+			if relGap(s.incumbent.Objective, s.globalBoundLocked(node.bound)) <= s.opts.RelGap {
+				s.stop, s.gapStop = true, true
+				s.stopBound = s.globalBoundLocked(node.bound)
+				s.cond.Broadcast()
+				break
+			}
+		}
+		s.nodes++
+		s.inFlight++
+		s.active[id] = node.bound
+		s.mu.Unlock()
+
+		applyBounds(s.m, node.bounds, sc)
+		sol := s.m.solveLPBounds(sc)
+
+		s.mu.Lock()
+		s.inFlight--
+		s.active[id] = math.NaN()
+		s.processLocked(node, sol)
+		// Wake idle siblings: children may have been pushed, or this was
+		// the last in-flight node and the frontier is now empty.
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// processLocked handles one solved relaxation: prune, record an incumbent,
+// or branch. Requires s.mu held. sol.Values aliases the worker's scratch.
+func (s *bbSearch) processLocked(node *bbNode, sol Solution) {
+	if sol.Status != Optimal {
+		return // infeasible subtree
+	}
+	if s.incumbent != nil && !s.betterObj(sol.Objective, s.incumbent.Objective) {
+		return
+	}
+	// Find the most fractional integer variable.
+	branchVar := VarID(-1)
+	worstFrac := intTol
+	for i, v := range s.m.vars {
+		if !v.integer {
+			continue
+		}
+		x := sol.Values[i]
+		frac := math.Abs(x - math.Round(x))
+		if frac > worstFrac {
+			worstFrac = frac
+			branchVar = VarID(i)
+		}
+	}
+	if branchVar < 0 {
+		// Integral: candidate incumbent. Snap values to exact integers and
+		// copy them out of the worker scratch.
+		values := append([]float64(nil), sol.Values...)
+		for i, v := range s.m.vars {
+			if v.integer {
+				values[i] = math.Round(values[i])
+			}
+		}
+		sol.Values = values
+		if s.acceptIncumbentLocked(sol) && s.opts.Logf != nil {
+			s.opts.Logf("solver: incumbent %.6g at node %d", sol.Objective, s.nodes)
+		}
+		return
+	}
+	// Branch: two children sharing the parent chain copy-on-branch.
+	x := sol.Values[branchVar]
+	heap.Push(s.queue, &bbNode{
+		bounds: &boundChange{parent: node.bounds, v: branchVar, upper: true, val: math.Floor(x)},
+		bound:  sol.Objective,
+		depth:  node.depth + 1,
+	})
+	heap.Push(s.queue, &bbNode{
+		bounds: &boundChange{parent: node.bounds, v: branchVar, upper: false, val: math.Ceil(x)},
+		bound:  sol.Objective,
+		depth:  node.depth + 1,
+	})
+}
+
+// acceptIncumbentLocked installs sol as the incumbent if it is strictly
+// better, or if it ties the current objective and is canonically smaller
+// (lexicographically smaller Values). The tie-break makes the reported
+// Values independent of which worker finds an equal-objective solution
+// first. Requires s.mu held; sol.Values must be owned by sol.
+func (s *bbSearch) acceptIncumbentLocked(sol Solution) bool {
+	if s.incumbent != nil {
+		if !s.betterObj(sol.Objective, s.incumbent.Objective) {
+			if !objEqual(sol.Objective, s.incumbent.Objective) || !lexLess(sol.Values, s.incumbent.Values) {
+				return false
+			}
+		}
+	}
+	s.incumbent = &sol
+	return true
+}
+
+// objEqual reports whether two objective values tie within relative
+// tolerance (the canonical-tie-break window).
+func objEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// lexLess reports whether a precedes b lexicographically.
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// finish assembles the Solution after all workers have returned.
+func (s *bbSearch) finish(workers int) Solution {
+	switch {
+	case s.cancelled || s.limitHit:
+		if s.incumbent == nil {
+			return Solution{Status: LimitReached, Nodes: s.nodes, Workers: workers}
+		}
+		out := *s.incumbent
+		out.Status = LimitReached
+		out.Nodes = s.nodes
+		out.Workers = workers
+		if !math.IsNaN(s.stopBound) {
+			out.Gap = relGap(out.Objective, s.stopBound)
+		} else {
+			// Frontier and in-flight set were both empty at the stop: the
+			// incumbent bound is all that remains.
+			out.Gap = 0
+		}
+		return out
+	case s.gapStop:
+		out := *s.incumbent
+		out.Nodes = s.nodes
+		out.Workers = workers
+		out.Gap = relGap(out.Objective, s.stopBound)
+		if out.Gap <= intTol {
+			out.Status = Optimal
+		} else {
+			out.Status = GapLimit
+		}
+		return out
+	default:
+		// Frontier exhausted (including pruned-to-empty): optimality is
+		// proven, or the model is integer-infeasible.
+		if s.incumbent == nil {
+			return Solution{Status: Infeasible, Nodes: s.nodes, Workers: workers}
+		}
+		out := *s.incumbent
+		out.Status = Optimal
+		out.Gap = 0
+		out.Nodes = s.nodes
+		out.Workers = workers
+		return out
+	}
 }
 
 // relGap is the relative distance between the incumbent objective and the

@@ -12,6 +12,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -186,6 +187,8 @@ type Solution struct {
 	Gap float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Workers is the number of branch-and-bound workers used (0 for LPs).
+	Workers int
 }
 
 // Value returns the solution value of v.
@@ -208,6 +211,17 @@ type Options struct {
 	// RelGap stops the search once the relative incumbent/bound gap falls
 	// below this value (default 1e-6; the paper quotes < 0.1%).
 	RelGap float64
+	// Workers is the number of concurrent branch-and-bound workers
+	// (0 = GOMAXPROCS). Objective and Status are deterministic across
+	// worker counts when the search runs to proven optimality; with a
+	// loose RelGap or a binding MaxNodes the early-stop point depends on
+	// timing, so use Workers: 1 where exact reproducibility of early
+	// stops matters.
+	Workers int
+	// Context, when non-nil, cancels the search early: workers stop at
+	// the next node boundary and the solve returns LimitReached with the
+	// best incumbent so far.
+	Context context.Context
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }

@@ -17,129 +17,147 @@ func (m *Model) SolveLP() Solution {
 }
 
 // solveLPWithBounds solves the LP relaxation with optional per-variable
-// bound overrides (used by branch-and-bound). A nil map entry means "use
-// the model bound".
+// bound overrides (a nil map entry means "use the model bound"). It
+// allocates a fresh scratch space and detaches the returned Values from
+// it, so the result is safe to keep. The branch-and-bound hot path calls
+// solveLPBounds with a long-lived per-worker scratch instead.
 func (m *Model) solveLPWithBounds(lbOverride, ubOverride map[VarID]float64) Solution {
-	sf, ok := m.buildStandardForm(lbOverride, ubOverride)
-	if !ok {
-		return Solution{Status: Infeasible}
+	sc := &lpScratch{}
+	sc.resolveModelBounds(m)
+	for v, b := range lbOverride {
+		sc.lb[v] = b
 	}
-	status, x := sf.solve()
-	switch status {
-	case Infeasible:
-		return Solution{Status: Infeasible}
-	case Unbounded:
-		return Solution{Status: Unbounded}
+	for v, b := range ubOverride {
+		sc.ub[v] = b
 	}
-	// Map standard-form values back to model variables.
-	values := make([]float64, len(m.vars))
-	obj := 0.0
-	for i := range m.vars {
-		v := sf.varValue(i, x)
-		values[i] = v
-		obj += m.vars[i].obj * v
+	sol := m.solveLPBounds(sc)
+	if sol.Values != nil {
+		sol.Values = append([]float64(nil), sol.Values...)
 	}
-	return Solution{Status: Optimal, Objective: obj, Values: values}
+	return sol
 }
 
-// standardForm is min c·y s.t. Ay = b, y ≥ 0 with a Phase-1 artificial
-// basis, plus the mapping back to model variables.
-type standardForm struct {
-	a     [][]float64 // m×n constraint matrix
+// lpScratch is reusable simplex workspace: the dense tableau, basis,
+// bound, and cost buffers one LP solve needs. Buffers grow to the largest
+// instance seen and are then reused, so a branch-and-bound worker solving
+// thousands of node relaxations stops re-allocating dense matrices on
+// every node. A scratch must not be shared between concurrent solves;
+// each B&B worker owns one.
+type lpScratch struct {
+	lb, ub []float64 // effective per-variable bounds for this solve
+
+	col, negCol []int     // model var → structural column (+ split column)
+	shift       []float64 // model var → lower-bound shift
+
+	rels []Rel  // per-row relation after rhs normalization
+	neg  []bool // per-row: coefficients negated during normalization
+
+	flat  []float64   // dense tableau backing storage (rows × total)
+	a     [][]float64 // row views into flat
 	b     []float64   // rhs, normalized nonnegative
-	c     []float64   // phase-2 costs
-	nVars int         // total standard-form columns
-	nArt  int         // number of artificial columns (last nArt columns)
+	basis []int       // per-row basic column
 
-	// Per model variable: column index of its shifted value (y = x − lb),
-	// and the shift. Free variables use a split pair (posCol, negCol).
-	col    []int
-	negCol []int
-	shift  []float64
+	cobj   []float64 // phase-2 cost vector (model objective)
+	phase1 []float64 // phase-1 cost vector (artificial sum)
+	cost   []float64 // working reduced-cost row
+	barred []bool    // columns banned from entering (phase-2 artificials)
 
-	// initialBasis holds, per row, the column that starts basic (slack or
-	// artificial).
-	initialBasis []int
+	x      []float64 // standard-form point
+	values []float64 // model-variable values (aliased by returned Solutions)
 }
 
-// buildStandardForm converts the model. Returns ok=false when a variable's
-// effective bounds are already contradictory (lb > ub).
-func (m *Model) buildStandardForm(lbOverride, ubOverride map[VarID]float64) (*standardForm, bool) {
-	sf := &standardForm{
-		col:    make([]int, len(m.vars)),
-		negCol: make([]int, len(m.vars)),
-		shift:  make([]float64, len(m.vars)),
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	type rowSpec struct {
-		terms []Term
-		rel   Rel
-		rhs   float64
-	}
-	var rows []rowSpec
-	for _, c := range m.cons {
-		rows = append(rows, rowSpec{terms: c.terms, rel: c.rel, rhs: c.rhs})
-	}
+	return s[:n]
+}
 
-	effLB := func(i int) float64 {
-		if v, ok := lbOverride[VarID(i)]; ok {
-			return v
-		}
-		return m.vars[i].lb
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
-	effUB := func(i int) float64 {
-		if v, ok := ubOverride[VarID(i)]; ok {
-			return v
-		}
-		return m.vars[i].ub
-	}
+	return s[:n]
+}
 
-	// Assign columns.
-	n := 0
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growRels(s []Rel, n int) []Rel {
+	if cap(s) < n {
+		return make([]Rel, n)
+	}
+	return s[:n]
+}
+
+func growRows(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		return make([][]float64, n)
+	}
+	return s[:n]
+}
+
+// resolveModelBounds fills lb/ub with the model's own bounds.
+func (sc *lpScratch) resolveModelBounds(m *Model) {
+	n := len(m.vars)
+	sc.lb = growFloats(sc.lb, n)
+	sc.ub = growFloats(sc.ub, n)
 	for i := range m.vars {
-		lb, ub := effLB(i), effUB(i)
+		sc.lb[i] = m.vars[i].lb
+		sc.ub[i] = m.vars[i].ub
+	}
+}
+
+// solveLPBounds solves the LP relaxation under the effective bounds in
+// sc.lb/sc.ub with a two-phase dense simplex, reusing sc's buffers
+// throughout: the standard form (min c·y s.t. Ay = b, y ≥ 0 with a
+// Phase-1 artificial basis) is written directly into the scratch-owned
+// tableau, so a solve allocates nothing once the scratch has warmed up.
+//
+// The returned Solution's Values slice aliases sc.values: callers that
+// keep a solution across solves must copy it first.
+func (m *Model) solveLPBounds(sc *lpScratch) Solution {
+	nv := len(m.vars)
+
+	// Assign structural columns. Contradictory effective bounds mean the
+	// subproblem is infeasible before any pivoting.
+	sc.col = growInts(sc.col, nv)
+	sc.negCol = growInts(sc.negCol, nv)
+	sc.shift = growFloats(sc.shift, nv)
+	n := 0
+	for i := 0; i < nv; i++ {
+		lb, ub := sc.lb[i], sc.ub[i]
 		if lb > ub+feasTol {
-			return nil, false
+			return Solution{Status: Infeasible}
 		}
 		if math.IsInf(lb, -1) {
 			// Free (or upper-bounded-only) variable: split x = x⁺ − x⁻.
-			sf.col[i] = n
-			sf.negCol[i] = n + 1
-			sf.shift[i] = 0
+			sc.col[i] = n
+			sc.negCol[i] = n + 1
+			sc.shift[i] = 0
 			n += 2
 		} else {
-			sf.col[i] = n
-			sf.negCol[i] = -1
-			sf.shift[i] = lb
+			sc.col[i] = n
+			sc.negCol[i] = -1
+			sc.shift[i] = lb
 			n++
-		}
-		// Finite upper bound becomes a row: x ≤ ub.
-		if !math.IsInf(ub, 1) {
-			rows = append(rows, rowSpec{terms: []Term{{Var: VarID(i), Coef: 1}}, rel: LE, rhs: ub})
 		}
 	}
 
-	// Count slack/surplus/artificial columns.
-	mRows := len(rows)
-	// Build dense rows over the variable columns first; slacks appended after.
-	a := make([][]float64, mRows)
-	b := make([]float64, mRows)
-	rels := make([]Rel, mRows)
-	for r, spec := range rows {
-		row := make([]float64, n)
-		rhs := spec.rhs
-		for _, t := range spec.terms {
-			i := int(t.Var)
-			row[sf.col[i]] += t.Coef
-			if sf.negCol[i] >= 0 {
-				row[sf.negCol[i]] -= t.Coef
-			}
-			rhs -= t.Coef * sf.shift[i]
-		}
-		rel := spec.rel
-		if rhs < 0 {
-			for j := range row {
-				row[j] = -row[j]
-			}
+	// Pass 1: per-row shifted rhs and normalized relation. Rows are the
+	// model constraints followed by one x ≤ ub row per finite upper bound.
+	maxRows := len(m.cons) + nv
+	sc.b = growFloats(sc.b, maxRows)
+	sc.rels = growRels(sc.rels, maxRows)
+	sc.neg = growBools(sc.neg, maxRows)
+	mRows := 0
+	addRow := func(rhs float64, rel Rel) {
+		negated := rhs < 0
+		if negated {
 			rhs = -rhs
 			switch rel {
 			case LE:
@@ -148,78 +166,172 @@ func (m *Model) buildStandardForm(lbOverride, ubOverride map[VarID]float64) (*st
 				rel = LE
 			}
 		}
-		a[r], b[r], rels[r] = row, rhs, rel
+		sc.b[mRows], sc.rels[mRows], sc.neg[mRows] = rhs, rel, negated
+		mRows++
 	}
-
-	// Append slack/surplus columns, then artificials.
-	nSlack := 0
-	for _, rel := range rels {
-		if rel != EQ {
-			nSlack++
+	for ci := range m.cons {
+		c := &m.cons[ci]
+		rhs := c.rhs
+		for _, t := range c.terms {
+			rhs -= t.Coef * sc.shift[t.Var]
+		}
+		addRow(rhs, c.rel)
+	}
+	ubRowStart := mRows
+	for i := 0; i < nv; i++ {
+		if !math.IsInf(sc.ub[i], 1) {
+			addRow(sc.ub[i]-sc.shift[i], LE)
 		}
 	}
-	nArt := 0
-	for _, rel := range rels {
-		if rel != LE {
+
+	// Count slack/surplus and artificial columns.
+	nSlack, nArt := 0, 0
+	for r := 0; r < mRows; r++ {
+		if sc.rels[r] != EQ {
+			nSlack++
+		}
+		if sc.rels[r] != LE {
 			nArt++
 		}
 	}
 	total := n + nSlack + nArt
-	slackAt := n
-	artAt := n + nSlack
-	basis := make([]int, mRows)
-	for r := range a {
-		row := make([]float64, total)
-		copy(row, a[r])
-		switch rels[r] {
+
+	// Pass 2: fill the dense rows in place over the flat backing array.
+	sc.flat = growFloats(sc.flat, mRows*total)
+	clear(sc.flat)
+	sc.a = growRows(sc.a, mRows)
+	for r := 0; r < mRows; r++ {
+		sc.a[r] = sc.flat[r*total : (r+1)*total]
+	}
+	sc.basis = growInts(sc.basis, mRows)
+	fill := func(r int, v VarID, coef float64) {
+		if sc.neg[r] {
+			coef = -coef
+		}
+		row := sc.a[r]
+		row[sc.col[v]] += coef
+		if sc.negCol[v] >= 0 {
+			row[sc.negCol[v]] -= coef
+		}
+	}
+	for ci := range m.cons {
+		for _, t := range m.cons[ci].terms {
+			fill(ci, t.Var, t.Coef)
+		}
+	}
+	ur := ubRowStart
+	for i := 0; i < nv; i++ {
+		if !math.IsInf(sc.ub[i], 1) {
+			fill(ur, VarID(i), 1)
+			ur++
+		}
+	}
+	slackAt, artAt := n, n+nSlack
+	for r := 0; r < mRows; r++ {
+		switch sc.rels[r] {
 		case LE:
-			row[slackAt] = 1
-			basis[r] = slackAt
+			sc.a[r][slackAt] = 1
+			sc.basis[r] = slackAt
 			slackAt++
 		case GE:
-			row[slackAt] = -1
+			sc.a[r][slackAt] = -1
 			slackAt++
-			row[artAt] = 1
-			basis[r] = artAt
+			sc.a[r][artAt] = 1
+			sc.basis[r] = artAt
 			artAt++
 		case EQ:
-			row[artAt] = 1
-			basis[r] = artAt
+			sc.a[r][artAt] = 1
+			sc.basis[r] = artAt
 			artAt++
 		}
-		a[r] = row
 	}
 
 	// Phase-2 costs (minimization; Maximize flips sign).
-	c := make([]float64, total)
+	sc.cobj = growFloats(sc.cobj, total)
+	clear(sc.cobj)
 	sign := 1.0
 	if m.sense == Maximize {
 		sign = -1
 	}
-	for i := range m.vars {
-		c[sf.col[i]] += sign * m.vars[i].obj
-		if sf.negCol[i] >= 0 {
-			c[sf.negCol[i]] -= sign * m.vars[i].obj
+	for i := 0; i < nv; i++ {
+		sc.cobj[sc.col[i]] += sign * m.vars[i].obj
+		if sc.negCol[i] >= 0 {
+			sc.cobj[sc.negCol[i]] -= sign * m.vars[i].obj
 		}
 	}
 
-	sf.a, sf.b, sf.c = a, b, c
-	sf.nVars = total
-	sf.nArt = nArt
-	sf.initialBasis = basis
-	return sf, true
-}
+	sc.cost = growFloats(sc.cost, total)
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis}
 
-// varValue recovers model variable i from the standard-form point x.
-func (sf *standardForm) varValue(i int, x []float64) float64 {
-	v := x[sf.col[i]] + sf.shift[i]
-	if sf.negCol[i] >= 0 {
-		v -= x[sf.negCol[i]]
+	// Phase 1: minimize the sum of artificials.
+	artStart := total - nArt
+	if nArt > 0 {
+		sc.phase1 = growFloats(sc.phase1, total)
+		clear(sc.phase1)
+		for j := artStart; j < total; j++ {
+			sc.phase1[j] = 1
+		}
+		t.setCosts(sc.phase1)
+		if status := t.iterate(); status == Unbounded {
+			// Phase 1 objective is bounded below by 0; unbounded here
+			// signals numerical trouble — treat as infeasible.
+			return Solution{Status: Infeasible}
+		}
+		if -t.obj > feasTol {
+			return Solution{Status: Infeasible}
+		}
+		// Pivot any artificial still in the basis out (degenerate rows).
+		// A row that is all zeros over structural columns is a redundant
+		// constraint; its artificial stays basic at value 0 and is
+		// harmless as long as its column never re-enters (barred below).
+		for r, bv := range t.basis {
+			if bv < artStart {
+				continue
+			}
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[r][j]) > pivotTol {
+					t.pivot(r, j)
+					break
+				}
+			}
+		}
 	}
-	return v
+
+	// Phase 2: original costs; artificial columns may never re-enter.
+	sc.barred = growBools(sc.barred, total)
+	clear(sc.barred)
+	for j := artStart; j < total; j++ {
+		sc.barred[j] = true
+	}
+	t.barred = sc.barred
+	t.setCosts(sc.cobj)
+	if status := t.iterate(); status == Unbounded {
+		return Solution{Status: Unbounded}
+	}
+
+	// Extract the point and map it back to model variables.
+	sc.x = growFloats(sc.x, total)
+	clear(sc.x)
+	for r, bv := range t.basis {
+		if bv < total {
+			sc.x[bv] = t.b[r]
+		}
+	}
+	sc.values = growFloats(sc.values, nv)
+	obj := 0.0
+	for i := 0; i < nv; i++ {
+		v := sc.x[sc.col[i]] + sc.shift[i]
+		if sc.negCol[i] >= 0 {
+			v -= sc.x[sc.negCol[i]]
+		}
+		sc.values[i] = v
+		obj += m.vars[i].obj * v
+	}
+	return Solution{Status: Optimal, Objective: obj, Values: sc.values}
 }
 
-// tableau carries the dense simplex state.
+// tableau carries the dense simplex state. All fields are views into an
+// lpScratch; the tableau mutates them in place.
 type tableau struct {
 	a      [][]float64 // m×n
 	b      []float64   // m
@@ -229,87 +341,20 @@ type tableau struct {
 	barred []bool // columns that may never enter (phase-2 artificials)
 }
 
-func (sf *standardForm) solve() (Status, []float64) {
-	mRows := len(sf.a)
-	t := &tableau{
-		a:     make([][]float64, mRows),
-		b:     append([]float64(nil), sf.b...),
-		basis: append([]int(nil), sf.initialBasis...),
-	}
-	for r := range sf.a {
-		t.a[r] = append([]float64(nil), sf.a[r]...)
-	}
-
-	// Phase 1: minimize the sum of artificials.
-	if sf.nArt > 0 {
-		phase1 := make([]float64, sf.nVars)
-		for j := sf.nVars - sf.nArt; j < sf.nVars; j++ {
-			phase1[j] = 1
-		}
-		t.setCosts(phase1)
-		if status := t.iterate(); status == Unbounded {
-			// Phase 1 objective is bounded below by 0; unbounded here
-			// signals numerical trouble — treat as infeasible.
-			return Infeasible, nil
-		}
-		if -t.obj > feasTol {
-			return Infeasible, nil
-		}
-		// Pivot any artificial still in the basis out (degenerate rows).
-		artStart := sf.nVars - sf.nArt
-		for r, bv := range t.basis {
-			if bv < artStart {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < artStart; j++ {
-				if math.Abs(t.a[r][j]) > pivotTol {
-					t.pivot(r, j)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Row is all zeros over structural columns: redundant
-				// constraint; the artificial stays basic at value 0 and
-				// is harmless as long as its column never re-enters.
-				_ = r
-			}
-		}
-	}
-
-	// Phase 2: original costs; artificial columns may never re-enter.
-	artStart := sf.nVars - sf.nArt
-	t.barred = make([]bool, sf.nVars)
-	for j := artStart; j < sf.nVars; j++ {
-		t.barred[j] = true
-	}
-	t.setCosts(append([]float64(nil), sf.c...))
-	if status := t.iterate(); status == Unbounded {
-		return Unbounded, nil
-	}
-	// Extract the point.
-	x := make([]float64, sf.nVars)
-	for r, bv := range t.basis {
-		if bv < len(x) {
-			x[bv] = t.b[r]
-		}
-	}
-	return Optimal, x
-}
-
-// setCosts installs a cost vector and prices it out against the current
-// basis so the reduced-cost row is valid.
+// setCosts installs a cost vector (copied into the working row) and
+// prices it out against the current basis so the reduced-cost row is
+// valid.
 func (t *tableau) setCosts(c []float64) {
-	t.cost = append([]float64(nil), c...)
+	copy(t.cost, c)
 	t.obj = 0
 	for r, bv := range t.basis {
 		cb := c[bv]
 		if cb == 0 {
 			continue
 		}
+		row := t.a[r]
 		for j := range t.cost {
-			t.cost[j] -= cb * t.a[r][j]
+			t.cost[j] -= cb * row[j]
 		}
 		t.obj -= cb * t.b[r]
 	}

@@ -364,7 +364,10 @@ func TestMIPRelGapStop(t *testing.T) {
 		return m
 	}
 
-	s := build().SolveWithOptions(Options{RelGap: 0.6})
+	// Workers: 1 — a loose-RelGap stop is an early exit whose trigger
+	// point depends on worker timing; pin one worker so the GapLimit
+	// status is deterministic.
+	s := build().SolveWithOptions(Options{RelGap: 0.6, Workers: 1})
 	if s.Status != GapLimit {
 		t.Fatalf("RelGap-stopped search status = %v, want gap-limit", s.Status)
 	}

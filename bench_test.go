@@ -572,36 +572,48 @@ func BenchmarkIncrementalVsReplan(b *testing.B) {
 // BenchmarkExactScaling shows how the exact MIP's cost grows with the
 // spectrum grid (the paper's Gurobi runs take "hours" at production
 // size; the heuristic stays near-instant — this bench quantifies the
-// gap on solvable instances). The exact solves run once per worker
-// count on a fixed ladder so the branch-and-bound speedup is visible on
-// any machine; sub-runs also cross-check that the objective is
-// identical at every worker count.
+// gap on solvable instances). The exact solves run once per branching
+// rule and worker count on fixed ladders so the branch-and-bound speedup
+// and the branching ablation are visible on any machine; sub-runs also
+// cross-check that the objective is bit-identical at every (rule,
+// workers) combination — the determinism contract CI's bench smoke
+// enforces.
 func BenchmarkExactScaling(b *testing.B) {
 	for _, pixels := range []int{16, 20, 24, 32} {
 		p, err := eval.ExactScalingProblem(pixels)
 		if err != nil {
 			b.Fatal(err)
 		}
-		var refObjective float64
-		for _, workers := range eval.SolverBenchWorkerCounts() {
-			b.Run("exact/pixels="+itoa(pixels)+"/"+bName("workers", workers), func(b *testing.B) {
-				var last *plan.Result
-				for i := 0; i < b.N; i++ {
-					last, err = plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: workers})
-					if err != nil {
-						b.Fatal(err)
+		refObjective, haveRef := 0.0, false
+		for _, rule := range eval.SolverBenchBranchings() {
+			for _, workers := range eval.SolverBenchWorkerCounts() {
+				name := "exact/pixels=" + itoa(pixels) + "/branching=" + string(rule) + "/" + bName("workers", workers)
+				b.Run(name, func(b *testing.B) {
+					var last *plan.Result
+					for i := 0; i < b.N; i++ {
+						last, err = plan.SolveExact(p, solver.Options{
+							MaxNodes: 100000, Workers: workers, Branching: rule,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-				if workers == 1 {
-					refObjective = last.Solver.Objective
-				} else if refObjective != 0 && last.Solver.Objective != refObjective {
-					// refObjective stays 0 when -bench filters out the
-					// workers=1 sub-run; skip the cross-check then.
-					b.Fatalf("objective %v at workers=%d differs from workers=1 objective %v",
-						last.Solver.Objective, workers, refObjective)
-				}
-				b.ReportMetric(float64(last.Solver.Nodes), "bnb-nodes")
-			})
+					// The first sub-run -bench selects sets the reference;
+					// every later (rule, workers) combination must match it
+					// exactly.
+					if !haveRef {
+						refObjective, haveRef = last.Solver.Objective, true
+					} else if last.Solver.Objective != refObjective {
+						b.Fatalf("objective %v at branching=%s workers=%d differs from reference %v",
+							last.Solver.Objective, rule, workers, refObjective)
+					}
+					b.ReportMetric(float64(last.Solver.Nodes), "bnb-nodes")
+					b.ReportMetric(float64(last.Solver.SimplexIters), "simplex-iters")
+					if last.Solver.Nodes > 0 {
+						b.ReportMetric(float64(last.Solver.WarmStartHits)/float64(last.Solver.Nodes), "warm-hit-rate")
+					}
+				})
+			}
 		}
 		b.Run("heuristic/pixels="+itoa(pixels), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -12,6 +12,8 @@
 //	                                      (0 = all cores, 1 = sequential)
 //	flexwan-experiments -fig exact -solver-workers 4
 //	                                    # exact cross-check, parallel B&B
+//	flexwan-experiments -fig exact -branching most-fractional
+//	                                    # branching-rule ablation
 //	flexwan-experiments -fig bench      # solver benchmarks → BENCH_solver.json
 package main
 
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"flexwan/internal/eval"
+	"flexwan/internal/solver"
 	"flexwan/internal/workload"
 )
 
@@ -34,8 +37,16 @@ func main() {
 	csvDir := flag.String("csv", "", "also write plotting-ready CSV files into this directory")
 	workers := flag.Int("workers", 0, "concurrent scenario/plan solves per sweep (0 = all cores, 1 = sequential)")
 	solverWorkers := flag.Int("solver-workers", 0, "branch-and-bound workers per exact MIP solve (0 = all cores)")
+	branching := flag.String("branching", string(solver.BranchPseudocost), "branch-and-bound variable selection for the 'exact' mode: pseudocost or most-fractional ('bench' always records both)")
 	benchOut := flag.String("bench-out", "BENCH_solver.json", "output path for the 'bench' mode record")
 	flag.Parse()
+
+	rule := solver.BranchRule(*branching)
+	if rule != solver.BranchPseudocost && rule != solver.BranchMostFractional {
+		fmt.Fprintf(os.Stderr, "flexwan-experiments: unknown -branching %q (want %q or %q)\n",
+			*branching, solver.BranchPseudocost, solver.BranchMostFractional)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figFlag, ",") {
@@ -171,7 +182,7 @@ func main() {
 		fmt.Println(f)
 	}
 	if run("exact") {
-		rows, err := eval.ExactCrossCheck([]int{16, 20, 24}, *solverWorkers)
+		rows, err := eval.ExactCrossCheck([]int{16, 20, 24}, *solverWorkers, rule)
 		if err != nil {
 			fail(err)
 		}

@@ -207,16 +207,24 @@ type (
 	Sense = solver.Sense
 	// Rel is a constraint relation.
 	Rel = solver.Rel
+	// BranchRule selects the branch-and-bound variable-selection rule
+	// (SolverOptions.Branching).
+	BranchRule = solver.BranchRule
 )
 
 // NewMIPModel starts an empty optimization model.
 var NewMIPModel = solver.NewModel
 
-// Optimization senses and relations.
+// Optimization senses, relations, and branching rules.
 const (
 	MinimizeObjective = solver.Minimize
 	MaximizeObjective = solver.Maximize
 	RelLE             = solver.LE
 	RelGE             = solver.GE
 	RelEQ             = solver.EQ
+	// BranchPseudocost (the default) scores branch candidates by
+	// observed objective degradation; BranchMostFractional picks the
+	// variable closest to half-integral.
+	BranchPseudocost     = solver.BranchPseudocost
+	BranchMostFractional = solver.BranchMostFractional
 )

@@ -53,18 +53,30 @@ func SolverBenchWorkerCounts() []int {
 	return counts
 }
 
-// SolverBenchPoint is one (instance, worker-count) measurement.
+// SolverBenchBranchings is the fixed branching-rule ladder benchmarked
+// and recorded in BENCH_solver.json: both rules always, so every record
+// carries the ablation.
+func SolverBenchBranchings() []solver.BranchRule {
+	return []solver.BranchRule{solver.BranchPseudocost, solver.BranchMostFractional}
+}
+
+// SolverBenchPoint is one (instance, branching-rule, worker-count)
+// measurement.
 type SolverBenchPoint struct {
-	Instance    string  `json:"instance"`
-	Pixels      int     `json:"pixels"`
-	Workers     int     `json:"workers"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	Objective   float64 `json:"objective"`
-	Nodes       int     `json:"nodes"`
-	SpeedupVs1  float64 `json:"speedup_vs_1"`
+	Instance      string  `json:"instance"`
+	Pixels        int     `json:"pixels"`
+	Branching     string  `json:"branching"`
+	Workers       int     `json:"workers"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	Objective     float64 `json:"objective"`
+	Nodes         int     `json:"nodes"`
+	SimplexIters  int     `json:"simplex_iters"`
+	WarmStartHits int     `json:"warm_start_hits"`
+	WarmStartRate float64 `json:"warm_start_rate"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
 }
 
 // SolverBench is the headline solver benchmark record, serialized to
@@ -72,92 +84,111 @@ type SolverBenchPoint struct {
 type SolverBench struct {
 	GoMaxProcs int                `json:"gomaxprocs"`
 	Workers    []int              `json:"worker_counts"`
+	Branchings []string           `json:"branching_rules"`
 	Points     []SolverBenchPoint `json:"points"`
 }
 
 // SolverBenchmarks times the exact planning MIP on the BenchmarkExactScaling
-// instances for each worker count. Each point runs until both minIters
-// iterations and minTime have elapsed (a hand-rolled testing.B: the
-// experiment binary cannot import package testing). It verifies the
-// objective is identical across worker counts per instance — the
-// determinism contract — and returns an error if not.
+// instances for each branching rule and worker count. Each point runs
+// until both minIters iterations and minTime have elapsed (a hand-rolled
+// testing.B: the experiment binary cannot import package testing). It
+// verifies the objective is identical across every (rule, workers)
+// combination per instance — the determinism contract — and returns an
+// error if not. Speedups are relative to the same rule at one worker.
 func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time.Duration) (SolverBench, error) {
 	if minIters < 1 {
 		minIters = 1
 	}
+	rules := SolverBenchBranchings()
 	out := SolverBench{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: workerCounts}
+	for _, r := range rules {
+		out.Branchings = append(out.Branchings, string(r))
+	}
 	for _, pixels := range pixelSizes {
 		p, err := ExactScalingProblem(pixels)
 		if err != nil {
 			return SolverBench{}, err
 		}
 		instance := fmt.Sprintf("exact-planning/pixels=%d", pixels)
-		var nsAt1, refObjective float64
-		for wi, workers := range workerCounts {
-			opts := solver.Options{MaxNodes: 100000, Workers: workers}
-			// Warm-up solve: page in the instance and the scratch pools,
-			// and capture the objective for the determinism check.
-			warm, err := plan.SolveExact(p, opts)
-			if err != nil {
-				return SolverBench{}, fmt.Errorf("eval: %s workers=%d: %w", instance, workers, err)
-			}
-			if wi == 0 {
-				refObjective = warm.Solver.Objective
-			} else if warm.Solver.Objective != refObjective {
-				return SolverBench{}, fmt.Errorf("eval: %s objective diverged: workers=%d got %v, workers=%d got %v",
-					instance, workers, warm.Solver.Objective, workerCounts[0], refObjective)
-			}
-
-			var before, after runtime.MemStats
-			runtime.ReadMemStats(&before)
-			start := time.Now()
-			iters := 0
-			var last *plan.Result
-			for iters < minIters || time.Since(start) < minTime {
-				last, err = plan.SolveExact(p, opts)
+		refObjective, haveRef := 0.0, false
+		for _, rule := range rules {
+			var nsAt1 float64
+			for _, workers := range workerCounts {
+				opts := solver.Options{MaxNodes: 100000, Workers: workers, Branching: rule}
+				label := fmt.Sprintf("%s branching=%s workers=%d", instance, rule, workers)
+				// Warm-up solve: page in the instance and the scratch
+				// pools, and capture the objective for the determinism
+				// check.
+				warm, err := plan.SolveExact(p, opts)
 				if err != nil {
-					return SolverBench{}, fmt.Errorf("eval: %s workers=%d: %w", instance, workers, err)
+					return SolverBench{}, fmt.Errorf("eval: %s: %w", label, err)
 				}
-				iters++
-			}
-			elapsed := time.Since(start)
-			runtime.ReadMemStats(&after)
+				if !haveRef {
+					refObjective, haveRef = warm.Solver.Objective, true
+				} else if warm.Solver.Objective != refObjective {
+					return SolverBench{}, fmt.Errorf("eval: %s objective diverged: got %v, want %v (branching=%s workers=%d)",
+						label, warm.Solver.Objective, refObjective, rules[0], workerCounts[0])
+				}
 
-			pt := SolverBenchPoint{
-				Instance:    instance,
-				Pixels:      pixels,
-				Workers:     workers,
-				Iterations:  iters,
-				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
-				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
-				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
-				Objective:   last.Solver.Objective,
-				Nodes:       last.Solver.Nodes,
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				iters := 0
+				var last *plan.Result
+				for iters < minIters || time.Since(start) < minTime {
+					last, err = plan.SolveExact(p, opts)
+					if err != nil {
+						return SolverBench{}, fmt.Errorf("eval: %s: %w", label, err)
+					}
+					iters++
+				}
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&after)
+
+				pt := SolverBenchPoint{
+					Instance:      instance,
+					Pixels:        pixels,
+					Branching:     string(rule),
+					Workers:       workers,
+					Iterations:    iters,
+					NsPerOp:       float64(elapsed.Nanoseconds()) / float64(iters),
+					AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(iters),
+					BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+					Objective:     last.Solver.Objective,
+					Nodes:         last.Solver.Nodes,
+					SimplexIters:  last.Solver.SimplexIters,
+					WarmStartHits: last.Solver.WarmStartHits,
+				}
+				if pt.Nodes > 0 {
+					pt.WarmStartRate = float64(pt.WarmStartHits) / float64(pt.Nodes)
+				}
+				if workers == 1 {
+					nsAt1 = pt.NsPerOp
+				}
+				if nsAt1 > 0 {
+					pt.SpeedupVs1 = nsAt1 / pt.NsPerOp
+				}
+				out.Points = append(out.Points, pt)
 			}
-			if workers == 1 {
-				nsAt1 = pt.NsPerOp
-			}
-			if nsAt1 > 0 {
-				pt.SpeedupVs1 = nsAt1 / pt.NsPerOp
-			}
-			out.Points = append(out.Points, pt)
 		}
 	}
 	return out, nil
 }
 
 func (s SolverBench) String() string {
-	header := []string{"instance", "workers", "iters", "ns/op", "allocs/op", "B/op", "nodes", "speedup"}
+	header := []string{"instance", "branching", "workers", "iters", "ns/op", "allocs/op", "nodes", "pivots", "warm%", "speedup"}
 	rows := make([][]string, len(s.Points))
 	for i, pt := range s.Points {
 		rows[i] = []string{
 			pt.Instance,
+			pt.Branching,
 			fmt.Sprintf("%d", pt.Workers),
 			fmt.Sprintf("%d", pt.Iterations),
 			fmt.Sprintf("%.0f", pt.NsPerOp),
 			fmt.Sprintf("%.0f", pt.AllocsPerOp),
-			fmt.Sprintf("%.0f", pt.BytesPerOp),
 			fmt.Sprintf("%d", pt.Nodes),
+			fmt.Sprintf("%d", pt.SimplexIters),
+			fmt.Sprintf("%.0f%%", 100*pt.WarmStartRate),
 			fmt.Sprintf("%.2fx", pt.SpeedupVs1),
 		}
 	}
@@ -175,13 +206,16 @@ type ExactCheck struct {
 	ExactNodes   int
 	ExactWorkers int
 	ExactGap     float64
+	Branching    solver.BranchRule
+	SimplexIters int
+	WarmHits     int
 }
 
 // ExactCrossCheck solves the scaling instances both heuristically and
-// exactly (with the given solver worker count) and reports transponder
-// counts side by side — the planning-quality check behind Fig 12's
-// claim that the heuristic tracks the optimum.
-func ExactCrossCheck(pixelSizes []int, solverWorkers int) ([]ExactCheck, error) {
+// exactly (with the given solver worker count and branching rule) and
+// reports transponder counts side by side — the planning-quality check
+// behind Fig 12's claim that the heuristic tracks the optimum.
+func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.BranchRule) ([]ExactCheck, error) {
 	var out []ExactCheck
 	for _, pixels := range pixelSizes {
 		p, err := ExactScalingProblem(pixels)
@@ -192,7 +226,7 @@ func ExactCrossCheck(pixelSizes []int, solverWorkers int) ([]ExactCheck, error) 
 		if err != nil {
 			return nil, err
 		}
-		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: solverWorkers})
+		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: solverWorkers, Branching: branching})
 		if err != nil {
 			return nil, err
 		}
@@ -203,6 +237,9 @@ func ExactCrossCheck(pixelSizes []int, solverWorkers int) ([]ExactCheck, error) 
 			ExactNodes:   e.Solver.Nodes,
 			ExactWorkers: e.Solver.Workers,
 			ExactGap:     e.Solver.Gap,
+			Branching:    e.Solver.Branching,
+			SimplexIters: e.Solver.SimplexIters,
+			WarmHits:     e.Solver.WarmStartHits,
 		})
 	}
 	return out, nil
@@ -210,7 +247,7 @@ func ExactCrossCheck(pixelSizes []int, solverWorkers int) ([]ExactCheck, error) 
 
 // ExactCheckString renders the cross-check rows.
 func ExactCheckString(rows []ExactCheck) string {
-	header := []string{"instance", "heuristic tx", "exact tx", "nodes", "workers", "gap"}
+	header := []string{"instance", "heuristic tx", "exact tx", "nodes", "workers", "branching", "pivots", "warm hits", "gap"}
 	table := make([][]string, len(rows))
 	for i, r := range rows {
 		table[i] = []string{
@@ -219,6 +256,9 @@ func ExactCheckString(rows []ExactCheck) string {
 			fmt.Sprintf("%d", r.ExactTx),
 			fmt.Sprintf("%d", r.ExactNodes),
 			fmt.Sprintf("%d", r.ExactWorkers),
+			string(r.Branching),
+			fmt.Sprintf("%d", r.SimplexIters),
+			fmt.Sprintf("%d", r.WarmHits),
 			fmt.Sprintf("%.2g", r.ExactGap),
 		}
 	}

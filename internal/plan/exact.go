@@ -19,20 +19,27 @@ import (
 const MaxExactVars = 8000
 
 // SolveStats records how an exact MIP search terminated: final solver
-// status, branch-and-bound nodes explored, workers used, and the proven
-// optimality gap. Nil on heuristic results.
+// status, branch-and-bound nodes explored, workers used, the proven
+// optimality gap, and the LP work underneath (simplex pivots, dual-simplex
+// warm-start hits, branching rule). Nil on heuristic results.
 type SolveStats struct {
-	Status    solver.Status
-	Objective float64
-	Nodes     int
-	Workers   int
-	Gap       float64
+	Status        solver.Status
+	Objective     float64
+	Nodes         int
+	Workers       int
+	Gap           float64
+	SimplexIters  int
+	WarmStartHits int
+	Branching     solver.BranchRule
 }
 
-func newSolveStats(sol solver.Solution) *SolveStats {
+// NewSolveStats copies the search statistics out of a solver Solution.
+func NewSolveStats(sol solver.Solution) *SolveStats {
 	return &SolveStats{
 		Status: sol.Status, Objective: sol.Objective,
 		Nodes: sol.Nodes, Workers: sol.Workers, Gap: sol.Gap,
+		SimplexIters: sol.SimplexIters, WarmStartHits: sol.WarmStartHits,
+		Branching: sol.Branching,
 	}
 }
 
@@ -157,7 +164,7 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 		PerLink:   make(map[string]LinkPlan, len(p.IP.Links)),
 		Paths:     paths,
 		Allocator: spectrum.NewAllocator(p.Grid),
-		Solver:    newSolveStats(sol),
+		Solver:    NewSolveStats(sol),
 	}
 	for _, l := range p.IP.Links {
 		res.PerLink[l.ID] = LinkPlan{DemandGbps: l.DemandGbps}

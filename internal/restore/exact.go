@@ -171,10 +171,7 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 	}
 
 	sol := m.SolveWithOptions(opts)
-	res.Solver = &plan.SolveStats{
-		Status: sol.Status, Objective: sol.Objective,
-		Nodes: sol.Nodes, Workers: sol.Workers, Gap: sol.Gap,
-	}
+	res.Solver = plan.NewSolveStats(sol)
 	if sol.Status == solver.Infeasible || sol.Status == solver.Unbounded {
 		return nil, fmt.Errorf("restore: exact MIP %v — formulation bug (0 restoration is always feasible)", sol.Status)
 	}

@@ -62,11 +62,136 @@ func applyBounds(m *Model, c *boundChange, sc *lpScratch) {
 	}
 }
 
+// objRounder lifts fractional LP bounds onto values an integer solution
+// can actually attain, so nodes whose subtree provably cannot beat the
+// incumbent are pruned without ever solving their relaxations. Two sound
+// lifts, detected once per model:
+//
+//   - gcd: when every variable with a nonzero objective coefficient is
+//     integer and every coefficient is an integer, any integer point's
+//     objective is a multiple of g = gcd(|c_j|); a minimization bound z
+//     rounds up to the next multiple of g (down for maximization).
+//   - cardinality: when additionally every such coefficient and lower
+//     bound is nonnegative, obj = Σ c_j·x_j brackets the positive-cost
+//     activity T = Σ x_j by cmin·T ≤ obj ≤ cmax·T with T integer, so a
+//     minimization bound z implies T ≥ ⌈z/cmax⌉ and obj ≥ cmin·⌈z/cmax⌉
+//     (and obj ≤ cmax·⌊z/cmin⌋ for maximization).
+//
+// The cardinality lift is what collapses near-uniform covering objectives
+// (like the planning MIP's 1+ε·spacing costs): a bound of 1.79 means two
+// wavelengths are unavoidable, which costs at least 2·cmin — often the
+// incumbent objective exactly, pruning the entire tied frontier.
+type objRounder struct {
+	min  bool
+	g    float64 // coefficient gcd; 0 when the gcd lift is inapplicable
+	card bool    // cardinality lift applicable
+	cmin float64 // smallest positive objective coefficient
+	cmax float64 // largest objective coefficient
+}
+
+func newObjRounder(m *Model) objRounder {
+	r := objRounder{min: m.sense == Minimize, card: true}
+	var g int64
+	gcdOK := true
+	for i := range m.vars {
+		v := &m.vars[i]
+		c := v.obj
+		if c == 0 {
+			continue
+		}
+		if !v.integer {
+			// A continuous variable contributes arbitrary objective mass:
+			// no integral structure to exploit.
+			return objRounder{min: r.min}
+		}
+		if c < 0 || v.lb < 0 {
+			r.card = false
+		} else {
+			if r.cmin == 0 || c < r.cmin {
+				r.cmin = c
+			}
+			if c > r.cmax {
+				r.cmax = c
+			}
+		}
+		if a := math.Abs(c); a == math.Trunc(a) && a < 1e15 {
+			g = gcd64(g, int64(a))
+		} else {
+			gcdOK = false
+		}
+	}
+	if gcdOK && g > 0 {
+		r.g = float64(g)
+	}
+	if r.cmax <= 0 {
+		r.card = false
+	}
+	return r
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lift returns the strongest valid bound implied by z. The 1e-9 relative
+// slack before rounding keeps values that are an ulp past an attainable
+// objective from being lifted over it.
+func (r objRounder) lift(z float64) float64 {
+	if math.IsInf(z, 0) || math.IsNaN(z) {
+		return z
+	}
+	round := func(q float64) float64 {
+		tol := 1e-9 * math.Max(1, math.Abs(q))
+		if r.min {
+			return math.Ceil(q - tol)
+		}
+		return math.Floor(q + tol)
+	}
+	if r.card {
+		var l float64
+		if r.min {
+			l = r.cmin * math.Max(0, round(z/r.cmax))
+		} else {
+			l = r.cmax * math.Max(0, round(z/r.cmin))
+		}
+		if r.betterBound(l, z) {
+			z = l
+		}
+	}
+	if r.g > 0 {
+		if l := r.g * round(z/r.g); r.betterBound(l, z) {
+			z = l
+		}
+	}
+	return z
+}
+
+// betterBound reports whether a is a tighter bound than b (larger for
+// minimization, smaller for maximization).
+func (r objRounder) betterBound(a, b float64) bool {
+	if r.min {
+		return a > b
+	}
+	return a < b
+}
+
 // bbNode is one subproblem: the root LP plus a chain of bound tightenings.
 type bbNode struct {
 	bounds *boundChange
 	bound  float64 // relaxation objective of the parent (optimistic)
 	depth  int
+
+	// snap is the parent's optimal basis; both children share one
+	// immutable snapshot and try a dual-simplex warm start from it before
+	// falling back to the cold two-phase solve. nil at the root.
+	snap *basisSnap
+	// fracStep is how far the branch moved the branched variable: the
+	// down-fraction for an ub child, the up-fraction for an lb child.
+	// Pseudocost updates divide the observed objective degradation by it.
+	fracStep float64
 }
 
 // nodeQueue is a best-first priority queue. For minimization the smallest
@@ -78,10 +203,19 @@ type nodeQueue struct {
 
 func (q nodeQueue) Len() int { return len(q.nodes) }
 func (q nodeQueue) Less(i, j int) bool {
-	if q.min {
-		return q.nodes[i].bound < q.nodes[j].bound
+	a, b := q.nodes[i], q.nodes[j]
+	if a.bound != b.bound {
+		if q.min {
+			return a.bound < b.bound
+		}
+		return a.bound > b.bound
 	}
-	return q.nodes[i].bound > q.nodes[j].bound
+	// Equal bounds: deepest first (best-bound with plunging). Diving on
+	// ties finds incumbents sooner, keeps the frontier small, and pops a
+	// just-pushed child right after its parent — which is what lets the
+	// dual-simplex dive path reuse the parent tableau still sitting in the
+	// worker's scratch.
+	return a.depth > b.depth
 }
 func (q nodeQueue) Swap(i, j int)       { q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i] }
 func (q *nodeQueue) Push(x interface{}) { q.nodes = append(q.nodes, x.(*bbNode)) }
@@ -98,9 +232,11 @@ func (q *nodeQueue) Pop() interface{} {
 // The mutex guards everything below it; workers block on cond when the
 // frontier is empty but siblings still have nodes in flight.
 type bbSearch struct {
-	m    *Model
-	opts Options
-	min  bool
+	m       *Model
+	opts    Options
+	min     bool
+	workers int
+	round   objRounder
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -109,8 +245,23 @@ type bbSearch struct {
 	inFlight int       // nodes popped but not yet fully processed
 	active   []float64 // per-worker bound of the in-flight node (NaN = idle)
 	nodes    int       // nodes expanded so far (LP relaxations solved)
+	ramped   bool      // frontier has (or had) ≥ workers nodes; go wide
 
 	incumbent *Solution // best integral solution; Values owned (copied)
+
+	simplexIters int // total pivots across all workers (incl. root solve)
+	warmHits     int // nodes resolved by a dual-simplex warm start
+
+	// Pseudocost bookkeeping (nil slices unless Branching is pseudocost).
+	// Guarded by mu like everything else: updates happen in processLocked
+	// when a child's relaxation is reported, reads in selectBranchLocked.
+	// pcDown* is the ub-tightened (floor) side, pcUp* the lb-raised (ceil)
+	// side; the Tot* aggregates provide the reliability fallback for
+	// variables with no observations of their own yet.
+	pcDownSum, pcUpSum       []float64
+	pcDownN, pcUpN           []int
+	pcDownTotSum, pcUpTotSum float64
+	pcDownTotN, pcUpTotN     int
 
 	stop      bool    // some worker decided the search is over
 	limitHit  bool    // MaxNodes exhausted before completion
@@ -128,21 +279,35 @@ func (m *Model) branchAndBound(opts Options) Solution {
 	root := m.solveLPWithBounds(nil, nil)
 	if root.Status != Optimal {
 		root.Workers = workers
+		root.Branching = opts.Branching
 		return root
 	}
 
 	s := &bbSearch{
-		m:      m,
-		opts:   opts,
-		min:    m.sense == Minimize,
-		queue:  &nodeQueue{min: m.sense == Minimize},
-		active: make([]float64, workers),
+		m:       m,
+		opts:    opts,
+		min:     m.sense == Minimize,
+		workers: workers,
+		round:   newObjRounder(m),
+		queue:   &nodeQueue{min: m.sense == Minimize},
+		active:  make([]float64, workers),
+		// A single worker is always "ramped": the gate only matters when
+		// there is someone to share the frontier with.
+		ramped:       workers <= 1,
+		simplexIters: root.SimplexIters,
+	}
+	if opts.Branching == BranchPseudocost {
+		nv := len(m.vars)
+		s.pcDownSum = make([]float64, nv)
+		s.pcUpSum = make([]float64, nv)
+		s.pcDownN = make([]int, nv)
+		s.pcUpN = make([]int, nv)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.active {
 		s.active[i] = math.NaN()
 	}
-	heap.Push(s.queue, &bbNode{bound: root.Objective})
+	heap.Push(s.queue, &bbNode{bound: s.round.lift(root.Objective)})
 
 	if workers == 1 {
 		s.worker(0)
@@ -195,6 +360,14 @@ func (s *bbSearch) globalBoundLocked(candidate float64) float64 {
 func (s *bbSearch) worker(id int) {
 	sc := &lpScratch{}
 	ctx := s.opts.Context
+	// tabOwner/tabBounds identify whose optimal tableau currently sits in
+	// sc: the basis snapshot created from that solve and the bound chain it
+	// was solved under. When the next popped node descends directly from
+	// exactly that solve, solveLPDive re-optimizes the retained tableau in
+	// place instead of rebuilding anything.
+	var tabOwner *basisSnap
+	var tabBounds *boundChange
+	var diveChanges []*boundChange
 	s.mu.Lock()
 	for {
 		if s.stop {
@@ -211,6 +384,19 @@ func (s *bbSearch) worker(id int) {
 			s.cond.Wait()
 			continue
 		}
+		if !s.ramped {
+			// Ramp-up: near the root the frontier is tiny and several
+			// workers hammering one or two nodes only buy lock contention
+			// and duplicated bounding work. Stay effectively serial — one
+			// node in flight at a time — until the frontier is wide enough
+			// to feed every worker, then open up for good.
+			if s.queue.Len() >= s.workers {
+				s.ramped = true
+			} else if s.inFlight > 0 {
+				s.cond.Wait()
+				continue
+			}
+		}
 		if ctx != nil && ctx.Err() != nil {
 			s.stop, s.cancelled = true, true
 			s.stopBound = s.globalBoundLocked(math.NaN())
@@ -224,15 +410,18 @@ func (s *bbSearch) worker(id int) {
 			break
 		}
 		node := heap.Pop(s.queue).(*bbNode)
-		if s.incumbent != nil {
-			if !s.betterObj(node.bound, s.incumbent.Objective) {
+		hasInc := s.incumbent != nil
+		incObj := 0.0
+		if hasInc {
+			incObj = s.incumbent.Objective
+			if !s.betterObj(node.bound, incObj) {
 				// Not better than the incumbent: discard. (Unlike the
 				// sequential solver we cannot conclude the whole frontier
 				// is pruned — an in-flight sibling may still improve the
 				// incumbent — so just drop this node and keep looping.)
 				continue
 			}
-			if relGap(s.incumbent.Objective, s.globalBoundLocked(node.bound)) <= s.opts.RelGap {
+			if relGap(incObj, s.globalBoundLocked(node.bound)) <= s.opts.RelGap {
 				s.stop, s.gapStop = true, true
 				s.stopBound = s.globalBoundLocked(node.bound)
 				s.cond.Broadcast()
@@ -244,13 +433,67 @@ func (s *bbSearch) worker(id int) {
 		s.active[id] = node.bound
 		s.mu.Unlock()
 
-		applyBounds(s.m, node.bounds, sc)
-		sol := s.m.solveLPBounds(sc)
+		var sol Solution
+		warm, dove := false, false
+		iters := 0
+		if !s.opts.NoWarmStart && node.snap != nil && node.snap == tabOwner {
+			// Dive path: sc still holds this node's parent's optimal
+			// tableau. Collect the bound changes separating the node from
+			// that solve (its branching plus any reduced-cost fixings) and
+			// apply them as O(rows) rhs updates, then repair with dual
+			// simplex — no rebuild, no basis re-installation.
+			diveChanges = diveChanges[:0]
+			c := node.bounds
+			for c != nil && c != tabBounds && len(diveChanges) < 64 {
+				diveChanges = append(diveChanges, c)
+				c = c.parent
+			}
+			if c == tabBounds && len(diveChanges) > 0 {
+				ws, ok := s.m.solveLPDive(sc, diveChanges)
+				iters += sc.lastPivots
+				dove = true
+				if ok {
+					sol, warm = ws, true
+				}
+			}
+		}
+		if !warm {
+			applyBounds(s.m, node.bounds, sc)
+			if !s.opts.NoWarmStart && node.snap != nil && !dove {
+				ws, ok := s.m.solveLPWarm(sc, node.snap)
+				iters += sc.lastPivots
+				if ok {
+					sol, warm = ws, true
+				}
+			}
+			if !warm {
+				sol = s.m.solveLPBounds(sc)
+				iters += sc.lastPivots
+			}
+		}
+		// Snapshot the optimal basis outside the lock while sc still holds
+		// it — but only when this node will actually branch — and tighten
+		// the children's bound chain with reduced-cost fixings against the
+		// incumbent read at pop time (a stale incumbent is only weaker, so
+		// the fixings stay valid).
+		var snap *basisSnap
+		fixBase := node.bounds
+		if sol.Status == Optimal && s.hasFracInt(sol.Values) {
+			snap = sc.snapshot()
+			if hasInc {
+				fixBase = s.m.reducedCostFixings(sc, sol.Objective, incObj, node.bounds)
+			}
+		}
+		tabOwner, tabBounds = snap, fixBase
 
 		s.mu.Lock()
 		s.inFlight--
 		s.active[id] = math.NaN()
-		s.processLocked(node, sol)
+		s.simplexIters += iters
+		if warm {
+			s.warmHits++
+		}
+		s.processLocked(node, sol, snap, fixBase)
 		// Wake idle siblings: children may have been pushed, or this was
 		// the last in-flight node and the frontier is now empty.
 		s.cond.Broadcast()
@@ -258,56 +501,255 @@ func (s *bbSearch) worker(id int) {
 	s.mu.Unlock()
 }
 
-// processLocked handles one solved relaxation: prune, record an incumbent,
-// or branch. Requires s.mu held. sol.Values aliases the worker's scratch.
-func (s *bbSearch) processLocked(node *bbNode, sol Solution) {
-	if sol.Status != Optimal {
-		return // infeasible subtree
-	}
-	if s.incumbent != nil && !s.betterObj(sol.Objective, s.incumbent.Objective) {
-		return
-	}
-	// Find the most fractional integer variable.
-	branchVar := VarID(-1)
-	worstFrac := intTol
+// hasFracInt reports whether any integer variable is fractional in values.
+func (s *bbSearch) hasFracInt(values []float64) bool {
 	for i, v := range s.m.vars {
 		if !v.integer {
 			continue
 		}
-		x := sol.Values[i]
-		frac := math.Abs(x - math.Round(x))
-		if frac > worstFrac {
-			worstFrac = frac
-			branchVar = VarID(i)
+		x := values[i]
+		if math.Abs(x-math.Round(x)) > intTol {
+			return true
 		}
 	}
+	return false
+}
+
+// reducedCostFixings extends chain with bound tightenings justified by the
+// node's optimal reduced costs. For any feasible point of this subtree,
+// obj = z + Σ c̄_j·x_j over the stored (shifted, nonnegative) columns with
+// every c̄_j ≥ 0 at optimality, so moving an integer variable t units off
+// the bound it is nonbasic at costs at least t·c̄ — and once that exceeds
+// the incumbent gap, those values cannot hold a better-or-tied solution
+// and are tightened away. The 1e-6 relative margin keeps every solution
+// within roundoff of the incumbent objective alive, so equal-objective
+// optima — and with them the canonical lexicographic tie-break — survive.
+// Reads the worker's own scratch right after its optimal solve; no lock.
+func (m *Model) reducedCostFixings(sc *lpScratch, obj, inc float64, chain *boundChange) *boundChange {
+	zMin, incMin := obj, inc
+	if m.sense == Maximize {
+		zMin, incMin = -obj, -inc
+	}
+	budget := incMin - zMin + 1e-6*math.Max(1, math.Abs(incMin))
+	if budget < 0 {
+		return chain
+	}
+	ur := len(m.cons) // rolling row index of the next finite-ub row
+	for i := range m.vars {
+		v := &m.vars[i]
+		r := -1
+		if !math.IsInf(sc.ub[i], 1) {
+			r = ur
+			ur++
+		}
+		if !v.integer || sc.negCol[i] >= 0 {
+			continue
+		}
+		width := sc.ub[i] - sc.lb[i]
+		if width < 1 {
+			continue // no whole integer step left to exclude
+		}
+		// Down side: a positive reduced cost on the structural column means
+		// the variable sits nonbasic at its lower bound; raising it t units
+		// costs ≥ t·c̄.
+		if cr := sc.cost[sc.col[i]]; cr > feasTol {
+			if maxT := math.Floor(budget / cr); maxT < width {
+				chain = &boundChange{parent: chain, v: VarID(i), upper: true, val: sc.lb[i] + maxT}
+				width = maxT
+			}
+		}
+		// Up side: a positive reduced cost on the ub row's slack means the
+		// variable sits nonbasic at its upper bound; lowering it t units
+		// costs ≥ t·c̄ of that slack.
+		if r >= 0 && width >= 1 {
+			if scol := sc.slackOf[r]; scol >= 0 {
+				if cr := sc.cost[scol]; cr > feasTol {
+					if maxT := math.Floor(budget / cr); maxT < width {
+						chain = &boundChange{parent: chain, v: VarID(i), upper: false, val: sc.ub[i] - maxT}
+					}
+				}
+			}
+		}
+	}
+	return chain
+}
+
+// processLocked handles one solved relaxation: prune, record an incumbent,
+// or branch. Requires s.mu held. sol.Values aliases the worker's scratch;
+// snap is the node's own optimal basis and fixBase its bound chain
+// extended with reduced-cost fixings (== node.bounds when there are none;
+// both unused when the node does not branch).
+func (s *bbSearch) processLocked(node *bbNode, sol Solution, snap *basisSnap, fixBase *boundChange) {
+	// Feed the pseudocosts before any pruning: the degradation this child
+	// observed is real information about its branch variable either way.
+	s.observePseudocostLocked(node, sol)
+	if sol.Status != Optimal {
+		return // infeasible subtree
+	}
+	// Lift the relaxation value onto the integral objective grid: the
+	// subtree's true optimum is ≥ the lift (≤ for max), so prune and push
+	// children against the lifted bound. This is what finally caps the
+	// tied frontier on degenerate covering instances, where hundreds of
+	// nodes share a fractional bound strictly below — but a lifted bound
+	// exactly at — the incumbent objective.
+	lifted := s.round.lift(sol.Objective)
+	if s.incumbent != nil && !s.betterObj(lifted, s.incumbent.Objective) {
+		return
+	}
+	branchVar := s.selectBranchLocked(sol.Values)
 	if branchVar < 0 {
-		// Integral: candidate incumbent. Snap values to exact integers and
-		// copy them out of the worker scratch.
+		// Integral: candidate incumbent. Snap values to exact integers,
+		// copy them out of the worker scratch, and recompute the objective
+		// from the snapped values — for integer-coefficient models this
+		// makes the incumbent objective exact, hence bit-identical across
+		// branching rules, worker counts, and warm/cold solve paths.
 		values := append([]float64(nil), sol.Values...)
+		obj := 0.0
 		for i, v := range s.m.vars {
 			if v.integer {
 				values[i] = math.Round(values[i])
 			}
+			obj += v.obj * values[i]
 		}
 		sol.Values = values
+		sol.Objective = obj
 		if s.acceptIncumbentLocked(sol) && s.opts.Logf != nil {
 			s.opts.Logf("solver: incumbent %.6g at node %d", sol.Objective, s.nodes)
 		}
 		return
 	}
-	// Branch: two children sharing the parent chain copy-on-branch.
+	// Branch: two children sharing the parent chain (plus this node's
+	// reduced-cost fixings) copy-on-branch, and the parent's basis
+	// snapshot for their warm starts.
 	x := sol.Values[branchVar]
 	heap.Push(s.queue, &bbNode{
-		bounds: &boundChange{parent: node.bounds, v: branchVar, upper: true, val: math.Floor(x)},
-		bound:  sol.Objective,
-		depth:  node.depth + 1,
+		bounds:   &boundChange{parent: fixBase, v: branchVar, upper: true, val: math.Floor(x)},
+		bound:    lifted,
+		depth:    node.depth + 1,
+		snap:     snap,
+		fracStep: x - math.Floor(x),
 	})
 	heap.Push(s.queue, &bbNode{
-		bounds: &boundChange{parent: node.bounds, v: branchVar, upper: false, val: math.Ceil(x)},
-		bound:  sol.Objective,
-		depth:  node.depth + 1,
+		bounds:   &boundChange{parent: fixBase, v: branchVar, upper: false, val: math.Ceil(x)},
+		bound:    lifted,
+		depth:    node.depth + 1,
+		snap:     snap,
+		fracStep: math.Ceil(x) - x,
 	})
+}
+
+// observePseudocostLocked records the objective degradation this node's
+// relaxation exhibited relative to its parent's bound, attributed to the
+// branching that created the node. An infeasible child is the extreme
+// degradation — its branch killed the subproblem outright — and is
+// recorded as an observation an order of magnitude above the tree-wide
+// average, so variables whose branchings cause infeasibility score high
+// and get branched early. On degenerate instances where every feasible
+// child ties its parent's bound, this is the only pseudocost signal there
+// is. Requires s.mu held.
+func (s *bbSearch) observePseudocostLocked(node *bbNode, sol Solution) {
+	if s.pcDownSum == nil || node.bounds == nil || node.fracStep <= intTol {
+		return
+	}
+	var per float64
+	switch sol.Status {
+	case Optimal:
+		degr := sol.Objective - node.bound
+		if !s.min {
+			degr = node.bound - sol.Objective
+		}
+		if degr < 0 {
+			degr = 0 // roundoff: a child cannot beat its parent's bound
+		}
+		per = degr / node.fracStep
+	case Infeasible:
+		n := s.pcDownTotN + s.pcUpTotN
+		avg := 0.0
+		if n > 0 {
+			avg = (s.pcDownTotSum + s.pcUpTotSum) / float64(n)
+		}
+		per = 10 * (1 + avg)
+	default:
+		return // limit/unbounded: no usable information
+	}
+	v := node.bounds.v
+	if node.bounds.upper {
+		s.pcDownSum[v] += per
+		s.pcDownN[v]++
+		s.pcDownTotSum += per
+		s.pcDownTotN++
+	} else {
+		s.pcUpSum[v] += per
+		s.pcUpN[v]++
+		s.pcUpTotSum += per
+		s.pcUpTotN++
+	}
+}
+
+// pcEst is the reliability-initialized pseudocost estimate for variable i
+// on one side: its own average once it has an observation, else the
+// tree-wide average for that side, else 1 (which degenerates the score to
+// plain fractionality until any branching has been observed at all).
+func pcEst(sum []float64, n []int, totSum float64, totN int, i int) float64 {
+	if n[i] > 0 {
+		return sum[i] / float64(n[i])
+	}
+	if totN > 0 {
+		return totSum / float64(totN)
+	}
+	return 1
+}
+
+// selectBranchLocked picks the integer variable to branch on, or -1 when
+// the point is integral. Requires s.mu held (pseudocost reads).
+func (s *bbSearch) selectBranchLocked(values []float64) VarID {
+	if s.pcDownSum == nil {
+		// Most-fractional rule.
+		branchVar := VarID(-1)
+		worstFrac := intTol
+		for i, v := range s.m.vars {
+			if !v.integer {
+				continue
+			}
+			x := values[i]
+			frac := math.Abs(x - math.Round(x))
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = VarID(i)
+			}
+		}
+		return branchVar
+	}
+	// Pseudocost product score. The 1e-6 floor is applied to each side's
+	// estimate, not to the estimate·fractionality product: on heavily
+	// degenerate instances every observed degradation is 0, and flooring
+	// the product would collapse all scores to one constant — turning the
+	// rule into lowest-index branching. Flooring the estimates keeps the
+	// score proportional to fDown·fUp, so a zero-information pseudocost
+	// rule degenerates to most-fractional instead. Strict > keeps the
+	// first index on ties, making the pick deterministic given the same
+	// bookkeeping state.
+	best := VarID(-1)
+	bestScore := -1.0
+	for i, v := range s.m.vars {
+		if !v.integer {
+			continue
+		}
+		x := values[i]
+		fDown := x - math.Floor(x)
+		fUp := math.Ceil(x) - x
+		if fDown < intTol || fUp < intTol {
+			continue // integral within tolerance
+		}
+		down := pcEst(s.pcDownSum, s.pcDownN, s.pcDownTotSum, s.pcDownTotN, i)
+		up := pcEst(s.pcUpSum, s.pcUpN, s.pcUpTotSum, s.pcUpTotN, i)
+		score := math.Max(down, 1e-6) * fDown * math.Max(up, 1e-6) * fUp
+		if score > bestScore {
+			bestScore = score
+			best = VarID(i)
+		}
+	}
+	return best
 }
 
 // acceptIncumbentLocked installs sol as the incumbent if it is strictly
@@ -348,47 +790,47 @@ func lexLess(a, b []float64) bool {
 
 // finish assembles the Solution after all workers have returned.
 func (s *bbSearch) finish(workers int) Solution {
+	var out Solution
 	switch {
 	case s.cancelled || s.limitHit:
 		if s.incumbent == nil {
-			return Solution{Status: LimitReached, Nodes: s.nodes, Workers: workers}
-		}
-		out := *s.incumbent
-		out.Status = LimitReached
-		out.Nodes = s.nodes
-		out.Workers = workers
-		if !math.IsNaN(s.stopBound) {
-			out.Gap = relGap(out.Objective, s.stopBound)
+			out = Solution{Status: LimitReached}
 		} else {
-			// Frontier and in-flight set were both empty at the stop: the
-			// incumbent bound is all that remains.
-			out.Gap = 0
+			out = *s.incumbent
+			out.Status = LimitReached
+			if !math.IsNaN(s.stopBound) {
+				out.Gap = relGap(out.Objective, s.stopBound)
+			} else {
+				// Frontier and in-flight set were both empty at the stop:
+				// the incumbent bound is all that remains.
+				out.Gap = 0
+			}
 		}
-		return out
 	case s.gapStop:
-		out := *s.incumbent
-		out.Nodes = s.nodes
-		out.Workers = workers
+		out = *s.incumbent
 		out.Gap = relGap(out.Objective, s.stopBound)
 		if out.Gap <= intTol {
 			out.Status = Optimal
 		} else {
 			out.Status = GapLimit
 		}
-		return out
 	default:
 		// Frontier exhausted (including pruned-to-empty): optimality is
 		// proven, or the model is integer-infeasible.
 		if s.incumbent == nil {
-			return Solution{Status: Infeasible, Nodes: s.nodes, Workers: workers}
+			out = Solution{Status: Infeasible}
+		} else {
+			out = *s.incumbent
+			out.Status = Optimal
+			out.Gap = 0
 		}
-		out := *s.incumbent
-		out.Status = Optimal
-		out.Gap = 0
-		out.Nodes = s.nodes
-		out.Workers = workers
-		return out
 	}
+	out.Nodes = s.nodes
+	out.Workers = workers
+	out.SimplexIters = s.simplexIters
+	out.WarmStartHits = s.warmHits
+	out.Branching = s.opts.Branching
+	return out
 }
 
 // relGap is the relative distance between the incumbent objective and the

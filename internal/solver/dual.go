@@ -1,0 +1,355 @@
+package solver
+
+import (
+	"math"
+)
+
+// installTol is the minimum pivot magnitude accepted while re-installing a
+// snapshot basis into a freshly built tableau. Looser than pivotTol: a
+// near-singular install is better refused (falling back to the cold
+// two-phase solve) than performed.
+const installTol = 1e-7
+
+// basisSnap is the compact per-node basis snapshot a branch-and-bound node
+// carries so its children can warm-start from the parent's optimum. It
+// records the optimal basis plus the row orientation (neg) the parent's
+// tableau was normalized with, and the tableau dimensions as a structural
+// fingerprint: any bound change that alters the standard form's shape — a
+// lower bound leaving −∞ removes a split column, an upper bound leaving
+// +∞ adds a row — changes rows or cols and disqualifies the snapshot.
+// Snapshots are immutable after creation and shared by both children.
+type basisSnap struct {
+	rows, cols int
+	basis      []int32
+	neg        []bool
+}
+
+// snapshot captures the basis of the most recent solve in sc. Call only
+// after solveLPBounds or solveLPWarm returned Optimal.
+func (sc *lpScratch) snapshot() *basisSnap {
+	s := &basisSnap{
+		rows:  sc.lastRows,
+		cols:  sc.lastTotal,
+		basis: make([]int32, sc.lastRows),
+		neg:   append([]bool(nil), sc.neg[:sc.lastRows]...),
+	}
+	for r := 0; r < sc.lastRows; r++ {
+		s.basis[r] = int32(sc.basis[r])
+	}
+	return s
+}
+
+func flipRel(rel Rel) Rel {
+	switch rel {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// solveLPWarm re-optimizes the LP under sc.lb/sc.ub starting from the
+// parent basis in snap, using dual simplex to repair the primal
+// infeasibility a tightened bound introduces. Since branching only
+// changes one variable's bound — A and c are untouched — the parent's
+// optimal basis stays dual feasible for the child, and the dual simplex
+// typically needs a handful of pivots where the cold two-phase primal
+// needs hundreds.
+//
+// The bool result reports whether the warm start resolved the node: when
+// false the caller must fall back to solveLPBounds. Fallback triggers
+// (all safe, never wrong-answer): the tableau layout no longer matches
+// the snapshot, the snapshot basis is singular in the rebuilt tableau,
+// the priced-out costs are not dual feasible, the dual pivot budget runs
+// out, or a redundant parent row turned binding (detectable only as a
+// basic artificial with positive value, which phase 1 must re-decide).
+func (m *Model) solveLPWarm(sc *lpScratch, snap *basisSnap) (Solution, bool) {
+	sc.lastPivots = 0
+	nv := len(m.vars)
+	n, ok := m.buildColumns(sc)
+	if !ok {
+		// Bound contradiction (e.g. branching pushed lb above ub): the
+		// child is infeasible with no pivoting at all.
+		return Solution{Status: Infeasible}, true
+	}
+
+	mRows := len(m.cons)
+	for i := 0; i < nv; i++ {
+		if !math.IsInf(sc.ub[i], 1) {
+			mRows++
+		}
+	}
+	if mRows != snap.rows {
+		return Solution{}, false
+	}
+
+	// Rebuild the rows in the parent's orientation: reuse the parent's
+	// neg flags instead of re-deriving them from the child's rhs signs,
+	// so the rebuilt matrix is the one snap.basis is a basis of. The rhs
+	// may come out negative — that is exactly the primal infeasibility
+	// the dual simplex repairs.
+	sc.b = growFloats(sc.b, mRows)
+	sc.rels = growRels(sc.rels, mRows)
+	sc.neg = growBools(sc.neg, mRows)
+	row := 0
+	addRow := func(rhs float64, rel Rel) {
+		if snap.neg[row] {
+			rhs = -rhs
+			rel = flipRel(rel)
+		}
+		sc.b[row], sc.rels[row], sc.neg[row] = rhs, rel, snap.neg[row]
+		row++
+	}
+	for ci := range m.cons {
+		c := &m.cons[ci]
+		rhs := c.rhs
+		for _, t := range c.terms {
+			rhs -= t.Coef * sc.shift[t.Var]
+		}
+		addRow(rhs, c.rel)
+	}
+	for i := 0; i < nv; i++ {
+		if !math.IsInf(sc.ub[i], 1) {
+			addRow(sc.ub[i]-sc.shift[i], LE)
+		}
+	}
+
+	nSlack, nArt := countAux(sc, mRows)
+	total := n + nSlack + nArt
+	if total != snap.cols {
+		return Solution{}, false
+	}
+	m.fillTableau(sc, n, mRows, total, nArt)
+
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis}
+	sc.inst = growBools(sc.inst, mRows)
+	if !t.installBasis(snap.basis, sc.inst) {
+		sc.lastPivots = t.pivots
+		return Solution{}, false
+	}
+
+	m.buildCosts(sc, total)
+	artStart := total - nArt
+	sc.barred = growBools(sc.barred, total)
+	clear(sc.barred)
+	for j := artStart; j < total; j++ {
+		sc.barred[j] = true
+	}
+	t.barred = sc.barred
+	t.setCosts(sc.cobj)
+
+	// The parent basis should price out dual feasible (only b changed);
+	// if roundoff broke that, a dual pivot could loop — refuse instead.
+	for j := 0; j < total; j++ {
+		if !sc.barred[j] && t.cost[j] < -feasTol {
+			sc.lastPivots = t.pivots
+			return Solution{}, false
+		}
+	}
+
+	status, done := t.dualIterate()
+	sc.lastPivots = t.pivots
+	if !done {
+		return Solution{}, false
+	}
+	if status == Infeasible {
+		return Solution{Status: Infeasible}, true
+	}
+	// A parent-redundant row (basic artificial at 0) that became binding
+	// shows up as a basic artificial with positive value: the dual
+	// simplex cannot price artificials back out, so let phase 1 decide.
+	for r, bv := range t.basis {
+		if bv >= artStart && t.b[r] > feasTol {
+			return Solution{}, false
+		}
+	}
+	return m.extract(sc, t, total), true
+}
+
+// solveLPDive re-optimizes the tableau still sitting in sc — the caller
+// guarantees it is the node's parent's optimal tableau — after applying
+// the bound changes as O(rows) rhs updates each, then repairing with dual
+// simplex once. No rebuild, no basis re-installation: tightening an upper
+// bound by δ shifts the original rhs of that variable's ub row by δ, so
+// the current rhs moves by δ·B⁻¹e_r, and B⁻¹e_r is exactly the tableau
+// column of that row's slack; raising a lower bound by δ grows the
+// variable's shift, which moves the current rhs by −δ·B⁻¹A·e_v — the
+// tableau column of the variable itself. The reduced-cost row does not
+// depend on the rhs, so the basis stays dual feasible and the dual
+// simplex can start immediately. Changes may arrive in any order (they
+// all tighten, so min/max against the current bounds makes each δ exact)
+// and typically hold the node's branching plus its parent's reduced-cost
+// fixings.
+//
+// On ok=false the caller must re-solve cold (sc.lb/sc.ub may have been
+// partially updated but the tableau is no longer meaningful; the cold
+// path re-resolves bounds from the model and the full chain anyway).
+func (m *Model) solveLPDive(sc *lpScratch, changes []*boundChange) (Solution, bool) {
+	sc.lastPivots = 0
+	rows, total := sc.lastRows, sc.lastTotal
+	for _, c := range changes {
+		v := c.v
+		if c.upper {
+			if math.IsInf(sc.ub[v], 1) {
+				// The ub row does not exist yet: structural change, rebuild.
+				return Solution{}, false
+			}
+			newUb := math.Min(sc.ub[v], c.val)
+			if newUb < sc.lb[v]-feasTol {
+				return Solution{Status: Infeasible}, true
+			}
+			delta := newUb - sc.ub[v]
+			if delta == 0 {
+				continue // already at least this tight
+			}
+			sc.ub[v] = newUb
+			// Row index of v's ub row: cons rows first, then finite-ub vars
+			// in variable order.
+			r := len(m.cons)
+			for i := 0; i < int(v); i++ {
+				if !math.IsInf(sc.ub[i], 1) {
+					r++
+				}
+			}
+			sCol := sc.slackOf[r]
+			if sCol < 0 {
+				return Solution{}, false
+			}
+			for i := 0; i < rows; i++ {
+				sc.b[i] += delta * sc.a[i][sCol]
+			}
+		} else {
+			if math.IsInf(sc.lb[v], -1) {
+				// The variable is split x⁺ − x⁻: structural change, rebuild.
+				return Solution{}, false
+			}
+			newLb := math.Max(sc.lb[v], c.val)
+			if newLb > sc.ub[v]+feasTol {
+				return Solution{Status: Infeasible}, true
+			}
+			delta := newLb - sc.lb[v]
+			if delta == 0 {
+				continue
+			}
+			sc.lb[v] = newLb
+			sc.shift[v] = newLb
+			col := sc.col[v]
+			for i := 0; i < rows; i++ {
+				sc.b[i] -= delta * sc.a[i][col]
+			}
+		}
+	}
+
+	t := &tableau{a: sc.a, b: sc.b[:rows], cost: sc.cost, basis: sc.basis, barred: sc.barred}
+	status, done := t.dualIterate()
+	sc.lastPivots = t.pivots
+	if !done {
+		return Solution{}, false
+	}
+	if status == Infeasible {
+		return Solution{Status: Infeasible}, true
+	}
+	for r, bv := range t.basis {
+		if bv >= sc.lastArt && t.b[r] > feasTol {
+			return Solution{}, false
+		}
+	}
+	return m.extract(sc, t, total), true
+}
+
+// installBasis pivots the tableau's initial slack/artificial basis into
+// the target basis with multi-pass Gauss-Jordan. Rows whose initial basic
+// column already matches the target are skipped outright: an initial
+// basic column is a unit column touched by no other row, and pivots at
+// other rows cannot disturb it (the pivot row holds a zero there).
+// Returns false if the passes stall before every row is installed — the
+// target basis is singular (or numerically near-singular) in this
+// tableau.
+func (t *tableau) installBasis(target []int32, inst []bool) bool {
+	remaining := 0
+	for r := range target {
+		if t.basis[r] == int(target[r]) {
+			inst[r] = true
+		} else {
+			inst[r] = false
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		progress := false
+		for r := range target {
+			if inst[r] {
+				continue
+			}
+			j := int(target[r])
+			if math.Abs(t.a[r][j]) > installTol {
+				t.pivot(r, j)
+				inst[r] = true
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return false
+		}
+	}
+	return true
+}
+
+// dualIterate runs dual simplex pivots: pick the most-negative rhs row,
+// enter the column that keeps the cost row dual feasible (min ratio over
+// negative entries of the leaving row), and pivot, until the rhs is
+// nonnegative (Optimal) or some negative row has no negative entry
+// (Infeasible). Switches to first-index row selection after a Bland-style
+// threshold. Returns done=false if the pivot budget runs out, in which
+// case the caller must fall back to a cold solve.
+func (t *tableau) dualIterate() (Status, bool) {
+	mRows := len(t.a)
+	nCols := len(t.cost)
+	maxIter := 100*(mRows+nCols) + 2000
+	blandAfter := 20 * (mRows + nCols)
+	for iter := 0; iter < maxIter; iter++ {
+		leave := -1
+		if iter < blandAfter {
+			worst := -feasTol
+			for r := 0; r < mRows; r++ {
+				if t.b[r] < worst {
+					worst = t.b[r]
+					leave = r
+				}
+			}
+		} else {
+			for r := 0; r < mRows; r++ {
+				if t.b[r] < -feasTol {
+					leave = r
+					break
+				}
+			}
+		}
+		if leave < 0 {
+			return Optimal, true
+		}
+		row := t.a[leave]
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < nCols; j++ {
+			if t.barredCol(j) || row[j] >= -pivotTol {
+				continue
+			}
+			ratio := t.cost[j] / -row[j]
+			if ratio < bestRatio-feasTol {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// Row reads Σ aj·xj = b with every aj ≥ 0 (over admissible
+			// columns) and b < 0: no nonnegative point satisfies it.
+			return Infeasible, true
+		}
+		t.pivot(leave, enter)
+	}
+	return LimitReached, false
+}

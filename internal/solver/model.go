@@ -189,6 +189,16 @@ type Solution struct {
 	Nodes int
 	// Workers is the number of branch-and-bound workers used (0 for LPs).
 	Workers int
+	// SimplexIters is the total number of simplex pivots performed across
+	// the solve: cold primal iterations (both phases), warm-start basis
+	// re-installation pivots, and dual-simplex repair pivots.
+	SimplexIters int
+	// WarmStartHits counts branch-and-bound node relaxations resolved by
+	// the dual-simplex warm start (including children proven infeasible by
+	// it) rather than a cold two-phase primal solve. 0 for LPs.
+	WarmStartHits int
+	// Branching is the branching rule the search used (MILP only).
+	Branching BranchRule
 }
 
 // Value returns the solution value of v.
@@ -203,6 +213,24 @@ func (s Solution) Value(v VarID) float64 {
 func (s Solution) IntValue(v VarID) int {
 	return int(math.Round(s.Value(v)))
 }
+
+// BranchRule selects how branch-and-bound picks the variable to branch
+// on at a fractional node.
+type BranchRule string
+
+const (
+	// BranchMostFractional branches on the integer variable whose
+	// relaxation value is farthest from an integer — the classic textbook
+	// rule, cheap but blind to objective impact.
+	BranchMostFractional BranchRule = "most-fractional"
+	// BranchPseudocost branches on the variable with the best pseudocost
+	// score: the product of the per-unit objective degradations observed
+	// on past down/up branches of that variable, weighted by the current
+	// fractionality. Unreliable estimates (fewer than one observation per
+	// side) borrow the tree-wide average. Usually explores far fewer
+	// nodes than most-fractional on hard instances.
+	BranchPseudocost BranchRule = "pseudocost"
+)
 
 // Options tune the MILP search.
 type Options struct {
@@ -222,6 +250,16 @@ type Options struct {
 	// the next node boundary and the solve returns LimitReached with the
 	// best incumbent so far.
 	Context context.Context
+	// Branching selects the branch-variable rule (default
+	// BranchPseudocost). Objective and Status at proven optimality are
+	// identical for every rule; node counts differ, and with Workers > 1
+	// pseudocost scores depend on the order workers report results, so
+	// the explored node count may vary run to run.
+	Branching BranchRule
+	// NoWarmStart disables dual-simplex warm starts: every node
+	// relaxation is solved cold with the two-phase primal simplex, as
+	// before warm starts existed. For ablation and debugging.
+	NoWarmStart bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -232,6 +270,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RelGap == 0 {
 		o.RelGap = 1e-6
+	}
+	if o.Branching != BranchMostFractional {
+		o.Branching = BranchPseudocost
 	}
 	return o
 }

@@ -1,0 +1,128 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// TestObjRounderGCDLift: with all-integer coefficients on integer
+// variables, bounds round to the coefficient gcd — up for minimization,
+// down for maximization.
+func TestObjRounderGCDLift(t *testing.T) {
+	min := NewModel("gcd-min", Minimize)
+	min.AddIntVar("x", 0, 10, 6)
+	min.AddIntVar("y", 0, 10, 10)
+	rmin := newObjRounder(min)
+	if rmin.g != 2 {
+		t.Fatalf("gcd = %v, want 2", rmin.g)
+	}
+	if got := rmin.lift(7.3); got != 8 {
+		t.Errorf("min lift(7.3) = %v, want 8", got)
+	}
+	// A bound an ulp below a multiple rounds to it, not past it (the
+	// 1e-9 slack), and one already past it is never weakened back.
+	if got := rmin.lift(math.Nextafter(8, 7)); got != 8 {
+		t.Errorf("min lift(8-ulp) = %v, want 8", got)
+	}
+	past := math.Nextafter(8, 9)
+	if got := rmin.lift(past); got != past {
+		t.Errorf("min lift(8+ulp) = %v, want unchanged %v", got, past)
+	}
+
+	max := NewModel("gcd-max", Maximize)
+	max.AddIntVar("x", 0, 10, 6)
+	max.AddIntVar("y", 0, 10, 10)
+	rmax := newObjRounder(max)
+	if got := rmax.lift(7.3); got != 6 {
+		t.Errorf("max lift(7.3) = %v, want 6", got)
+	}
+}
+
+// TestObjRounderCardinalityLift: near-uniform positive costs on integer
+// variables bracket the objective by the activity count, lifting bounds
+// the gcd cannot touch. This is the lift that prunes the planning MIP's
+// tied frontier (costs 1+ε·spacing, bound 1.79 → 2·cmin).
+func TestObjRounderCardinalityLift(t *testing.T) {
+	m := NewModel("card-min", Minimize)
+	m.AddIntVar("x", 0, 5, 1.075)
+	m.AddIntVar("y", 0, 5, 1.1)
+	r := newObjRounder(m)
+	if r.g != 0 {
+		t.Fatalf("fractional coefficients should disable the gcd lift, got g=%v", r.g)
+	}
+	if !r.card || r.cmin != 1.075 || r.cmax != 1.1 {
+		t.Fatalf("cardinality lift not detected: %+v", r)
+	}
+	// z=1.79 needs T ≥ ceil(1.79/1.1) = 2 units, costing ≥ 2·1.075.
+	if got, want := r.lift(1.79), 2*1.075; got != want {
+		t.Errorf("lift(1.79) = %v, want %v", got, want)
+	}
+	// An attainable bound stays put.
+	if got := r.lift(2 * 1.075); got != 2*1.075 {
+		t.Errorf("lift(2.15) = %v, want unchanged", got)
+	}
+
+	max := NewModel("card-max", Maximize)
+	max.AddIntVar("x", 0, 5, 1.075)
+	max.AddIntVar("y", 0, 5, 1.1)
+	rx := newObjRounder(max)
+	// z=2.3 allows T ≤ floor(2.3/1.075) = 2 units, worth ≤ 2·1.1.
+	if got, want := rx.lift(2.3), 2*1.1; got != want {
+		t.Errorf("max lift(2.3) = %v, want %v", got, want)
+	}
+}
+
+// TestObjRounderInapplicable: a continuous variable with objective mass
+// disables every lift; negative coefficients disable the cardinality
+// lift but not the gcd lift.
+func TestObjRounderInapplicable(t *testing.T) {
+	cont := NewModel("cont", Minimize)
+	cont.AddIntVar("x", 0, 10, 3)
+	cont.AddVar("y", 0, 10, 2)
+	r := newObjRounder(cont)
+	if r.g != 0 || r.card {
+		t.Fatalf("continuous objective variable should disable lifts: %+v", r)
+	}
+	if got := r.lift(7.3); got != 7.3 {
+		t.Errorf("inapplicable lift changed the bound: %v", got)
+	}
+
+	neg := NewModel("neg", Minimize)
+	neg.AddIntVar("x", 0, 10, 6)
+	neg.AddIntVar("y", 0, 10, -10)
+	rn := newObjRounder(neg)
+	if rn.card {
+		t.Error("negative coefficient should disable the cardinality lift")
+	}
+	if rn.g != 2 {
+		t.Errorf("gcd lift should survive negative coefficients, got g=%v", rn.g)
+	}
+	if got := rn.lift(-7.5); got != -6 {
+		t.Errorf("min lift(-7.5) = %v, want -6", got)
+	}
+
+	// Zero-coefficient variables are ignored entirely — a continuous var
+	// with no objective mass must not disable the lifts.
+	free := NewModel("free", Minimize)
+	free.AddIntVar("x", 0, 10, 4)
+	free.AddVar("slack", 0, 100, 0)
+	rf := newObjRounder(free)
+	if rf.g != 4 || !rf.card {
+		t.Errorf("zero-coefficient continuous var disabled lifts: %+v", rf)
+	}
+}
+
+// TestObjRounderInfNaN: infinite and NaN bounds pass through untouched.
+func TestObjRounderInfNaN(t *testing.T) {
+	m := NewModel("inf", Minimize)
+	m.AddIntVar("x", 0, 10, 3)
+	r := newObjRounder(m)
+	for _, z := range []float64{math.Inf(1), math.Inf(-1)} {
+		if got := r.lift(z); got != z {
+			t.Errorf("lift(%v) = %v, want unchanged", z, got)
+		}
+	}
+	if got := r.lift(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("lift(NaN) = %v, want NaN", got)
+	}
+}

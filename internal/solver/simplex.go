@@ -31,6 +31,7 @@ func (m *Model) solveLPWithBounds(lbOverride, ubOverride map[VarID]float64) Solu
 		sc.ub[v] = b
 	}
 	sol := m.solveLPBounds(sc)
+	sol.SimplexIters = sc.lastPivots
 	if sol.Values != nil {
 		sol.Values = append([]float64(nil), sol.Values...)
 	}
@@ -54,16 +55,23 @@ type lpScratch struct {
 
 	flat  []float64   // dense tableau backing storage (rows × total)
 	a     [][]float64 // row views into flat
-	b     []float64   // rhs, normalized nonnegative
+	b     []float64   // rhs, normalized nonnegative (cold) or parent-signed (warm)
 	basis []int       // per-row basic column
 
-	cobj   []float64 // phase-2 cost vector (model objective)
-	phase1 []float64 // phase-1 cost vector (artificial sum)
-	cost   []float64 // working reduced-cost row
-	barred []bool    // columns banned from entering (phase-2 artificials)
+	cobj    []float64 // phase-2 cost vector (model objective)
+	phase1  []float64 // phase-1 cost vector (artificial sum)
+	cost    []float64 // working reduced-cost row
+	barred  []bool    // columns banned from entering (phase-2 artificials)
+	inst    []bool    // basis-installation progress (warm starts)
+	slackOf []int     // per-row slack/surplus column, -1 for EQ rows
 
 	x      []float64 // standard-form point
 	values []float64 // model-variable values (aliased by returned Solutions)
+
+	lastRows   int // rows of the most recent tableau build
+	lastTotal  int // columns of the most recent tableau build
+	lastArt    int // first artificial column of the most recent build
+	lastPivots int // simplex pivots performed by the most recent solve
 }
 
 func growFloats(s []float64, n int) []float64 {
@@ -112,19 +120,13 @@ func (sc *lpScratch) resolveModelBounds(m *Model) {
 	}
 }
 
-// solveLPBounds solves the LP relaxation under the effective bounds in
-// sc.lb/sc.ub with a two-phase dense simplex, reusing sc's buffers
-// throughout: the standard form (min c·y s.t. Ay = b, y ≥ 0 with a
-// Phase-1 artificial basis) is written directly into the scratch-owned
-// tableau, so a solve allocates nothing once the scratch has warmed up.
-//
-// The returned Solution's Values slice aliases sc.values: callers that
-// keep a solution across solves must copy it first.
-func (m *Model) solveLPBounds(sc *lpScratch) Solution {
+// buildColumns assigns structural columns for the effective bounds in
+// sc.lb/sc.ub: shifted columns for lower-bounded variables, split x⁺ − x⁻
+// pairs for free ones. Returns the structural column count, or ok=false
+// when some variable's effective bounds contradict each other (the
+// subproblem is infeasible before any pivoting).
+func (m *Model) buildColumns(sc *lpScratch) (int, bool) {
 	nv := len(m.vars)
-
-	// Assign structural columns. Contradictory effective bounds mean the
-	// subproblem is infeasible before any pivoting.
 	sc.col = growInts(sc.col, nv)
 	sc.negCol = growInts(sc.negCol, nv)
 	sc.shift = growFloats(sc.shift, nv)
@@ -132,7 +134,7 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 	for i := 0; i < nv; i++ {
 		lb, ub := sc.lb[i], sc.ub[i]
 		if lb > ub+feasTol {
-			return Solution{Status: Infeasible}
+			return 0, false
 		}
 		if math.IsInf(lb, -1) {
 			// Free (or upper-bounded-only) variable: split x = x⁺ − x⁻.
@@ -146,6 +148,140 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 			sc.shift[i] = lb
 			n++
 		}
+	}
+	return n, true
+}
+
+// countAux counts the slack/surplus and artificial columns the normalized
+// rows in sc.rels[:mRows] need.
+func countAux(sc *lpScratch, mRows int) (nSlack, nArt int) {
+	for r := 0; r < mRows; r++ {
+		if sc.rels[r] != EQ {
+			nSlack++
+		}
+		if sc.rels[r] != LE {
+			nArt++
+		}
+	}
+	return nSlack, nArt
+}
+
+// fillTableau writes the dense standard form into the scratch-owned
+// backing array: constraint rows first, then one x ≤ ub row per finite
+// upper bound, with slack and artificial columns appended per sc.rels.
+// sc.b, sc.rels, and sc.neg must already hold the row data; the initial
+// basis is the slack (LE) or artificial (GE/EQ) column of each row.
+func (m *Model) fillTableau(sc *lpScratch, n, mRows, total, nArt int) {
+	sc.flat = growFloats(sc.flat, mRows*total)
+	clear(sc.flat)
+	sc.a = growRows(sc.a, mRows)
+	for r := 0; r < mRows; r++ {
+		sc.a[r] = sc.flat[r*total : (r+1)*total]
+	}
+	sc.basis = growInts(sc.basis, mRows)
+	fill := func(r int, v VarID, coef float64) {
+		if sc.neg[r] {
+			coef = -coef
+		}
+		row := sc.a[r]
+		row[sc.col[v]] += coef
+		if sc.negCol[v] >= 0 {
+			row[sc.negCol[v]] -= coef
+		}
+	}
+	for ci := range m.cons {
+		for _, t := range m.cons[ci].terms {
+			fill(ci, t.Var, t.Coef)
+		}
+	}
+	ur := len(m.cons)
+	for i := range m.vars {
+		if !math.IsInf(sc.ub[i], 1) {
+			fill(ur, VarID(i), 1)
+			ur++
+		}
+	}
+	sc.slackOf = growInts(sc.slackOf, mRows)
+	slackAt, artAt := n, total-nArt
+	for r := 0; r < mRows; r++ {
+		sc.slackOf[r] = -1
+		switch sc.rels[r] {
+		case LE:
+			sc.a[r][slackAt] = 1
+			sc.slackOf[r] = slackAt
+			sc.basis[r] = slackAt
+			slackAt++
+		case GE:
+			sc.a[r][slackAt] = -1
+			sc.slackOf[r] = slackAt
+			slackAt++
+			sc.a[r][artAt] = 1
+			sc.basis[r] = artAt
+			artAt++
+		case EQ:
+			sc.a[r][artAt] = 1
+			sc.basis[r] = artAt
+			artAt++
+		}
+	}
+	sc.cost = growFloats(sc.cost, total)
+	sc.lastRows, sc.lastTotal, sc.lastArt = mRows, total, total-nArt
+}
+
+// buildCosts fills sc.cobj with the phase-2 cost vector (minimization;
+// Maximize flips sign).
+func (m *Model) buildCosts(sc *lpScratch, total int) {
+	sc.cobj = growFloats(sc.cobj, total)
+	clear(sc.cobj)
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	for i := range m.vars {
+		sc.cobj[sc.col[i]] += sign * m.vars[i].obj
+		if sc.negCol[i] >= 0 {
+			sc.cobj[sc.negCol[i]] -= sign * m.vars[i].obj
+		}
+	}
+}
+
+// extract maps the tableau's basic point back to model variables.
+func (m *Model) extract(sc *lpScratch, t *tableau, total int) Solution {
+	nv := len(m.vars)
+	sc.x = growFloats(sc.x, total)
+	clear(sc.x)
+	for r, bv := range t.basis {
+		if bv < total {
+			sc.x[bv] = t.b[r]
+		}
+	}
+	sc.values = growFloats(sc.values, nv)
+	obj := 0.0
+	for i := 0; i < nv; i++ {
+		v := sc.x[sc.col[i]] + sc.shift[i]
+		if sc.negCol[i] >= 0 {
+			v -= sc.x[sc.negCol[i]]
+		}
+		sc.values[i] = v
+		obj += m.vars[i].obj * v
+	}
+	return Solution{Status: Optimal, Objective: obj, Values: sc.values}
+}
+
+// solveLPBounds solves the LP relaxation under the effective bounds in
+// sc.lb/sc.ub with a two-phase dense simplex, reusing sc's buffers
+// throughout: the standard form (min c·y s.t. Ay = b, y ≥ 0 with a
+// Phase-1 artificial basis) is written directly into the scratch-owned
+// tableau, so a solve allocates nothing once the scratch has warmed up.
+//
+// The returned Solution's Values slice aliases sc.values: callers that
+// keep a solution across solves must copy it first.
+func (m *Model) solveLPBounds(sc *lpScratch) Solution {
+	sc.lastPivots = 0
+	nv := len(m.vars)
+	n, ok := m.buildColumns(sc)
+	if !ok {
+		return Solution{Status: Infeasible}
 	}
 
 	// Pass 1: per-row shifted rhs and normalized relation. Rows are the
@@ -177,90 +313,17 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 		}
 		addRow(rhs, c.rel)
 	}
-	ubRowStart := mRows
 	for i := 0; i < nv; i++ {
 		if !math.IsInf(sc.ub[i], 1) {
 			addRow(sc.ub[i]-sc.shift[i], LE)
 		}
 	}
 
-	// Count slack/surplus and artificial columns.
-	nSlack, nArt := 0, 0
-	for r := 0; r < mRows; r++ {
-		if sc.rels[r] != EQ {
-			nSlack++
-		}
-		if sc.rels[r] != LE {
-			nArt++
-		}
-	}
+	nSlack, nArt := countAux(sc, mRows)
 	total := n + nSlack + nArt
+	m.fillTableau(sc, n, mRows, total, nArt)
+	m.buildCosts(sc, total)
 
-	// Pass 2: fill the dense rows in place over the flat backing array.
-	sc.flat = growFloats(sc.flat, mRows*total)
-	clear(sc.flat)
-	sc.a = growRows(sc.a, mRows)
-	for r := 0; r < mRows; r++ {
-		sc.a[r] = sc.flat[r*total : (r+1)*total]
-	}
-	sc.basis = growInts(sc.basis, mRows)
-	fill := func(r int, v VarID, coef float64) {
-		if sc.neg[r] {
-			coef = -coef
-		}
-		row := sc.a[r]
-		row[sc.col[v]] += coef
-		if sc.negCol[v] >= 0 {
-			row[sc.negCol[v]] -= coef
-		}
-	}
-	for ci := range m.cons {
-		for _, t := range m.cons[ci].terms {
-			fill(ci, t.Var, t.Coef)
-		}
-	}
-	ur := ubRowStart
-	for i := 0; i < nv; i++ {
-		if !math.IsInf(sc.ub[i], 1) {
-			fill(ur, VarID(i), 1)
-			ur++
-		}
-	}
-	slackAt, artAt := n, n+nSlack
-	for r := 0; r < mRows; r++ {
-		switch sc.rels[r] {
-		case LE:
-			sc.a[r][slackAt] = 1
-			sc.basis[r] = slackAt
-			slackAt++
-		case GE:
-			sc.a[r][slackAt] = -1
-			slackAt++
-			sc.a[r][artAt] = 1
-			sc.basis[r] = artAt
-			artAt++
-		case EQ:
-			sc.a[r][artAt] = 1
-			sc.basis[r] = artAt
-			artAt++
-		}
-	}
-
-	// Phase-2 costs (minimization; Maximize flips sign).
-	sc.cobj = growFloats(sc.cobj, total)
-	clear(sc.cobj)
-	sign := 1.0
-	if m.sense == Maximize {
-		sign = -1
-	}
-	for i := 0; i < nv; i++ {
-		sc.cobj[sc.col[i]] += sign * m.vars[i].obj
-		if sc.negCol[i] >= 0 {
-			sc.cobj[sc.negCol[i]] -= sign * m.vars[i].obj
-		}
-	}
-
-	sc.cost = growFloats(sc.cost, total)
 	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis}
 
 	// Phase 1: minimize the sum of artificials.
@@ -275,9 +338,11 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 		if status := t.iterate(); status == Unbounded {
 			// Phase 1 objective is bounded below by 0; unbounded here
 			// signals numerical trouble — treat as infeasible.
+			sc.lastPivots = t.pivots
 			return Solution{Status: Infeasible}
 		}
 		if -t.obj > feasTol {
+			sc.lastPivots = t.pivots
 			return Solution{Status: Infeasible}
 		}
 		// Pivot any artificial still in the basis out (degenerate rows).
@@ -306,28 +371,11 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 	t.barred = sc.barred
 	t.setCosts(sc.cobj)
 	if status := t.iterate(); status == Unbounded {
+		sc.lastPivots = t.pivots
 		return Solution{Status: Unbounded}
 	}
-
-	// Extract the point and map it back to model variables.
-	sc.x = growFloats(sc.x, total)
-	clear(sc.x)
-	for r, bv := range t.basis {
-		if bv < total {
-			sc.x[bv] = t.b[r]
-		}
-	}
-	sc.values = growFloats(sc.values, nv)
-	obj := 0.0
-	for i := 0; i < nv; i++ {
-		v := sc.x[sc.col[i]] + sc.shift[i]
-		if sc.negCol[i] >= 0 {
-			v -= sc.x[sc.negCol[i]]
-		}
-		sc.values[i] = v
-		obj += m.vars[i].obj * v
-	}
-	return Solution{Status: Optimal, Objective: obj, Values: sc.values}
+	sc.lastPivots = t.pivots
+	return m.extract(sc, t, total)
 }
 
 // tableau carries the dense simplex state. All fields are views into an
@@ -339,6 +387,7 @@ type tableau struct {
 	obj    float64     // negative of current objective value offset
 	basis  []int
 	barred []bool // columns that may never enter (phase-2 artificials)
+	pivots int    // Gauss-Jordan pivots performed (all phases)
 }
 
 // setCosts installs a cost vector (copied into the working row) and
@@ -422,6 +471,7 @@ func (t *tableau) iterate() Status {
 
 // pivot performs a Gauss-Jordan pivot on (row, col).
 func (t *tableau) pivot(row, col int) {
+	t.pivots++
 	p := t.a[row][col]
 	inv := 1 / p
 	for j := range t.a[row] {

@@ -350,16 +350,18 @@ func TestStatusStrings(t *testing.T) {
 	}
 }
 
-// TestMIPRelGapStop forces the RelGap early exit: max x + y subject to
-// 2x + 2y ≤ 3 over binaries has LP bound 1.5 but integer optimum 1, a
-// proven 50% gap at the first incumbent. A loose RelGap must stop there
-// and report GapLimit — not claim the incumbent Optimal — while the
-// default tight gap must prove optimality with Gap 0.
+// TestMIPRelGapStop forces the RelGap early exit: max 1.3x + 0.7y subject
+// to 2x + 2y ≤ 3 over binaries has LP bound 1.95 but integer optimum 1.3,
+// a proven 50% gap at the first incumbent. (Non-integral, non-uniform
+// coefficients keep the objective bound rounding from lifting the LP
+// bounds and closing the gap early.) A loose RelGap must stop there and
+// report GapLimit — not claim the incumbent Optimal — while the default
+// tight gap must prove optimality with Gap 0.
 func TestMIPRelGapStop(t *testing.T) {
 	build := func() *Model {
 		m := NewModel("relgap", Maximize)
-		x := m.AddBinVar("x", 1)
-		y := m.AddBinVar("y", 1)
+		x := m.AddBinVar("x", 1.3)
+		y := m.AddBinVar("y", 0.7)
 		mustCon(t, m, "pack", []Term{{x, 2}, {y, 2}}, LE, 3)
 		return m
 	}
@@ -371,8 +373,8 @@ func TestMIPRelGapStop(t *testing.T) {
 	if s.Status != GapLimit {
 		t.Fatalf("RelGap-stopped search status = %v, want gap-limit", s.Status)
 	}
-	if !approx(s.Objective, 1) {
-		t.Errorf("incumbent objective = %v, want 1", s.Objective)
+	if !approx(s.Objective, 1.3) {
+		t.Errorf("incumbent objective = %v, want 1.3", s.Objective)
 	}
 	if s.Gap <= intTol || s.Gap > 0.6 {
 		t.Errorf("proven gap = %v, want within (%v, 0.6]", s.Gap, intTol)
@@ -383,8 +385,8 @@ func TestMIPRelGapStop(t *testing.T) {
 	if s.Status != Optimal {
 		t.Fatalf("full search status = %v, want optimal", s.Status)
 	}
-	if !approx(s.Objective, 1) {
-		t.Errorf("optimal objective = %v, want 1", s.Objective)
+	if !approx(s.Objective, 1.3) {
+		t.Errorf("optimal objective = %v, want 1.3", s.Objective)
 	}
 	if s.Gap > intTol {
 		t.Errorf("proven-optimal Gap = %v, want 0", s.Gap)

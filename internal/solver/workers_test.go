@@ -8,11 +8,14 @@ import (
 
 // hardKnapsack builds a MIP with enough branching to keep several workers
 // busy: a 2-constraint knapsack over 14 binaries with correlated weights,
-// whose LP relaxation is fractional almost everywhere.
+// whose LP relaxation is fractional almost everywhere. The profits are
+// deliberately non-integral and non-uniform so the objective bound
+// rounding cannot lift the LP bounds — the limit and concurrency tests
+// below need the full tree, not the shortcut.
 func hardKnapsack(t *testing.T) *Model {
 	t.Helper()
 	m := NewModel("hard-knapsack", Maximize)
-	profits := []float64{9, 11, 13, 15, 8, 12, 6, 7, 14, 10, 5, 16, 4, 3}
+	profits := []float64{9.1, 11.4, 13.2, 15.3, 8.6, 12.1, 6.3, 7.2, 14.6, 10.3, 5.1, 16.4, 4.2, 3.1}
 	w1 := []float64{6, 7, 8, 9, 5, 7, 4, 5, 9, 6, 3, 10, 3, 2}
 	w2 := []float64{3, 5, 4, 7, 6, 2, 5, 3, 4, 7, 2, 6, 4, 1}
 	vars := make([]VarID, len(profits))

@@ -1,6 +1,7 @@
 package flexwan
 
 import (
+	"flexwan/internal/chaos"
 	"flexwan/internal/controller"
 	"flexwan/internal/device"
 	"flexwan/internal/devmodel"
@@ -65,9 +66,28 @@ type (
 	ManagementServer = netconf.Server
 )
 
+// Management protocol options and errors.
+type (
+	// DialOptions sets per-session dial and call timeouts.
+	DialOptions = netconf.DialOptions
+	// RPCError is a device NACK: an intentional rejection the
+	// controller must not retry.
+	RPCError = netconf.RPCError
+	// RPCFault is an injectable transport fault kind.
+	RPCFault = netconf.RPCFault
+	// FaultDecision is one interceptor verdict for one RPC.
+	FaultDecision = netconf.FaultDecision
+	// RPCInterceptor decides a fault for each RPC a server handles.
+	RPCInterceptor = netconf.Interceptor
+)
+
 // Management protocol operations and entry points.
 var (
-	DialDevice = netconf.Dial
+	DialDevice            = netconf.Dial
+	DialDeviceWithOptions = netconf.DialWithOptions
+	// IsTransientRPC reports whether an RPC failure is retryable
+	// (timeout or lost session) rather than a device NACK.
+	IsTransientRPC = netconf.IsTransient
 )
 
 // NETCONF-like protocol operations.
@@ -107,10 +127,54 @@ type (
 	DevMgr = controller.DevMgr
 	// AuditReport is a network-wide configuration audit outcome.
 	AuditReport = controller.AuditReport
+	// RestoreReport is the full outcome of handling one fiber event:
+	// restoration result, latency breakdown, and degraded-push skips.
+	RestoreReport = controller.RestoreReport
+	// RetryPolicy governs per-RPC retries in the device manager.
+	RetryPolicy = controller.RetryPolicy
+	// ChannelInfo describes one live channel and its hardware.
+	ChannelInfo = controller.ChannelInfo
 )
 
-// NewController builds a centralized controller.
-var NewController = controller.New
+// Controller entry points.
+var (
+	// NewController builds a centralized controller.
+	NewController = controller.New
+	// DefaultRetryPolicy is the device manager's starting retry policy.
+	DefaultRetryPolicy = controller.DefaultRetryPolicy
+)
+
+// Fault injection and recovery drills (internal/chaos).
+type (
+	// ChaosTestbed is a fully deployed control plane on loopback TCP.
+	ChaosTestbed = chaos.Testbed
+	// ChaosOptions tunes testbed construction.
+	ChaosOptions = chaos.Options
+	// ChaosScenario scripts one recovery drill.
+	ChaosScenario = chaos.Scenario
+	// ChaosInjector decides, per RPC, whether to inject a fault.
+	ChaosInjector = chaos.Injector
+	// ChaosFaultConfig sets per-RPC fault probabilities.
+	ChaosFaultConfig = chaos.FaultConfig
+	// DrillReport is one drill's scorecard.
+	DrillReport = chaos.Report
+	// DrillLog is a drill's deterministic event log.
+	DrillLog = chaos.Log
+	// DrillEvent is one entry of a drill's event log.
+	DrillEvent = chaos.Event
+)
+
+// Chaos entry points.
+var (
+	NewChaosTestbed  = chaos.NewTestbed
+	NewChaosInjector = chaos.NewInjector
+	NewDrillLog      = chaos.NewLog
+	// RunDrill executes a scenario against a testbed.
+	RunDrill = chaos.Run
+	// RingNetwork builds the smallest topology with restoration
+	// diversity — the drill smoke workload.
+	RingNetwork = chaos.RingNetwork
+)
 
 // Workloads (internal/workload).
 type (

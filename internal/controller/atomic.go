@@ -96,19 +96,11 @@ func (c *Controller) ApplyAtomic(res *plan.Result) error {
 	var staged []string
 	discard := func() {
 		for _, id := range staged {
-			if client, ok := c.devmgr.Client(id); ok {
-				_ = client.Call(device.OpDiscard, nil, nil)
-			}
+			_ = c.devmgr.Call(id, device.OpDiscard, nil, nil)
 		}
 	}
 	for _, e := range edits {
-		client, ok := c.devmgr.Client(e.deviceID)
-		if !ok {
-			discard()
-			releaseClaims()
-			return fmt.Errorf("controller: device %s not registered", e.deviceID)
-		}
-		if err := client.Call(device.OpEditCandidate, e.cfg, nil); err != nil {
+		if err := c.devmgr.Call(e.deviceID, device.OpEditCandidate, e.cfg, nil); err != nil {
 			discard()
 			releaseClaims()
 			return fmt.Errorf("controller: %s rejected staged config: %w", e.deviceID, err)
@@ -121,8 +113,7 @@ func (c *Controller) ApplyAtomic(res *plan.Result) error {
 	// audit/repair loop will reconverge the stragglers).
 	var commitErr error
 	for _, id := range staged {
-		client, _ := c.devmgr.Client(id)
-		if err := client.Call(device.OpCommit, nil, nil); err != nil && commitErr == nil {
+		if err := c.devmgr.Call(id, device.OpCommit, nil, nil); err != nil && commitErr == nil {
 			commitErr = fmt.Errorf("controller: commit on %s: %w", id, err)
 		}
 	}

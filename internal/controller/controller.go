@@ -1,9 +1,11 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"flexwan/internal/devmodel"
 	"flexwan/internal/netconf"
@@ -183,9 +185,27 @@ func transponderConfig(w plan.Wavelength, channel string) devmodel.TransponderCo
 	}
 }
 
-// pushWSSLocked pushes every fiber's accumulated passband document to its
-// WSS. Callers hold c.mu.
+// pushWSSLocked pushes every fiber's accumulated passband document to
+// its WSS, returning the first failure (remaining fibers are still
+// pushed). Callers hold c.mu.
 func (c *Controller) pushWSSLocked() error {
+	var firstErr error
+	err := c.pushWSSDegradedLocked(func(wssID string, err error) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("controller: configuring WSS %s: %w", wssID, err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// pushWSSDegradedLocked pushes every fiber's accumulated passband
+// document to its WSS, reporting unreachable devices through skip
+// instead of aborting. A fiber with no registered WSS is still an error:
+// that is a deployment wiring bug, not an outage. Callers hold c.mu.
+func (c *Controller) pushWSSDegradedLocked(skip func(deviceID string, err error)) error {
 	fibers := make([]string, 0, len(c.wssConfig))
 	for f := range c.wssConfig {
 		fibers = append(fibers, f)
@@ -199,18 +219,45 @@ func (c *Controller) pushWSSLocked() error {
 		cfg := c.wssConfig[fiber]
 		sort.Slice(cfg.Passbands, func(i, j int) bool { return cfg.Passbands[i].Start < cfg.Passbands[j].Start })
 		if err := c.editConfig(wssID, cfg); err != nil {
-			return fmt.Errorf("controller: configuring WSS %s: %w", wssID, err)
+			skip(wssID, err)
 		}
 	}
 	return nil
 }
 
+// editConfig pushes one configuration document through the retrying,
+// reconnecting DevMgr.Call path.
 func (c *Controller) editConfig(deviceID string, cfg interface{}) error {
-	client, ok := c.devmgr.Client(deviceID)
-	if !ok {
-		return fmt.Errorf("controller: device %s not registered", deviceID)
+	return c.devmgr.Call(deviceID, netconf.OpEditConfig, cfg, nil)
+}
+
+// CurrentPlan synthesizes a plan.Result from the live channels — the
+// same view restoration solves against. Drills use it to run the offline
+// restoration oracle on exactly the state the controller will see.
+func (c *Controller) CurrentPlan() *plan.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.currentPlanLocked()
+}
+
+// ChannelInfo describes one live channel and its hardware binding.
+type ChannelInfo struct {
+	Name       string
+	Wavelength plan.Wavelength
+	TxA, TxB   string
+}
+
+// LiveChannels returns every live channel with its wavelength and
+// transponder pair, sorted by name.
+func (c *Controller) LiveChannels() []ChannelInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ChannelInfo, 0, len(c.channels))
+	for name, st := range c.channels {
+		out = append(out, ChannelInfo{Name: name, Wavelength: st.wavelength, TxA: st.txA, TxB: st.txB})
 	}
-	return client.Call(netconf.OpEditConfig, cfg, nil)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Channels returns the live channel names, sorted.
@@ -281,12 +328,8 @@ func (c *Controller) Audit() (AuditReport, error) {
 			if !ok {
 				return report, fmt.Errorf("controller: no WSS for fiber %s", fiber)
 			}
-			client, ok := c.devmgr.Client(wssID)
-			if !ok {
-				return report, fmt.Errorf("controller: WSS %s not registered", wssID)
-			}
 			var cfg devmodel.WSSConfig
-			if err := client.Call(netconf.OpGetConfig, nil, &cfg); err != nil {
+			if err := c.devmgr.Call(wssID, netconf.OpGetConfig, nil, &cfg); err != nil {
 				return report, err
 			}
 			wssCfg[fiber] = cfg
@@ -305,13 +348,12 @@ func (c *Controller) Audit() (AuditReport, error) {
 		// Transponder ends must carry the same spectrum.
 		consistent := true
 		for _, txID := range []string{st.txA, st.txB} {
-			client, ok := c.devmgr.Client(txID)
-			if !ok {
+			if _, ok := c.devmgr.Descriptor(txID); !ok {
 				consistent = false
 				continue
 			}
 			var cfg devmodel.TransponderConfig
-			if err := client.Call(netconf.OpGetConfig, nil, &cfg); err != nil {
+			if err := c.devmgr.Call(txID, netconf.OpGetConfig, nil, &cfg); err != nil {
 				return report, err
 			}
 			if cfg.Interval() != want || !cfg.Enabled {
@@ -374,12 +416,57 @@ func (c *Controller) currentPlanLocked() *plan.Result {
 	return res
 }
 
-// HandleFiberCut runs the optical restoration module for a detected cut:
-// it computes the restoration plan, retunes the affected transponder
-// pairs onto their new paths/modes/spectrum, and updates the WSS
-// passbands along both old and new paths. It returns the restoration
-// result for reporting.
+// RestoreReport is the full outcome of handling one fiber event: the
+// restoration result, the latency breakdown of the recovery path, and
+// the devices the degraded push had to skip. The chaos drill engine
+// (internal/chaos) scores recovery with these numbers.
+type RestoreReport struct {
+	// Event is the telemetry event that triggered the handling (zero
+	// when HandleFiberCutReport was invoked directly).
+	Event telemetry.Event
+	// Result is the restoration outcome; nil on fiber-restored events.
+	Result *restore.Result
+	// Playbook reports whether a precomputed plan short-circuited the
+	// live solve.
+	Playbook bool
+	// SolveTime and PushTime split the recovery latency into computing
+	// the restoration plan and pushing it to the hardware.
+	SolveTime time.Duration
+	PushTime  time.Duration
+	// SkippedDevices lists devices that stayed unreachable through the
+	// retry policy during the push — the degraded-mode escape hatch:
+	// restoration proceeds for every vendor that answers, and the
+	// audit/Repair loop reconverges the stragglers once they return.
+	SkippedDevices []string
+	// PendingChannels lists channels whose intended configuration is
+	// recorded but not fully pushed because an endpoint was skipped.
+	PendingChannels []string
+}
+
+// Degraded reports whether any device was skipped during the push.
+func (r *RestoreReport) Degraded() bool { return len(r.SkippedDevices) > 0 }
+
+// HandleFiberCut runs the optical restoration module for a detected cut
+// and returns the restoration result for reporting. It is
+// HandleFiberCutReport without the latency/degradation detail.
 func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
+	rep, err := c.HandleFiberCutReport(fiber)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Result, nil
+}
+
+// HandleFiberCutReport runs the optical restoration module for a
+// detected cut: it computes the restoration plan (playbook hit or live
+// solve), retunes the affected transponder pairs onto their new
+// paths/modes/spectrum, and updates the WSS passbands along both old and
+// new paths. The push is degraded-mode: a device that stays unreachable
+// through the retry policy is skipped and reported rather than aborting
+// the restoration of every other channel; the controller still records
+// the full intended state, so a later Repair converges the skipped
+// devices once they come back.
+func (c *Controller) HandleFiberCutReport(fiber string) (*RestoreReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.downFibers[fiber] {
@@ -392,9 +479,11 @@ func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
 	}
 	sort.Strings(cut)
 
-	var res *restore.Result
+	rep := &RestoreReport{}
+	solveStart := time.Now()
 	if pre, ok := c.playbookEntryLocked(fiber); ok {
-		res = pre
+		rep.Result = pre
+		rep.Playbook = true
 		c.logf("controller: applying precomputed restoration plan for %s", fiber)
 	} else {
 		base := c.currentPlanLocked()
@@ -410,7 +499,19 @@ func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res = live
+		rep.Result = live
+	}
+	rep.SolveTime = time.Since(solveStart)
+	res := rep.Result
+
+	pushStart := time.Now()
+	skipped := make(map[string]bool)
+	skip := func(deviceID string, err error) {
+		if !skipped[deviceID] {
+			skipped[deviceID] = true
+			rep.SkippedDevices = append(rep.SkippedDevices, deviceID)
+		}
+		c.logf("controller: degraded push: skipping %s: %v", deviceID, err)
 	}
 
 	// Tear down every failed channel; restored ones are re-provisioned on
@@ -424,11 +525,12 @@ func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
 		c.removePassbandsLocked(name, st.wavelength.Path.Fibers)
 		delete(c.channels, name)
 		spares[st.wavelength.LinkID] = append(spares[st.wavelength.LinkID], hw{st.txA, st.txB})
-		// Disable both ends; a dark transponder stops alarming.
+		// Disable both ends; a dark transponder stops alarming. An
+		// unreachable end is already dark — skip it.
 		off := devmodel.TransponderConfig{Enabled: false}
 		for _, id := range []string{st.txA, st.txB} {
 			if err := c.editConfig(id, off); err != nil {
-				return nil, fmt.Errorf("controller: disabling %s: %w", id, err)
+				skip(id, err)
 			}
 		}
 	}
@@ -449,11 +551,15 @@ func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
 			Interval: r.Interval,
 		}
 		cfg := transponderConfig(w, channel)
+		pending := false
 		for _, id := range []string{pair.txA, pair.txB} {
 			if err := c.editConfig(id, cfg); err != nil {
-				return nil, fmt.Errorf("controller: retuning %s: %w", id, err)
+				skip(id, err)
+				pending = true
 			}
 		}
+		// Record the full intent even when an endpoint was skipped:
+		// Repair re-pushes exactly this state once the device returns.
 		for _, f := range w.Path.Fibers {
 			wc := c.wssConfig[f]
 			wc.Passbands = append(wc.Passbands, devmodel.Passband{
@@ -462,6 +568,9 @@ func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
 			c.wssConfig[f] = wc
 		}
 		c.channels[channel] = &channelState{wavelength: w, txA: pair.txA, txB: pair.txB}
+		if pending {
+			rep.PendingChannels = append(rep.PendingChannels, channel)
+		}
 	}
 	// Unused spares go back to the pool.
 	for _, pool := range spares {
@@ -470,12 +579,31 @@ func (c *Controller) HandleFiberCut(fiber string) (*restore.Result, error) {
 			c.devmgr.ReleaseTransponder(pair.txB)
 		}
 	}
-	if err := c.pushWSSLocked(); err != nil {
+	if err := c.pushWSSDegradedLocked(skip); err != nil {
 		return nil, err
 	}
-	c.logf("controller: fiber %s cut — restored %d/%d Gbps over %d channels",
-		fiber, res.RestoredGbps, res.AffectedGbps, len(res.Restored))
-	return res, nil
+	rep.PushTime = time.Since(pushStart)
+	sort.Strings(rep.SkippedDevices)
+	c.logf("controller: fiber %s cut — restored %d/%d Gbps over %d channels (%d devices skipped)",
+		fiber, res.RestoredGbps, res.AffectedGbps, len(res.Restored), len(rep.SkippedDevices))
+	return rep, nil
+}
+
+// HandleFiberRestored clears the down mark of a fiber whose light came
+// back — the other half of the telemetry loop, and what keeps a
+// flapping fiber from polluting every later restoration solve with a
+// stale cut. Channels moved off the fiber stay where they are (reversion
+// is a planned maintenance action, not a reflex). It reports whether the
+// fiber was marked down.
+func (c *Controller) HandleFiberRestored(fiber string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.downFibers[fiber] {
+		return false
+	}
+	delete(c.downFibers, fiber)
+	c.logf("controller: fiber %s back in service", fiber)
+	return true
 }
 
 // failedChannelsLocked lists channels whose path crosses any cut fiber.
@@ -517,17 +645,48 @@ func (c *Controller) removePassbandsLocked(channel string, fibers []string) {
 // until the events channel closes. Each handled event is reported through
 // the callback (which may be nil).
 func (c *Controller) Watch(events <-chan telemetry.Event, onRestore func(*restore.Result)) {
-	for ev := range events {
-		if ev.Kind != "fiber-cut" {
-			continue
+	c.WatchContext(context.Background(), events, func(rep *RestoreReport) {
+		if rep.Result != nil && onRestore != nil {
+			onRestore(rep.Result)
 		}
-		res, err := c.HandleFiberCut(ev.Fiber)
-		if err != nil {
-			c.logf("controller: restoration for %s failed: %v", ev.Fiber, err)
-			continue
-		}
-		if onRestore != nil {
-			onRestore(res)
+	})
+}
+
+// WatchContext consumes fiber events from the data stream and drives
+// restoration until the events channel closes or the context is
+// cancelled — the cancellable form drills and operator tooling use to
+// shut the loop down without leaking the goroutine. Fiber-cut events run
+// HandleFiberCutReport; fiber-restored events clear the down mark. Each
+// handled event produces one report through the callback (which may be
+// nil); fiber-restored reports carry a nil Result.
+func (c *Controller) WatchContext(ctx context.Context, events <-chan telemetry.Event, onReport func(*RestoreReport)) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			switch ev.Kind {
+			case "fiber-cut":
+				rep, err := c.HandleFiberCutReport(ev.Fiber)
+				if err != nil {
+					c.logf("controller: restoration for %s failed: %v", ev.Fiber, err)
+					continue
+				}
+				rep.Event = ev
+				if onReport != nil {
+					onReport(rep)
+				}
+			case "fiber-restored":
+				if !c.HandleFiberRestored(ev.Fiber) {
+					continue
+				}
+				if onReport != nil {
+					onReport(&RestoreReport{Event: ev})
+				}
+			}
 		}
 	}
 }

@@ -34,6 +34,9 @@ type DevMgr struct {
 	wssByFiber map[string]string
 	// assignment maps a transponder ID to the channel it carries.
 	assignment map[string]string
+
+	dialOpts netconf.DialOptions
+	retry    RetryPolicy
 }
 
 // NewDevMgr returns an empty device manager.
@@ -44,7 +47,31 @@ func NewDevMgr() *DevMgr {
 		freeTx:     make(map[string][]string),
 		wssByFiber: make(map[string]string),
 		assignment: make(map[string]string),
+		retry:      DefaultRetryPolicy(),
 	}
+}
+
+// SetDialOptions changes the timeouts used for device sessions (both
+// Register and redials). Drills shorten these so injected RPC drops
+// surface quickly.
+func (d *DevMgr) SetDialOptions(opts netconf.DialOptions) {
+	d.mu.Lock()
+	d.dialOpts = opts
+	d.mu.Unlock()
+}
+
+// SetRetryPolicy changes the per-RPC retry policy used by Call.
+func (d *DevMgr) SetRetryPolicy(p RetryPolicy) {
+	d.mu.Lock()
+	d.retry = p
+	d.mu.Unlock()
+}
+
+// RetryPolicy returns the active per-RPC retry policy.
+func (d *DevMgr) RetryPolicy() RetryPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retry
 }
 
 // Register validates the descriptor, dials the device's management
@@ -54,7 +81,10 @@ func (d *DevMgr) Register(desc devmodel.Descriptor) error {
 	if err := desc.Validate(); err != nil {
 		return err
 	}
-	client, err := netconf.Dial(desc.Address)
+	d.mu.Lock()
+	opts := d.dialOpts
+	d.mu.Unlock()
+	client, err := netconf.DialWithOptions(desc.Address, opts)
 	if err != nil {
 		return fmt.Errorf("controller: dialing %s at %s: %w", desc.ID, desc.Address, err)
 	}
@@ -199,6 +229,96 @@ func (d *DevMgr) FreeTransponders(site string) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.freeTx[site])
+}
+
+// Call performs one RPC against the device with the manager's retry
+// policy: transient failures (timeouts from dropped RPCs, lost sessions
+// from connection resets or device crashes) tear the stale session down
+// and retry on a fresh dial after a capped, jittered exponential
+// backoff. A device NACK (netconf.RPCError) returns immediately — the
+// rejection is intentional and retrying the same document cannot
+// succeed. This is the hardened path every configuration push and audit
+// read uses.
+func (d *DevMgr) Call(id, op string, in, out interface{}) error {
+	pol := d.RetryPolicy()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		client, err := d.session(id)
+		if err != nil {
+			lastErr = err
+		} else {
+			err = client.Call(op, in, out)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			if !netconf.IsTransient(err) {
+				return err
+			}
+			// The session misbehaved; drop it so the next attempt
+			// redials. (Another goroutine may already have swapped it —
+			// invalidate only our instance.)
+			d.invalidate(id, client)
+		}
+		if attempt >= pol.maxAttempts() {
+			return fmt.Errorf("controller: %s on %s failed after %d attempts: %w", op, id, attempt, lastErr)
+		}
+		pol.sleep(pol.Backoff(attempt))
+	}
+}
+
+// session returns the device's live management session, redialing its
+// registered address if the previous session was invalidated.
+func (d *DevMgr) session(id string) (*netconf.Client, error) {
+	d.mu.Lock()
+	client, ok := d.clients[id]
+	desc, known := d.devices[id]
+	opts := d.dialOpts
+	d.mu.Unlock()
+	if ok {
+		return client, nil
+	}
+	if !known {
+		return nil, fmt.Errorf("controller: device %s not registered", id)
+	}
+	fresh, err := netconf.DialWithOptions(desc.Address, opts)
+	if err != nil {
+		return nil, fmt.Errorf("controller: redialing %s at %s: %w", id, desc.Address, err)
+	}
+	// Re-verify identity, as Register does: a restart must not silently
+	// hand the session to a different device on a recycled address.
+	var hello devmodel.Descriptor
+	if err := fresh.Hello(&hello); err == nil && hello.ID != "" && hello.ID != desc.ID {
+		fresh.Close()
+		return nil, fmt.Errorf("controller: device at %s identifies as %s, registered as %s",
+			desc.Address, hello.ID, desc.ID)
+	}
+	d.mu.Lock()
+	if cur, ok := d.clients[id]; ok {
+		// Lost the redial race; use the winner.
+		d.mu.Unlock()
+		fresh.Close()
+		return cur, nil
+	}
+	d.clients[id] = fresh
+	d.mu.Unlock()
+	return fresh, nil
+}
+
+// invalidate removes and closes the device's session if it is still the
+// given instance.
+func (d *DevMgr) invalidate(id string, client *netconf.Client) {
+	d.mu.Lock()
+	cur, ok := d.clients[id]
+	if ok && cur == client {
+		delete(d.clients, id)
+	} else {
+		ok = false
+	}
+	d.mu.Unlock()
+	if ok {
+		client.Close()
+	}
 }
 
 // Close drops every management session.

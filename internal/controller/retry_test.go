@@ -1,0 +1,178 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+	"flexwan/internal/telemetry"
+	"flexwan/internal/topology"
+)
+
+// TestBackoffDoublesAndCaps verifies the exponential schedule without
+// jitter: doubling from the base, clamped at the cap.
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 800 * time.Millisecond}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 800 * time.Millisecond, 800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffJitterBounds pins the jitter envelope with a deterministic
+// Rand: the delay must span exactly [d·(1−J), d·(1+J)).
+func TestBackoffJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	low := RetryPolicy{BaseDelay: base, JitterFrac: 0.25, Rand: func() float64 { return 0 }}
+	if got := low.Backoff(1); got != 75*time.Millisecond {
+		t.Errorf("lower jitter bound = %v, want 75ms", got)
+	}
+	high := RetryPolicy{BaseDelay: base, JitterFrac: 0.25, Rand: func() float64 { return 0.999999 }}
+	if got := high.Backoff(1); got < 124*time.Millisecond || got >= 125*time.Millisecond {
+		t.Errorf("upper jitter bound = %v, want just under 125ms", got)
+	}
+	// Default source stays within the envelope too.
+	mid := RetryPolicy{BaseDelay: base, JitterFrac: 0.25}
+	for i := 0; i < 100; i++ {
+		if d := mid.Backoff(1); d < 75*time.Millisecond || d >= 125*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [75ms, 125ms)", d)
+		}
+	}
+}
+
+// TestBackoffDefaults verifies the zero-value policy falls back to the
+// documented 50ms base and 2s cap.
+func TestBackoffDefaults(t *testing.T) {
+	var p RetryPolicy
+	if got := p.Backoff(1); got != 50*time.Millisecond {
+		t.Errorf("default base = %v, want 50ms", got)
+	}
+	if got := p.Backoff(20); got != 2*time.Second {
+		t.Errorf("default cap = %v, want 2s", got)
+	}
+	if p.maxAttempts() != 1 {
+		t.Errorf("zero MaxAttempts means a single attempt, got %d", p.maxAttempts())
+	}
+}
+
+// TestCallRetriesTransientFaults drops the first edit-config request
+// with the transport's fault hook and proves DevMgr.Call rides it out:
+// the retry succeeds, and the fake clock sees exactly the scheduled
+// backoffs — no real sleeping.
+func TestCallRetriesTransientFaults(t *testing.T) {
+	h := newHarness(t, 1, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100})
+	d := h.ctrl.DevMgr()
+	d.SetDialOptions(netconf.DialOptions{CallTimeout: 100 * time.Millisecond})
+
+	var slept []time.Duration
+	d.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+		Sleep: func(dur time.Duration) { slept = append(slept, dur) },
+	})
+	// The registered session predates SetDialOptions; force a redial so
+	// the shortened call timeout applies.
+	if client, ok := d.Client("wss-f1"); ok {
+		d.invalidate("wss-f1", client)
+	}
+
+	drops := 0
+	h.wss["f1"].Server().SetInterceptor(func(op string) netconf.FaultDecision {
+		if op == netconf.OpGetConfig && drops == 0 {
+			drops++
+			return netconf.FaultDecision{Fault: netconf.FaultDropRequest}
+		}
+		return netconf.FaultDecision{}
+	})
+	var cfg interface{}
+	if err := d.Call("wss-f1", netconf.OpGetConfig, nil, &cfg); err != nil {
+		t.Fatalf("Call did not recover from a dropped request: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 10*time.Millisecond {
+		t.Errorf("backoff sleeps = %v, want [10ms]", slept)
+	}
+}
+
+// TestCallDoesNotRetryNACK proves a device rejection surfaces
+// immediately: retrying an intentional NACK cannot succeed.
+func TestCallDoesNotRetryNACK(t *testing.T) {
+	h := newHarness(t, 1, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100})
+	d := h.ctrl.DevMgr()
+	slept := 0
+	d.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond,
+		Sleep: func(time.Duration) { slept++ },
+	})
+	// An out-of-catalog document is NACKed by the device agent.
+	bad := devmodel.TransponderConfig{
+		Enabled: true, DataRateGbps: 123, SpacingGHz: 12.5,
+		IntervalCount: 1, PathFibers: []string{"f1"}, Channel: "e1:1",
+	}
+	err := d.Call("tx-A-0", netconf.OpEditConfig, bad, nil)
+	var rpcErr *netconf.RPCError
+	if !errors.As(err, &rpcErr) {
+		t.Fatalf("want RPCError, got %v", err)
+	}
+	if slept != 0 {
+		t.Errorf("NACK was retried %d times", slept)
+	}
+}
+
+// TestCallExhaustsAttempts verifies the failure shape when the device
+// never answers: capped attempts, wrapped transient error.
+func TestCallExhaustsAttempts(t *testing.T) {
+	h := newHarness(t, 1, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100})
+	d := h.ctrl.DevMgr()
+	d.SetDialOptions(netconf.DialOptions{CallTimeout: 50 * time.Millisecond})
+	slept := 0
+	d.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Sleep: func(time.Duration) { slept++ },
+	})
+	h.wss["f1"].Server().SetInterceptor(func(op string) netconf.FaultDecision {
+		if op == netconf.OpGetConfig {
+			return netconf.FaultDecision{Fault: netconf.FaultDropRequest}
+		}
+		return netconf.FaultDecision{}
+	})
+	if client, ok := d.Client("wss-f1"); ok {
+		d.invalidate("wss-f1", client)
+	}
+	var cfg interface{}
+	err := d.Call("wss-f1", netconf.OpGetConfig, nil, &cfg)
+	if err == nil {
+		t.Fatal("Call succeeded against a black-holed device")
+	}
+	if !netconf.IsTransient(err) {
+		t.Errorf("exhausted error should stay transient, got %v", err)
+	}
+	if slept != 2 {
+		t.Errorf("slept %d times, want 2 (between 3 attempts)", slept)
+	}
+}
+
+// TestWatchContextCancel proves the drill/operator loop shuts down on
+// context cancellation without needing the events channel to close.
+func TestWatchContextCancel(t *testing.T) {
+	h := newHarness(t, 1, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100})
+	events := make(chan telemetry.Event) // never closed, never written
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		h.ctrl.WatchContext(ctx, events, nil)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WatchContext leaked after cancel")
+	}
+}

@@ -47,6 +47,10 @@ func (a *Amplifier) Start(addr string) (string, error) {
 // Close shuts the management endpoint down.
 func (a *Amplifier) Close() { a.srv.Close() }
 
+// Server exposes the management endpoint so fault injectors can wrap its
+// RPC handling.
+func (a *Amplifier) Server() *netconf.Server { return a.srv }
+
 // Descriptor returns the device's identity document.
 func (a *Amplifier) Descriptor() devmodel.Descriptor {
 	a.mu.Lock()

@@ -66,6 +66,14 @@ func (c *candidate) handleCandidateOp(op string, payload json.RawMessage,
 	}
 }
 
+// clear drops any staged document — the device-crash path, where the
+// candidate datastore is volatile and does not survive a reboot.
+func (c *candidate) clear() {
+	c.mu.Lock()
+	c.staged = nil
+	c.mu.Unlock()
+}
+
 // HasStaged reports whether a document is currently staged (test hook).
 func (c *candidate) HasStaged() bool {
 	c.mu.Lock()

@@ -57,6 +57,33 @@ func (t *Transponder) Start(addr string) (string, error) {
 // Close shuts the management endpoint down.
 func (t *Transponder) Close() { t.srv.Close() }
 
+// Server exposes the management endpoint so fault injectors can wrap its
+// RPC handling.
+func (t *Transponder) Server() *netconf.Server { return t.srv }
+
+// Crash simulates a power loss: every management session drops and the
+// volatile state — running and candidate configuration, alarm latch — is
+// lost, exactly as a cold transponder boots unconfigured.
+func (t *Transponder) Crash() {
+	t.srv.Stop()
+	t.mu.Lock()
+	t.config = devmodel.TransponderConfig{}
+	t.los = false
+	t.mu.Unlock()
+	t.candidate.clear()
+}
+
+// Restart brings a crashed transponder back on its previous management
+// address. Its configuration is still empty — the controller's Repair
+// pass detects the divergence and re-pushes the intended document.
+func (t *Transponder) Restart() error {
+	t.mu.Lock()
+	addr := t.desc.Address
+	t.mu.Unlock()
+	_, err := t.srv.Listen(addr)
+	return err
+}
+
 // Descriptor returns the device's identity document.
 func (t *Transponder) Descriptor() devmodel.Descriptor {
 	t.mu.Lock()

@@ -59,6 +59,10 @@ func (w *WSS) Start(addr string) (string, error) {
 // Close shuts the management endpoint down.
 func (w *WSS) Close() { w.srv.Close() }
 
+// Server exposes the management endpoint so fault injectors can wrap its
+// RPC handling.
+func (w *WSS) Server() *netconf.Server { return w.srv }
+
 // Descriptor returns the device's identity document.
 func (w *WSS) Descriptor() devmodel.Descriptor {
 	w.mu.Lock()

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"fmt"
+
+	"flexwan/internal/chaos"
+	"flexwan/internal/workload"
+)
+
+// RecoveryBenchRecord is one drill scorecard as recorded in
+// BENCH_recovery.json: the latency breakdown of the live recovery loop
+// (detection, solve, push), the restored capacity against the offline
+// oracle, and the determinism hash of the drill's event log.
+type RecoveryBenchRecord = chaos.Report
+
+// RecoveryDrill pairs a network with the scenario to run on it.
+type RecoveryDrill struct {
+	Network  workload.Network
+	Scenario chaos.Scenario
+}
+
+// RecoveryDrillLadder is the fixed ladder recorded in
+// BENCH_recovery.json: a small ring smoke drill and the CERNET
+// acceptance scenario — busiest-fiber cut under 10% RPC request drops
+// with one transponder crash/restart — at the given seed. The scenarios
+// are fixed (rather than derived from the machine) so records from
+// different machines stay comparable; only the latencies vary.
+func RecoveryDrillLadder(seed int64) []RecoveryDrill {
+	faults := chaos.FaultConfig{DropRequestProb: 0.10}
+	return []RecoveryDrill{
+		{
+			Network: chaos.RingNetwork(4, 100, 200),
+			Scenario: chaos.Scenario{
+				Name: "ring4-cut-drop10-crash1", Seed: seed,
+				Faults: faults, CrashTransponders: 1,
+			},
+		},
+		{
+			Network: workload.Cernet(seed),
+			Scenario: chaos.Scenario{
+				Name: "cernet-cut-drop10-crash1", Seed: seed,
+				Faults: faults, CrashTransponders: 1,
+			},
+		},
+	}
+}
+
+// RunRecoveryDrills executes the drills, one fresh testbed each, and
+// returns their scorecards.
+func RunRecoveryDrills(drills []RecoveryDrill, logf func(format string, args ...interface{})) ([]*RecoveryBenchRecord, error) {
+	var out []*RecoveryBenchRecord
+	for _, d := range drills {
+		tb, err := chaos.NewTestbed(d.Network, chaos.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("eval: building %s testbed: %w", d.Network.Name, err)
+		}
+		rep, _, err := chaos.Run(tb, d.Scenario)
+		tb.Close()
+		if err != nil {
+			return nil, fmt.Errorf("eval: drill %s: %w", d.Scenario.Name, err)
+		}
+		if logf != nil {
+			logf("drill %s on %s: restored %d/%d Gbps, oracle match %v, audit clean %v, detect=%.1fms solve=%.1fms push=%.1fms (%d faults, hash %.12s)",
+				rep.Name, rep.Network, rep.RestoredGbps, rep.AffectedGbps,
+				rep.OracleMatch, rep.AuditClean, rep.DetectMs, rep.SolveMs, rep.PushMs,
+				rep.FaultsInjected, rep.LogHash)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

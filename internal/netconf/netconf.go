@@ -48,17 +48,53 @@ const (
 // value is JSON-encoded into the reply payload.
 type Handler func(op string, payload json.RawMessage) (interface{}, error)
 
+// RPCFault tells a server how to mistreat one inbound RPC — the hook the
+// chaos engine (internal/chaos) uses to inject management-plane faults
+// without touching the wire protocol.
+type RPCFault int
+
+const (
+	// FaultNone handles the RPC normally.
+	FaultNone RPCFault = iota
+	// FaultDropRequest discards the RPC without executing it or
+	// replying; the client sees a timeout.
+	FaultDropRequest
+	// FaultDropReply executes the RPC (side effects apply) but
+	// suppresses the reply; the client sees a timeout. Retrying an
+	// idempotent document must converge.
+	FaultDropReply
+	// FaultReset closes the session's connection mid-RPC.
+	FaultReset
+)
+
+// FaultDecision is an Interceptor's verdict for one inbound RPC.
+type FaultDecision struct {
+	Fault RPCFault
+	// Delay is slept before acting on the RPC (still within the
+	// session's serving goroutine, so it also delays later RPCs on the
+	// same session, as a congested device would).
+	Delay time.Duration
+	// Err, when non-empty, replies with this RPC error instead of
+	// executing — an injected device NACK (e.g. a commit rejection).
+	Err string
+}
+
+// Interceptor inspects every inbound RPC before the Handler runs and
+// decides its fate. A nil interceptor (the default) passes everything.
+type Interceptor func(op string) FaultDecision
+
 // Server is a device-side management endpoint: it answers RPCs with the
 // Handler and can push notifications to every connected session.
 type Server struct {
 	hello   interface{}
 	handler Handler
 
-	mu       sync.Mutex
-	listener net.Listener
-	sessions map[*session]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	mu          sync.Mutex
+	listener    net.Listener
+	sessions    map[*session]struct{}
+	closed      bool
+	wg          sync.WaitGroup
+	interceptor Interceptor
 }
 
 type session struct {
@@ -79,6 +115,21 @@ func NewServer(hello interface{}, h Handler) *Server {
 	return &Server{hello: hello, handler: h, sessions: make(map[*session]struct{})}
 }
 
+// SetInterceptor installs (or, with nil, removes) the RPC fault
+// interceptor. It survives Stop/Listen cycles, so an injector bound to a
+// device persists across simulated crashes.
+func (s *Server) SetInterceptor(i Interceptor) {
+	s.mu.Lock()
+	s.interceptor = i
+	s.mu.Unlock()
+}
+
+func (s *Server) currentInterceptor() Interceptor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.interceptor
+}
+
 // Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port) and
 // returns the bound address. Serving continues until Close.
 func (s *Server) Listen(addr string) (string, error) {
@@ -91,6 +142,11 @@ func (s *Server) Listen(addr string) (string, error) {
 		s.mu.Unlock()
 		l.Close()
 		return "", errors.New("netconf: server closed")
+	}
+	if s.listener != nil {
+		s.mu.Unlock()
+		l.Close()
+		return "", errors.New("netconf: server already listening")
 	}
 	s.listener = l
 	s.mu.Unlock()
@@ -108,7 +164,9 @@ func (s *Server) acceptLoop(l net.Listener) {
 		}
 		sess := &session{conn: conn, enc: json.NewEncoder(conn)}
 		s.mu.Lock()
-		if s.closed {
+		// A stale listener means Stop/Close raced the accept: this
+		// server instance is down, so the connection dies with it.
+		if s.closed || s.listener != l {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -146,6 +204,29 @@ func (s *Server) serveSession(sess *session) {
 			continue
 		}
 		reply := message{Kind: kindReply, ID: m.ID, Op: m.Op}
+		if icpt := s.currentInterceptor(); icpt != nil {
+			d := icpt(m.Op)
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			switch d.Fault {
+			case FaultDropRequest:
+				continue
+			case FaultReset:
+				return
+			}
+			if d.Err != "" {
+				reply.Err = d.Err
+				if err := sess.send(reply); err != nil {
+					return
+				}
+				continue
+			}
+			if d.Fault == FaultDropReply {
+				_, _ = s.handler(m.Op, m.Payload)
+				continue
+			}
+		}
 		result, err := s.handler(m.Op, m.Payload)
 		if err != nil {
 			reply.Err = err.Error()
@@ -185,11 +266,13 @@ func (s *Server) Notify(event interface{}) {
 	}
 }
 
-// Close stops the listener and drops every session.
-func (s *Server) Close() {
+// Stop drops the listener and every session but leaves the server
+// reusable: a later Listen (typically on the same address) brings it
+// back. This is the crash half of a simulated device crash/restart.
+func (s *Server) Stop() {
 	s.mu.Lock()
-	s.closed = true
 	l := s.listener
+	s.listener = nil
 	sessions := make([]*session, 0, len(s.sessions))
 	for sess := range s.sessions {
 		sessions = append(sessions, sess)
@@ -204,11 +287,20 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Close stops the listener and drops every session, permanently.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.Stop()
+}
+
 // Client is a controller-side management session to one device.
 type Client struct {
-	conn  net.Conn
-	enc   *json.Encoder
-	hello json.RawMessage
+	conn        net.Conn
+	enc         *json.Encoder
+	hello       json.RawMessage
+	callTimeout time.Duration
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -223,22 +315,87 @@ type Client struct {
 // DialTimeout is the default connect/RPC deadline.
 const DialTimeout = 5 * time.Second
 
-// Dial opens a management session and completes the hello exchange.
+// DialOptions tunes one management session's timeouts. The zero value
+// uses the package defaults.
+type DialOptions struct {
+	// DialTimeout bounds the TCP connect plus the hello exchange
+	// (default DialTimeout).
+	DialTimeout time.Duration
+	// CallTimeout bounds each RPC round trip (default DialTimeout). A
+	// fault-injection drill shortens this so dropped RPCs surface —
+	// and retry — quickly.
+	CallTimeout time.Duration
+}
+
+func (o DialOptions) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return DialTimeout
+	}
+	return o.DialTimeout
+}
+
+func (o DialOptions) callTimeout() time.Duration {
+	if o.CallTimeout <= 0 {
+		return DialTimeout
+	}
+	return o.CallTimeout
+}
+
+// Transient session errors: a Call that fails with one of these may
+// succeed if retried (possibly on a fresh session), in contrast to an
+// *RPCError, which is the device deliberately rejecting the request.
+var (
+	// ErrTimeout marks an RPC whose reply did not arrive in time.
+	ErrTimeout = errors.New("rpc timed out")
+	// ErrSessionLost marks an RPC interrupted by session failure.
+	ErrSessionLost = errors.New("session lost")
+	// ErrClosed marks use of a locally closed client.
+	ErrClosed = errors.New("session closed")
+)
+
+// RPCError is an error the device itself reported in its reply — an
+// application-level NACK (unsupported config, rejected commit). It is
+// not transient: retrying the identical request will fail again.
+type RPCError struct {
+	Op  string
+	Msg string
+}
+
+func (e *RPCError) Error() string { return fmt.Sprintf("netconf: %s: %s", e.Op, e.Msg) }
+
+// IsTransient reports whether err is a transport-level failure worth
+// retrying (timeout or lost session), as opposed to a device NACK or a
+// local usage error.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrSessionLost)
+}
+
+// Dial opens a management session with default timeouts and completes
+// the hello exchange.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	return DialWithOptions(addr, DialOptions{})
+}
+
+// DialWithOptions opens a management session with explicit timeouts.
+func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		conn:          conn,
 		enc:           json.NewEncoder(conn),
+		callTimeout:   opts.callTimeout(),
 		pending:       make(map[uint64]chan message),
 		notifications: make(chan json.RawMessage, 256),
 		done:          make(chan struct{}),
 	}
 	// The server speaks first.
 	dec := json.NewDecoder(bufio.NewReader(conn))
-	conn.SetReadDeadline(time.Now().Add(DialTimeout))
+	if err := conn.SetReadDeadline(time.Now().Add(opts.dialTimeout())); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: arming hello deadline: %w", err)
+	}
 	var hello message
 	if err := dec.Decode(&hello); err != nil {
 		conn.Close()
@@ -248,7 +405,10 @@ func Dial(addr string) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("netconf: expected hello, got %q", hello.Kind)
 	}
-	conn.SetReadDeadline(time.Time{})
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: clearing hello deadline: %w", err)
+	}
 	c.hello = hello.Payload
 	go c.readLoop(dec)
 	return c, nil
@@ -313,27 +473,33 @@ func (c *Client) Call(op string, in, out interface{}) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return errors.New("netconf: session closed")
+		return fmt.Errorf("netconf: %w", ErrClosed)
 	}
 	c.nextID++
 	id := c.nextID
 	ch := make(chan message, 1)
 	c.pending[id] = ch
+	timeout := c.callTimeout
 	c.mu.Unlock()
+	if timeout <= 0 {
+		timeout = DialTimeout
+	}
 
 	if err := c.enc.Encode(message{Kind: kindRPC, ID: id, Op: op, Payload: payload}); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return fmt.Errorf("netconf: sending %s: %w", op, err)
+		return fmt.Errorf("netconf: sending %s (%v): %w", op, err, ErrSessionLost)
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case m, ok := <-ch:
 		if !ok {
-			return fmt.Errorf("netconf: session lost during %s: %v", op, c.readErr)
+			return fmt.Errorf("netconf: during %s (%v): %w", op, c.readErr, ErrSessionLost)
 		}
 		if m.Err != "" {
-			return fmt.Errorf("netconf: %s: %s", op, m.Err)
+			return &RPCError{Op: op, Msg: m.Err}
 		}
 		if out != nil && m.Payload != nil {
 			if err := json.Unmarshal(m.Payload, out); err != nil {
@@ -341,12 +507,19 @@ func (c *Client) Call(op string, in, out interface{}) error {
 			}
 		}
 		return nil
-	case <-time.After(DialTimeout):
+	case <-timer.C:
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return fmt.Errorf("netconf: %s timed out", op)
+		return fmt.Errorf("netconf: %s: %w", op, ErrTimeout)
 	}
+}
+
+// SetCallTimeout changes the per-RPC deadline for subsequent Calls.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.callTimeout = d
+	c.mu.Unlock()
 }
 
 // Close ends the session.

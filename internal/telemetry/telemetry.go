@@ -113,6 +113,51 @@ type Source struct {
 	Client *netconf.Client
 }
 
+// sourceState is a Source whose session the collector may replace: when
+// a device crashes its notification stream closes, and the alarm
+// listener redials the registered management address until the device
+// answers again. Sessions the collector dialed itself (redialed) are its
+// to close; the caller's original Client is left to the caller.
+type sourceState struct {
+	desc devmodel.Descriptor
+
+	mu       sync.Mutex
+	client   *netconf.Client
+	redialed bool
+}
+
+func (s *sourceState) get() *netconf.Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.client
+}
+
+// drop forgets the dead session if it is still current, closing it when
+// the collector owned it.
+func (s *sourceState) drop(client *netconf.Client) {
+	s.mu.Lock()
+	owned := false
+	if s.client == client {
+		owned = s.redialed
+		s.client = nil
+	}
+	s.mu.Unlock()
+	if owned {
+		client.Close()
+	}
+}
+
+func (s *sourceState) replace(client *netconf.Client) {
+	s.mu.Lock()
+	old, owned := s.client, s.redialed
+	s.client = client
+	s.redialed = true
+	s.mu.Unlock()
+	if old != nil && owned {
+		old.Close()
+	}
+}
+
 // Collector polls sources on a fixed interval, feeds the store, and
 // emits fiber events. Detection is double-pathed as in production:
 // asynchronous device alarms give sub-interval latency, and the polling
@@ -120,8 +165,12 @@ type Source struct {
 type Collector struct {
 	store    *Store
 	interval time.Duration
-	sources  []Source
+	sources  []*sourceState
 	events   chan Event
+
+	// RedialInterval is the pause between reconnection attempts after a
+	// source's management session drops (default 100ms). Set before Run.
+	RedialInterval time.Duration
 
 	// DegradeBERThreshold, when positive, arms early-warning detection:
 	// a transponder whose pre-FEC BER rises above the threshold (while
@@ -146,10 +195,14 @@ func NewCollector(store *Store, interval time.Duration, sources []Source) *Colle
 	if interval <= 0 {
 		interval = time.Second // the paper's one-second granularity
 	}
+	states := make([]*sourceState, len(sources))
+	for i, src := range sources {
+		states[i] = &sourceState{desc: src.Desc, client: src.Client}
+	}
 	return &Collector{
 		store:    store,
 		interval: interval,
-		sources:  sources,
+		sources:  states,
 		events:   make(chan Event, 256),
 		los:      make(map[string]bool),
 		degraded: make(map[string]bool),
@@ -188,26 +241,69 @@ func (c *Collector) Run() {
 	}()
 }
 
-// Stop halts collection. Safe to call more than once.
+// Stop halts collection and closes any sessions the collector redialed
+// itself. Safe to call more than once.
 func (c *Collector) Stop() {
 	c.once.Do(func() { close(c.stopped) })
 	c.stopGrp.Wait()
+	for _, s := range c.sources {
+		s.mu.Lock()
+		client, owned := s.client, s.redialed
+		s.client = nil
+		s.mu.Unlock()
+		if owned && client != nil {
+			client.Close()
+		}
+	}
 }
 
-func (c *Collector) listenAlarms(src Source) {
+func (c *Collector) redialInterval() time.Duration {
+	if c.RedialInterval > 0 {
+		return c.RedialInterval
+	}
+	return 100 * time.Millisecond
+}
+
+// listenAlarms consumes a source's asynchronous alarms for the life of
+// the collector. A closed notification stream means the session died —
+// a crashed or restarted device — so the listener redials the
+// registered management address until the device answers again, rather
+// than going deaf for the rest of the run.
+func (c *Collector) listenAlarms(s *sourceState) {
 	for {
+		if client := s.get(); client != nil {
+			if !c.drainAlarms(s, client) {
+				return
+			}
+			s.drop(client)
+		}
 		select {
 		case <-c.stopped:
 			return
-		case raw, ok := <-src.Client.Notifications():
+		case <-time.After(c.redialInterval()):
+		}
+		if fresh, err := netconf.Dial(s.desc.Address); err == nil {
+			s.replace(fresh)
+		}
+	}
+}
+
+// drainAlarms consumes alarms until the collector stops (false) or the
+// session drops (true).
+func (c *Collector) drainAlarms(s *sourceState, client *netconf.Client) bool {
+	for {
+		select {
+		case <-c.stopped:
+			return false
+		case raw, ok := <-client.Notifications():
 			if !ok {
-				return
+				return true
 			}
 			var al device.Alarm
 			if err := json.Unmarshal(raw, &al); err != nil {
 				continue
 			}
-			c.observeLOS(src.Desc, al.Device, al.Fiber, al.Kind == "los")
+			c.observeLOS(s.desc, al.Device, al.Fiber, al.Kind == "los")
 		}
 	}
 }
@@ -215,30 +311,34 @@ func (c *Collector) listenAlarms(src Source) {
 func (c *Collector) pollAll() {
 	now := time.Now()
 	for _, src := range c.sources {
-		switch src.Desc.Class {
+		client := src.get()
+		if client == nil {
+			continue
+		}
+		switch src.desc.Class {
 		case devmodel.ClassTransponder:
 			var st devmodel.TransponderState
-			if err := src.Client.Call(netconf.OpGetState, nil, &st); err != nil {
+			if err := client.Call(netconf.OpGetState, nil, &st); err != nil {
 				continue
 			}
-			c.store.Append(Point{src.Desc.ID, "rx-osnr-db", now, st.RxOSNRdB})
-			c.store.Append(Point{src.Desc.ID, "pre-fec-ber", now, st.PreFECBER})
-			c.store.Append(Point{src.Desc.ID, "post-fec-ber", now, st.PostFECBER})
-			c.store.Append(Point{src.Desc.ID, "rx-power-dbm", now, st.RxPowerDBm})
-			c.store.Append(Point{src.Desc.ID, "los", now, boolTo01(st.LossOfSignal)})
-			c.observeBER(src.Desc.ID, st)
+			c.store.Append(Point{src.desc.ID, "rx-osnr-db", now, st.RxOSNRdB})
+			c.store.Append(Point{src.desc.ID, "pre-fec-ber", now, st.PreFECBER})
+			c.store.Append(Point{src.desc.ID, "post-fec-ber", now, st.PostFECBER})
+			c.store.Append(Point{src.desc.ID, "rx-power-dbm", now, st.RxPowerDBm})
+			c.store.Append(Point{src.desc.ID, "los", now, boolTo01(st.LossOfSignal)})
+			c.observeBER(src.desc.ID, st)
 			// A transponder's LOS cannot localize the cut by itself: its
 			// circuit crosses many fibers. Only record it.
 		case devmodel.ClassAmplifier:
 			var st devmodel.AmplifierState
-			if err := src.Client.Call(netconf.OpGetState, nil, &st); err != nil {
+			if err := client.Call(netconf.OpGetState, nil, &st); err != nil {
 				continue
 			}
-			c.store.Append(Point{src.Desc.ID, "gain-db", now, st.GainDB})
-			c.store.Append(Point{src.Desc.ID, "out-power-dbm", now, st.OutPowerDBm})
-			c.store.Append(Point{src.Desc.ID, "los", now, boolTo01(st.LossOfSignal)})
+			c.store.Append(Point{src.desc.ID, "gain-db", now, st.GainDB})
+			c.store.Append(Point{src.desc.ID, "out-power-dbm", now, st.OutPowerDBm})
+			c.store.Append(Point{src.desc.ID, "los", now, boolTo01(st.LossOfSignal)})
 			// Amplifiers sit on a known fiber: their LOS localizes it.
-			c.observeLOS(src.Desc, src.Desc.ID, src.Desc.Fiber, st.LossOfSignal)
+			c.observeLOS(src.desc, src.desc.ID, src.desc.Fiber, st.LossOfSignal)
 		}
 	}
 }

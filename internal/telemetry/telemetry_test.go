@@ -162,6 +162,60 @@ func TestCollectorDetectsFiberCut(t *testing.T) {
 	}
 }
 
+// TestCollectorRedialsAfterCrash crashes the amplifier watching f1 and
+// restarts it on the same address: the collector must redial the alarm
+// stream so a cut after the restart is still detected.
+func TestCollectorRedialsAfterCrash(t *testing.T) {
+	fabric := device.NewFabric(phy.DefaultLink())
+	if err := fabric.AddFiber("f1", 600); err != nil {
+		t.Fatal(err)
+	}
+	amp := device.NewAmplifier(
+		devmodel.Descriptor{ID: "amp-f1", Class: devmodel.ClassAmplifier, Vendor: "edfa", Address: "x", Site: "A", Fiber: "f1"},
+		fabric, "f1")
+	addr, err := amp.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(amp.Close)
+	c, err := netconf.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	col := NewCollector(NewStore(64), 25*time.Millisecond, []Source{{Desc: amp.Descriptor(), Client: c}})
+	col.RedialInterval = 20 * time.Millisecond
+	col.Run()
+	defer col.Stop()
+
+	time.Sleep(80 * time.Millisecond) // establish baselines on the live session
+	amp.Server().Stop()               // crash: drops the collector's alarm session
+	time.Sleep(80 * time.Millisecond) // let the redial loop observe the outage
+	if _, err := amp.Server().Listen(addr); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	// Give the collector a chance to redial, then cut. Until the redial
+	// lands the cut goes unseen, so rearm with a repair and retry.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		fabric.Cut("f1")
+		select {
+		case ev := <-col.Events():
+			if ev.Kind == "fiber-cut" && ev.Fiber == "f1" {
+				return
+			}
+			// A fiber-restored from a prior rearm cycle: keep waiting.
+		case <-time.After(100 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatal("fiber cut not detected after device restart")
+			}
+			fabric.Repair("f1") // rearm and try again once redial lands
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
 func TestCollectorStopIdempotent(t *testing.T) {
 	_, sources := testbed(t)
 	col := NewCollector(NewStore(16), 50*time.Millisecond, sources)

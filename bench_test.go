@@ -625,6 +625,46 @@ func BenchmarkExactScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkPresolveAblation runs the exact planning MIP with presolve on
+// and off on the same instances and cross-checks that the objectives are
+// identical — the presolve correctness contract CI's bench smoke
+// enforces — while the ns/op contrast shows what the reductions buy.
+func BenchmarkPresolveAblation(b *testing.B) {
+	for _, pixels := range []int{16, 24} {
+		p, err := eval.ExactScalingProblem(pixels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refObjective, haveRef := 0.0, false
+		for _, noPresolve := range []bool{false, true} {
+			name := "exact/pixels=" + itoa(pixels) + "/presolve=on"
+			if noPresolve {
+				name = "exact/pixels=" + itoa(pixels) + "/presolve=off"
+			}
+			b.Run(name, func(b *testing.B) {
+				var last *plan.Result
+				for i := 0; i < b.N; i++ {
+					last, err = plan.SolveExact(p, solver.Options{
+						MaxNodes: 100000, Workers: 1, NoPresolve: noPresolve,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if !haveRef {
+					refObjective, haveRef = last.Solver.Objective, true
+				} else if last.Solver.Objective != refObjective {
+					b.Fatalf("objective %v with presolve=%v differs from reference %v",
+						last.Solver.Objective, !noPresolve, refObjective)
+				}
+				b.ReportMetric(float64(last.Solver.SimplexIters), "simplex-iters")
+				b.ReportMetric(float64(last.Solver.PresolveRows), "presolve-rows")
+				b.ReportMetric(float64(last.Solver.PresolveCols), "presolve-cols")
+			})
+		}
+	}
+}
+
 // BenchmarkNetconfRPC measures management-protocol round-trip throughput
 // (one get-state per iteration against a live transponder agent).
 func BenchmarkNetconfRPC(b *testing.B) {

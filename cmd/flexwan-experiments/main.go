@@ -38,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent scenario/plan solves per sweep (0 = all cores, 1 = sequential)")
 	solverWorkers := flag.Int("solver-workers", 0, "branch-and-bound workers per exact MIP solve (0 = all cores)")
 	branching := flag.String("branching", string(solver.BranchPseudocost), "branch-and-bound variable selection for the 'exact' mode: pseudocost or most-fractional ('bench' always records both)")
+	noPresolve := flag.Bool("no-presolve", false, "disable the presolve reductions in the 'exact' mode ('bench' always records both)")
 	benchOut := flag.String("bench-out", "BENCH_solver.json", "output path for the 'bench' mode record")
 	flag.Parse()
 
@@ -182,7 +183,7 @@ func main() {
 		fmt.Println(f)
 	}
 	if run("exact") {
-		rows, err := eval.ExactCrossCheck([]int{16, 20, 24}, *solverWorkers, rule)
+		rows, err := eval.ExactCrossCheck([]int{16, 20, 24}, *solverWorkers, rule, *noPresolve)
 		if err != nil {
 			fail(err)
 		}

@@ -60,13 +60,20 @@ func SolverBenchBranchings() []solver.BranchRule {
 	return []solver.BranchRule{solver.BranchPseudocost, solver.BranchMostFractional}
 }
 
-// SolverBenchPoint is one (instance, branching-rule, worker-count)
-// measurement.
+// SolverBenchPoint is one (instance, branching-rule, worker-count,
+// presolve) measurement. GoMaxProcs is the effective GOMAXPROCS the
+// sub-run executed under — pinned to at least Workers so worker-scaling
+// points are honest measurements rather than time-sliced onto fewer
+// threads than the sweep claims.
 type SolverBenchPoint struct {
 	Instance      string  `json:"instance"`
 	Pixels        int     `json:"pixels"`
 	Branching     string  `json:"branching"`
 	Workers       int     `json:"workers"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	Presolve      bool    `json:"presolve"`
+	PresolveRows  int     `json:"presolve_rows"`
+	PresolveCols  int     `json:"presolve_cols"`
 	Iterations    int     `json:"iterations"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
@@ -89,18 +96,24 @@ type SolverBench struct {
 }
 
 // SolverBenchmarks times the exact planning MIP on the BenchmarkExactScaling
-// instances for each branching rule and worker count. Each point runs
-// until both minIters iterations and minTime have elapsed (a hand-rolled
-// testing.B: the experiment binary cannot import package testing). It
-// verifies the objective is identical across every (rule, workers)
-// combination per instance — the determinism contract — and returns an
-// error if not. Speedups are relative to the same rule at one worker.
+// instances for each branching rule and worker count, plus one
+// presolve-off ablation point per instance (pseudocost, one worker),
+// paired with its presolve-on twin. Each point runs until both minIters
+// iterations and minTime have elapsed (a hand-rolled testing.B: the
+// experiment binary cannot import package testing). Every sub-run is
+// pinned to GOMAXPROCS ≥ workers — so a workers=4 point on a
+// GOMAXPROCS=1 process is a real 4-way run, not time-slicing dressed up
+// as scaling — and the effective value is recorded per point. It
+// verifies the objective is identical across every configuration per
+// instance — the determinism contract, presolve included — and returns
+// an error if not. Speedups are relative to the same rule at one worker.
 func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time.Duration) (SolverBench, error) {
 	if minIters < 1 {
 		minIters = 1
 	}
 	rules := SolverBenchBranchings()
-	out := SolverBench{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: workerCounts}
+	base := runtime.GOMAXPROCS(0)
+	out := SolverBench{GoMaxProcs: base, Workers: workerCounts}
 	for _, r := range rules {
 		out.Branchings = append(out.Branchings, string(r))
 	}
@@ -111,56 +124,75 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 		}
 		instance := fmt.Sprintf("exact-planning/pixels=%d", pixels)
 		refObjective, haveRef := 0.0, false
+
+		measure := func(rule solver.BranchRule, workers int, noPresolve bool) (SolverBenchPoint, error) {
+			opts := solver.Options{MaxNodes: 100000, Workers: workers, Branching: rule, NoPresolve: noPresolve}
+			label := fmt.Sprintf("%s branching=%s workers=%d presolve=%v", instance, rule, workers, !noPresolve)
+			eff := base
+			if workers > eff {
+				runtime.GOMAXPROCS(workers)
+				eff = workers
+				defer runtime.GOMAXPROCS(base)
+			}
+			// Warm-up solve: page in the instance and the scratch
+			// pools, and capture the objective for the determinism
+			// check.
+			warm, err := plan.SolveExact(p, opts)
+			if err != nil {
+				return SolverBenchPoint{}, fmt.Errorf("eval: %s: %w", label, err)
+			}
+			if !haveRef {
+				refObjective, haveRef = warm.Solver.Objective, true
+			} else if warm.Solver.Objective != refObjective {
+				return SolverBenchPoint{}, fmt.Errorf("eval: %s objective diverged: got %v, want %v (branching=%s workers=%d presolve on)",
+					label, warm.Solver.Objective, refObjective, rules[0], workerCounts[0])
+			}
+
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			iters := 0
+			var last *plan.Result
+			for iters < minIters || time.Since(start) < minTime {
+				last, err = plan.SolveExact(p, opts)
+				if err != nil {
+					return SolverBenchPoint{}, fmt.Errorf("eval: %s: %w", label, err)
+				}
+				iters++
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+
+			pt := SolverBenchPoint{
+				Instance:      instance,
+				Pixels:        pixels,
+				Branching:     string(rule),
+				Workers:       workers,
+				GoMaxProcs:    eff,
+				Presolve:      !noPresolve,
+				PresolveRows:  last.Solver.PresolveRows,
+				PresolveCols:  last.Solver.PresolveCols,
+				Iterations:    iters,
+				NsPerOp:       float64(elapsed.Nanoseconds()) / float64(iters),
+				AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(iters),
+				BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+				Objective:     last.Solver.Objective,
+				Nodes:         last.Solver.Nodes,
+				SimplexIters:  last.Solver.SimplexIters,
+				WarmStartHits: last.Solver.WarmStartHits,
+			}
+			if pt.Nodes > 0 {
+				pt.WarmStartRate = float64(pt.WarmStartHits) / float64(pt.Nodes)
+			}
+			return pt, nil
+		}
+
 		for _, rule := range rules {
 			var nsAt1 float64
 			for _, workers := range workerCounts {
-				opts := solver.Options{MaxNodes: 100000, Workers: workers, Branching: rule}
-				label := fmt.Sprintf("%s branching=%s workers=%d", instance, rule, workers)
-				// Warm-up solve: page in the instance and the scratch
-				// pools, and capture the objective for the determinism
-				// check.
-				warm, err := plan.SolveExact(p, opts)
+				pt, err := measure(rule, workers, false)
 				if err != nil {
-					return SolverBench{}, fmt.Errorf("eval: %s: %w", label, err)
-				}
-				if !haveRef {
-					refObjective, haveRef = warm.Solver.Objective, true
-				} else if warm.Solver.Objective != refObjective {
-					return SolverBench{}, fmt.Errorf("eval: %s objective diverged: got %v, want %v (branching=%s workers=%d)",
-						label, warm.Solver.Objective, refObjective, rules[0], workerCounts[0])
-				}
-
-				var before, after runtime.MemStats
-				runtime.ReadMemStats(&before)
-				start := time.Now()
-				iters := 0
-				var last *plan.Result
-				for iters < minIters || time.Since(start) < minTime {
-					last, err = plan.SolveExact(p, opts)
-					if err != nil {
-						return SolverBench{}, fmt.Errorf("eval: %s: %w", label, err)
-					}
-					iters++
-				}
-				elapsed := time.Since(start)
-				runtime.ReadMemStats(&after)
-
-				pt := SolverBenchPoint{
-					Instance:      instance,
-					Pixels:        pixels,
-					Branching:     string(rule),
-					Workers:       workers,
-					Iterations:    iters,
-					NsPerOp:       float64(elapsed.Nanoseconds()) / float64(iters),
-					AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(iters),
-					BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
-					Objective:     last.Solver.Objective,
-					Nodes:         last.Solver.Nodes,
-					SimplexIters:  last.Solver.SimplexIters,
-					WarmStartHits: last.Solver.WarmStartHits,
-				}
-				if pt.Nodes > 0 {
-					pt.WarmStartRate = float64(pt.WarmStartHits) / float64(pt.Nodes)
+					return SolverBench{}, err
 				}
 				if workers == 1 {
 					nsAt1 = pt.NsPerOp
@@ -171,18 +203,34 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 				out.Points = append(out.Points, pt)
 			}
 		}
+		// Presolve ablation: same instance with presolve disabled, at the
+		// default rule and one worker so the on/off pair differs only in
+		// presolve. Objective identity is enforced by measure above.
+		off, err := measure(rules[0], 1, true)
+		if err != nil {
+			return SolverBench{}, err
+		}
+		off.SpeedupVs1 = 1
+		out.Points = append(out.Points, off)
 	}
 	return out, nil
 }
 
 func (s SolverBench) String() string {
-	header := []string{"instance", "branching", "workers", "iters", "ns/op", "allocs/op", "nodes", "pivots", "warm%", "speedup"}
+	header := []string{"instance", "branching", "workers", "gmp", "presolve", "rows-/cols-", "iters", "ns/op", "allocs/op", "nodes", "pivots", "warm%", "speedup"}
 	rows := make([][]string, len(s.Points))
 	for i, pt := range s.Points {
+		presolve := "off"
+		if pt.Presolve {
+			presolve = "on"
+		}
 		rows[i] = []string{
 			pt.Instance,
 			pt.Branching,
 			fmt.Sprintf("%d", pt.Workers),
+			fmt.Sprintf("%d", pt.GoMaxProcs),
+			presolve,
+			fmt.Sprintf("%d/%d", pt.PresolveRows, pt.PresolveCols),
 			fmt.Sprintf("%d", pt.Iterations),
 			fmt.Sprintf("%.0f", pt.NsPerOp),
 			fmt.Sprintf("%.0f", pt.AllocsPerOp),
@@ -209,13 +257,16 @@ type ExactCheck struct {
 	Branching    solver.BranchRule
 	SimplexIters int
 	WarmHits     int
+	PresolveRows int
+	PresolveCols int
 }
 
 // ExactCrossCheck solves the scaling instances both heuristically and
-// exactly (with the given solver worker count and branching rule) and
-// reports transponder counts side by side — the planning-quality check
-// behind Fig 12's claim that the heuristic tracks the optimum.
-func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.BranchRule) ([]ExactCheck, error) {
+// exactly (with the given solver worker count, branching rule, and
+// presolve setting) and reports transponder counts side by side — the
+// planning-quality check behind Fig 12's claim that the heuristic
+// tracks the optimum.
+func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.BranchRule, noPresolve bool) ([]ExactCheck, error) {
 	var out []ExactCheck
 	for _, pixels := range pixelSizes {
 		p, err := ExactScalingProblem(pixels)
@@ -226,7 +277,7 @@ func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.Branc
 		if err != nil {
 			return nil, err
 		}
-		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: solverWorkers, Branching: branching})
+		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: solverWorkers, Branching: branching, NoPresolve: noPresolve})
 		if err != nil {
 			return nil, err
 		}
@@ -240,6 +291,8 @@ func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.Branc
 			Branching:    e.Solver.Branching,
 			SimplexIters: e.Solver.SimplexIters,
 			WarmHits:     e.Solver.WarmStartHits,
+			PresolveRows: e.Solver.PresolveRows,
+			PresolveCols: e.Solver.PresolveCols,
 		})
 	}
 	return out, nil
@@ -247,7 +300,7 @@ func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.Branc
 
 // ExactCheckString renders the cross-check rows.
 func ExactCheckString(rows []ExactCheck) string {
-	header := []string{"instance", "heuristic tx", "exact tx", "nodes", "workers", "branching", "pivots", "warm hits", "gap"}
+	header := []string{"instance", "heuristic tx", "exact tx", "nodes", "workers", "branching", "pivots", "warm hits", "rows-/cols-", "gap"}
 	table := make([][]string, len(rows))
 	for i, r := range rows {
 		table[i] = []string{
@@ -259,6 +312,7 @@ func ExactCheckString(rows []ExactCheck) string {
 			string(r.Branching),
 			fmt.Sprintf("%d", r.SimplexIters),
 			fmt.Sprintf("%d", r.WarmHits),
+			fmt.Sprintf("%d/%d", r.PresolveRows, r.PresolveCols),
 			fmt.Sprintf("%.2g", r.ExactGap),
 		}
 	}

@@ -21,7 +21,8 @@ const MaxExactVars = 8000
 // SolveStats records how an exact MIP search terminated: final solver
 // status, branch-and-bound nodes explored, workers used, the proven
 // optimality gap, and the LP work underneath (simplex pivots, dual-simplex
-// warm-start hits, branching rule). Nil on heuristic results.
+// warm-start hits, branching rule, presolve reductions). Nil on heuristic
+// results.
 type SolveStats struct {
 	Status        solver.Status
 	Objective     float64
@@ -31,6 +32,8 @@ type SolveStats struct {
 	SimplexIters  int
 	WarmStartHits int
 	Branching     solver.BranchRule
+	PresolveRows  int
+	PresolveCols  int
 }
 
 // NewSolveStats copies the search statistics out of a solver Solution.
@@ -39,7 +42,8 @@ func NewSolveStats(sol solver.Solution) *SolveStats {
 		Status: sol.Status, Objective: sol.Objective,
 		Nodes: sol.Nodes, Workers: sol.Workers, Gap: sol.Gap,
 		SimplexIters: sol.SimplexIters, WarmStartHits: sol.WarmStartHits,
-		Branching: sol.Branching,
+		Branching:    sol.Branching,
+		PresolveRows: sol.PresolveRows, PresolveCols: sol.PresolveCols,
 	}
 }
 
@@ -146,7 +150,10 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 		}
 	}
 
-	sol := m.SolveWithOptions(opts)
+	sol, err := m.SolveWithOptions(opts)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
 	switch sol.Status {
 	case solver.Infeasible:
 		return nil, fmt.Errorf("plan: exact MIP infeasible (demand exceeds spectrum or reach)")

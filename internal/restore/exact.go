@@ -170,7 +170,10 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 		}
 	}
 
-	sol := m.SolveWithOptions(opts)
+	sol, err := m.SolveWithOptions(opts)
+	if err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
 	res.Solver = plan.NewSolveStats(sol)
 	if sol.Status == solver.Infeasible || sol.Status == solver.Unbounded {
 		return nil, fmt.Errorf("restore: exact MIP %v — formulation bug (0 restoration is always feasible)", sol.Status)

@@ -11,16 +11,47 @@ import (
 const intTol = 1e-6
 
 // Solve solves the model exactly: as an LP when it has no integer
-// variables, otherwise with LP-relaxation branch-and-bound.
+// variables, otherwise with LP-relaxation branch-and-bound. Default
+// options are always valid, so unlike SolveWithOptions no error is
+// possible.
 func (m *Model) Solve() Solution {
-	return m.SolveWithOptions(Options{})
+	sol, _ := m.SolveWithOptions(Options{})
+	return sol
 }
 
 // SolveWithOptions solves with explicit search limits. Branch-and-bound
 // nodes are explored by Options.Workers concurrent workers (default
-// GOMAXPROCS) sharing a best-first frontier.
-func (m *Model) SolveWithOptions(opts Options) Solution {
-	opts = opts.withDefaults()
+// GOMAXPROCS) sharing a best-first frontier. Unless Options.NoPresolve is
+// set, the model is first reduced by the presolve layer (bound
+// propagation, substitution, redundant-row and duplicate-column removal)
+// and the solution is rehydrated against the original VarIDs afterwards.
+// An error is returned on invalid options (e.g. an unrecognized
+// Options.Branching rule) without starting a search.
+func (m *Model) SolveWithOptions(opts Options) (Solution, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Solution{}, err
+	}
+	if opts.NoPresolve {
+		return m.solveReduced(opts), nil
+	}
+	p := m.presolve(opts.Logf)
+	if p.infeasible {
+		return Solution{
+			Status:       Infeasible,
+			Branching:    opts.Branching,
+			PresolveRows: p.rowsRemoved,
+			PresolveCols: p.colsRemoved,
+		}, nil
+	}
+	sol := p.reduced.solveReduced(opts)
+	return p.postsolve(sol), nil
+}
+
+// solveReduced runs the actual search on m as-is: as an LP when it has no
+// integer variables, otherwise with LP-relaxation branch-and-bound. opts
+// must already carry defaults.
+func (m *Model) solveReduced(opts Options) Solution {
 	hasInt := false
 	for _, v := range m.vars {
 		if v.integer {

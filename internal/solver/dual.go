@@ -123,7 +123,7 @@ func (m *Model) solveLPWarm(sc *lpScratch, snap *basisSnap) (Solution, bool) {
 	}
 	m.fillTableau(sc, n, mRows, total, nArt)
 
-	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis}
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz}
 	sc.inst = growBools(sc.inst, mRows)
 	if !t.installBasis(snap.basis, sc.inst) {
 		sc.lastPivots = t.pivots
@@ -242,7 +242,7 @@ func (m *Model) solveLPDive(sc *lpScratch, changes []*boundChange) (Solution, bo
 		}
 	}
 
-	t := &tableau{a: sc.a, b: sc.b[:rows], cost: sc.cost, basis: sc.basis, barred: sc.barred}
+	t := &tableau{a: sc.a, b: sc.b[:rows], cost: sc.cost, basis: sc.basis, barred: sc.barred, nz: &sc.nz}
 	status, done := t.dualIterate()
 	sc.lastPivots = t.pivots
 	if !done {
@@ -334,14 +334,33 @@ func (t *tableau) dualIterate() (Status, bool) {
 		row := t.a[leave]
 		enter := -1
 		bestRatio := math.Inf(1)
-		for j := 0; j < nCols; j++ {
-			if t.barredCol(j) || row[j] >= -pivotTol {
-				continue
+		if t.nz != nil && t.nz.clean[leave] {
+			// Ratio-test candidates restricted to the leaving row's
+			// build-time nonzeros: entries off the list are exactly zero
+			// and fail the row[j] < -pivotTol test anyway, and the list is
+			// in ascending column order, so the selected column matches
+			// the dense scan's bit for bit.
+			for _, j32 := range t.nz.rowList(leave) {
+				j := int(j32)
+				if t.barredCol(j) || row[j] >= -pivotTol {
+					continue
+				}
+				ratio := t.cost[j] / -row[j]
+				if ratio < bestRatio-feasTol {
+					bestRatio = ratio
+					enter = j
+				}
 			}
-			ratio := t.cost[j] / -row[j]
-			if ratio < bestRatio-feasTol {
-				bestRatio = ratio
-				enter = j
+		} else {
+			for j := 0; j < nCols; j++ {
+				if t.barredCol(j) || row[j] >= -pivotTol {
+					continue
+				}
+				ratio := t.cost[j] / -row[j]
+				if ratio < bestRatio-feasTol {
+					bestRatio = ratio
+					enter = j
+				}
 			}
 		}
 		if enter < 0 {

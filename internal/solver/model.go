@@ -114,6 +114,12 @@ func (m *Model) AddBinVar(name string, obj float64) VarID {
 	return m.AddIntVar(name, 0, 1, obj)
 }
 
+// dupScanMax is the term-slice length up to which AddConstraint detects
+// duplicate variables with a quadratic linear scan instead of a map. The
+// common case — a short, duplicate-free term list — then builds zero
+// intermediate structures beyond the merged slice itself.
+const dupScanMax = 32
+
 // AddConstraint adds Σ terms rel rhs. Terms referencing the same variable
 // are accumulated.
 func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) error {
@@ -122,22 +128,45 @@ func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) e
 			return fmt.Errorf("solver: constraint %s references unknown variable %d", name, t.Var)
 		}
 	}
-	// Accumulate duplicate variables so downstream code sees each var once.
-	acc := make(map[VarID]float64)
-	order := make([]VarID, 0, len(terms))
-	for _, t := range terms {
-		if _, seen := acc[t.Var]; !seen {
-			order = append(order, t.Var)
+	merged := make([]Term, 0, len(terms))
+	if len(terms) <= dupScanMax {
+		// Accumulate duplicates with a linear scan: for small slices the
+		// O(k²) compare is far cheaper than a map allocation per call.
+		for _, t := range terms {
+			found := false
+			for i := range merged {
+				if merged[i].Var == t.Var {
+					merged[i].Coef += t.Coef
+					found = true
+					break
+				}
+			}
+			if !found {
+				merged = append(merged, t)
+			}
 		}
-		acc[t.Var] += t.Coef
-	}
-	merged := make([]Term, 0, len(order))
-	for _, v := range order {
-		if acc[v] != 0 {
-			merged = append(merged, Term{Var: v, Coef: acc[v]})
+	} else {
+		// Large term lists fall back to the map accumulator.
+		acc := make(map[VarID]float64, len(terms))
+		for _, t := range terms {
+			if _, seen := acc[t.Var]; !seen {
+				merged = append(merged, Term{Var: t.Var})
+			}
+			acc[t.Var] += t.Coef
+		}
+		for i := range merged {
+			merged[i].Coef = acc[merged[i].Var]
 		}
 	}
-	m.cons = append(m.cons, constraint{name: name, terms: merged, rel: rel, rhs: rhs})
+	// Drop terms whose coefficients cancelled so downstream code sees each
+	// variable once, with a nonzero coefficient.
+	out := merged[:0]
+	for _, t := range merged {
+		if t.Coef != 0 {
+			out = append(out, t)
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: out, rel: rel, rhs: rhs})
 	return nil
 }
 
@@ -199,6 +228,13 @@ type Solution struct {
 	WarmStartHits int
 	// Branching is the branching rule the search used (MILP only).
 	Branching BranchRule
+	// PresolveRows and PresolveCols count the constraint rows and variable
+	// columns the presolve layer eliminated before the search. Both are 0
+	// when Options.NoPresolve is set or presolve removed nothing; Values
+	// are always reported against the original model's VarIDs either way
+	// (postsolve rehydrates eliminated columns).
+	PresolveRows int
+	PresolveCols int
 }
 
 // Value returns the solution value of v.
@@ -260,19 +296,28 @@ type Options struct {
 	// relaxation is solved cold with the two-phase primal simplex, as
 	// before warm starts existed. For ablation and debugging.
 	NoWarmStart bool
+	// NoPresolve disables the presolve/postsolve layer: the search runs on
+	// the model exactly as built, as before presolve existed. For ablation
+	// and debugging; mirrors NoWarmStart.
+	NoPresolve bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 200000
 	}
 	if o.RelGap == 0 {
 		o.RelGap = 1e-6
 	}
-	if o.Branching != BranchMostFractional {
+	switch o.Branching {
+	case "":
 		o.Branching = BranchPseudocost
+	case BranchPseudocost, BranchMostFractional:
+	default:
+		return o, fmt.Errorf("solver: unknown branching rule %q (want %q or %q)",
+			o.Branching, BranchPseudocost, BranchMostFractional)
 	}
-	return o
+	return o, nil
 }

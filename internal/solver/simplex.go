@@ -68,11 +68,31 @@ type lpScratch struct {
 	x      []float64 // standard-form point
 	values []float64 // model-variable values (aliased by returned Solutions)
 
+	nz tabSparse // compressed sparse row structure of the fresh tableau
+
 	lastRows   int // rows of the most recent tableau build
 	lastTotal  int // columns of the most recent tableau build
 	lastArt    int // first artificial column of the most recent build
 	lastPivots int // simplex pivots performed by the most recent solve
 }
+
+// tabSparse is the compressed-sparse-row companion of the dense tableau:
+// per-row nonzero column lists recorded when the tableau is built. The
+// FlexWAN formulations are extremely sparse — a slot-conflict or capacity
+// row touches a handful of the hundreds of columns — so scans restricted
+// to a row's list skip almost the whole dense row. A list stays valid
+// only until a pivot writes into its row (clean flag); dirty rows fall
+// back to dense scans, and every use skips exact zeros only, so the
+// arithmetic is bit-identical to the fully dense code path.
+type tabSparse struct {
+	idx   []int32 // concatenated nonzero column indices, row-major, ascending
+	off   []int   // per-row offsets into idx (len rows+1)
+	clean []bool  // row's idx list still matches its dense row
+	buf   []int32 // pivot-row gather scratch
+}
+
+// rowList returns row r's nonzero columns as recorded at build time.
+func (s *tabSparse) rowList(r int) []int32 { return s.idx[s.off[r]:s.off[r+1]] }
 
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
@@ -225,6 +245,24 @@ func (m *Model) fillTableau(sc *lpScratch, n, mRows, total, nArt int) {
 		}
 	}
 	sc.cost = growFloats(sc.cost, total)
+	// Record the fresh tableau's row sparsity: ascending nonzero column
+	// lists per row, valid until a pivot dirties the row.
+	sc.nz.off = growInts(sc.nz.off, mRows+1)
+	sc.nz.clean = growBools(sc.nz.clean, mRows)
+	sc.nz.idx = sc.nz.idx[:0]
+	for r := 0; r < mRows; r++ {
+		sc.nz.off[r] = len(sc.nz.idx)
+		for j, v := range sc.a[r] {
+			if v != 0 {
+				sc.nz.idx = append(sc.nz.idx, int32(j))
+			}
+		}
+		sc.nz.clean[r] = true
+	}
+	sc.nz.off[mRows] = len(sc.nz.idx)
+	if cap(sc.nz.buf) < total {
+		sc.nz.buf = make([]int32, 0, total)
+	}
 	sc.lastRows, sc.lastTotal, sc.lastArt = mRows, total, total-nArt
 }
 
@@ -324,7 +362,7 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 	m.fillTableau(sc, n, mRows, total, nArt)
 	m.buildCosts(sc, total)
 
-	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis}
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz}
 
 	// Phase 1: minimize the sum of artificials.
 	artStart := total - nArt
@@ -386,13 +424,16 @@ type tableau struct {
 	cost   []float64   // reduced-cost row (length n)
 	obj    float64     // negative of current objective value offset
 	basis  []int
-	barred []bool // columns that may never enter (phase-2 artificials)
-	pivots int    // Gauss-Jordan pivots performed (all phases)
+	barred []bool      // columns that may never enter (phase-2 artificials)
+	nz     *tabSparse  // build-time row sparsity (nil: always scan dense)
+	pivots int         // Gauss-Jordan pivots performed (all phases)
 }
 
 // setCosts installs a cost vector (copied into the working row) and
 // prices it out against the current basis so the reduced-cost row is
-// valid.
+// valid. Rows still clean since the tableau build price out over their
+// nonzero lists only — entries off the list are exactly zero, so the
+// skipped subtractions are no-ops and the result is bit-identical.
 func (t *tableau) setCosts(c []float64) {
 	copy(t.cost, c)
 	t.obj = 0
@@ -402,8 +443,14 @@ func (t *tableau) setCosts(c []float64) {
 			continue
 		}
 		row := t.a[r]
-		for j := range t.cost {
-			t.cost[j] -= cb * row[j]
+		if t.nz != nil && t.nz.clean[r] {
+			for _, j := range t.nz.rowList(r) {
+				t.cost[j] -= cb * row[j]
+			}
+		} else {
+			for j := range t.cost {
+				t.cost[j] -= cb * row[j]
+			}
 		}
 		t.obj -= cb * t.b[r]
 	}
@@ -469,15 +516,38 @@ func (t *tableau) iterate() Status {
 	return Optimal
 }
 
-// pivot performs a Gauss-Jordan pivot on (row, col).
+// pivot performs a Gauss-Jordan pivot on (row, col). The scaled pivot
+// row's nonzero columns are gathered once — from its build-time sparsity
+// list when the row is still clean, from a dense scan otherwise — and
+// every elimination then touches only those columns. Skipped entries are
+// exactly zero, so x − f·0 never runs and the arithmetic is bit-identical
+// to a fully dense elimination.
 func (t *tableau) pivot(row, col int) {
 	t.pivots++
-	p := t.a[row][col]
-	inv := 1 / p
-	for j := range t.a[row] {
-		t.a[row][j] *= inv
+	prow := t.a[row]
+	inv := 1 / prow[col]
+	for j := range prow {
+		prow[j] *= inv
 	}
 	t.b[row] *= inv
+	var nz []int32
+	if t.nz != nil {
+		nz = t.nz.buf[:0]
+		if t.nz.clean[row] {
+			for _, j := range t.nz.rowList(row) {
+				if prow[j] != 0 {
+					nz = append(nz, j)
+				}
+			}
+		} else {
+			for j, v := range prow {
+				if v != 0 {
+					nz = append(nz, int32(j))
+				}
+			}
+		}
+		t.nz.buf = nz
+	}
 	for r := range t.a {
 		if r == row {
 			continue
@@ -486,20 +556,39 @@ func (t *tableau) pivot(row, col int) {
 		if f == 0 {
 			continue
 		}
-		for j := range t.a[r] {
-			t.a[r][j] -= f * t.a[row][j]
+		arow := t.a[r]
+		if nz != nil {
+			for _, j := range nz {
+				arow[j] -= f * prow[j]
+			}
+		} else {
+			for j := range arow {
+				arow[j] -= f * prow[j]
+			}
 		}
 		t.b[r] -= f * t.b[row]
 		if t.b[r] < 0 && t.b[r] > -feasTol {
 			t.b[r] = 0
 		}
+		if t.nz != nil {
+			t.nz.clean[r] = false
+		}
 	}
 	f := t.cost[col]
 	if f != 0 {
-		for j := range t.cost {
-			t.cost[j] -= f * t.a[row][j]
+		if nz != nil {
+			for _, j := range nz {
+				t.cost[j] -= f * prow[j]
+			}
+		} else {
+			for j := range t.cost {
+				t.cost[j] -= f * prow[j]
+			}
 		}
 		t.obj -= f * t.b[row]
+	}
+	if t.nz != nil {
+		t.nz.clean[row] = false
 	}
 	t.basis[row] = col
 }

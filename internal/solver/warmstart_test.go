@@ -90,13 +90,13 @@ func TestWarmStartMatchesColdMixedProperty(t *testing.T) {
 
 func warmVsColdProperty(t *testing.T, m *Model, trial int, tol float64) {
 	t.Helper()
-	ref := m.SolveWithOptions(Options{
+	ref := mustSolveOpts(t, m, Options{
 		Workers: 1, NoWarmStart: true, Branching: BranchMostFractional,
 	})
 	for _, rule := range []BranchRule{BranchMostFractional, BranchPseudocost} {
 		for _, workers := range []int{1, 3} {
 			for _, noWarm := range []bool{false, true} {
-				got := m.SolveWithOptions(Options{
+				got := mustSolveOpts(t, m, Options{
 					Workers: workers, NoWarmStart: noWarm, Branching: rule,
 				})
 				if got.Status != ref.Status {
@@ -136,7 +136,7 @@ func branchyMIP() *Model {
 
 func TestWarmStartStatsRecorded(t *testing.T) {
 	m := branchyMIP()
-	sol := m.SolveWithOptions(Options{Workers: 1})
+	sol := mustSolveOpts(t, m, Options{Workers: 1})
 	if sol.Status != Optimal {
 		t.Fatalf("status = %v", sol.Status)
 	}
@@ -157,7 +157,7 @@ func TestWarmStartStatsRecorded(t *testing.T) {
 		t.Errorf("default Branching = %q, want %q", sol.Branching, BranchPseudocost)
 	}
 
-	cold := m.SolveWithOptions(Options{Workers: 1, NoWarmStart: true})
+	cold := mustSolveOpts(t, m, Options{Workers: 1, NoWarmStart: true})
 	if cold.WarmStartHits != 0 {
 		t.Errorf("NoWarmStart WarmStartHits = %d, want 0", cold.WarmStartHits)
 	}
@@ -168,8 +168,8 @@ func TestWarmStartStatsRecorded(t *testing.T) {
 
 func TestBranchingRulesAgreeOnObjective(t *testing.T) {
 	m := branchyMIP()
-	mf := m.SolveWithOptions(Options{Workers: 1, Branching: BranchMostFractional})
-	pc := m.SolveWithOptions(Options{Workers: 1, Branching: BranchPseudocost})
+	mf := mustSolveOpts(t, m, Options{Workers: 1, Branching: BranchMostFractional})
+	pc := mustSolveOpts(t, m, Options{Workers: 1, Branching: BranchPseudocost})
 	if mf.Status != Optimal || pc.Status != Optimal {
 		t.Fatalf("statuses: mf=%v pc=%v", mf.Status, pc.Status)
 	}

@@ -36,10 +36,13 @@ func main() {
 	drill := flag.String("drill", "", "run seeded recovery drills instead of the demo: ring | cernet | all")
 	drillSeed := flag.Int64("drill-seed", 1, "fault seed for -drill (same seed ⇒ byte-identical event log)")
 	drillOut := flag.String("drill-out", "BENCH_recovery.json", "output path for -drill scorecards")
+	pushWorkers := flag.Int("push-workers", 0, "config-push fan-out: 0 = one pipeline per device, 1 = legacy serial, n = bounded pool")
+	pushBudget := flag.String("push-budget", "", "per-network push-time budgets for -drill, e.g. ring4=500,cernet=1000 (ms, checked against parallel records)")
+	noAblation := flag.Bool("no-ablation", false, "skip the serial (push-workers=1) ablation record per drill")
 	flag.Parse()
 
 	if *drill != "" {
-		if err := runDrills(*drill, *drillSeed, *drillOut, *verbose); err != nil {
+		if err := runDrills(*drill, *drillSeed, *drillOut, *pushWorkers, *pushBudget, !*noAblation, *verbose); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -109,6 +112,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ctrl.Close()
+	ctrl.SetPushWorkers(*pushWorkers)
 
 	var sources []flexwan.TelemetrySource
 	register := func(desc flexwan.DeviceDescriptor, start func(string) (string, error)) {
@@ -208,8 +212,10 @@ func main() {
 
 // runDrills executes the seeded recovery-drill ladder — the chaos
 // engine's closed-loop fault scenarios — and writes the scorecards to
-// the BENCH_recovery.json output.
-func runDrills(which string, seed int64, out string, verbose bool) error {
+// the BENCH_recovery.json output. Unless disabled, every drill also
+// runs a serial (push-workers=1) ablation record; the per-network push
+// budgets are enforced against the parallel records only.
+func runDrills(which string, seed int64, out string, pushWorkers int, pushBudget string, ablation, verbose bool) error {
 	var drills []eval.RecoveryDrill
 	for _, d := range eval.RecoveryDrillLadder(seed) {
 		name := strings.ToLower(d.Network.Name)
@@ -222,18 +228,29 @@ func runDrills(which string, seed int64, out string, verbose bool) error {
 	if len(drills) == 0 {
 		return fmt.Errorf("flexwanctl: no drills match -drill %q (want ring, cernet or all)", which)
 	}
+	budgets, err := parsePushBudgets(pushBudget)
+	if err != nil {
+		return err
+	}
 	logf := func(string, ...interface{}) {}
 	if verbose {
 		logf = log.Printf
 	}
-	reports, err := eval.RunRecoveryDrills(drills, logf)
+	reports, err := eval.RunRecoveryDrills(drills, eval.RecoveryRunOptions{
+		PushWorkers: pushWorkers, SerialAblation: ablation, Logf: logf,
+	})
 	if err != nil {
 		return err
 	}
+	var overruns []string
 	for _, r := range reports {
-		fmt.Printf("%-26s %-10s restored %d/%d Gbps  oracle=%v audit=%v  detect=%.1fms solve=%.1fms push=%.1fms  faults=%d  log=%.12s\n",
-			r.Name, r.Network, r.RestoredGbps, r.AffectedGbps, r.OracleMatch, r.AuditClean,
+		fmt.Printf("%-26s %-10s workers=%d restored %d/%d Gbps  oracle=%v audit=%v  detect=%.1fms solve=%.1fms push=%.1fms  faults=%d  log=%.12s\n",
+			r.Name, r.Network, r.PushWorkers, r.RestoredGbps, r.AffectedGbps, r.OracleMatch, r.AuditClean,
 			r.DetectMs, r.SolveMs, r.PushMs, r.FaultsInjected, r.LogHash)
+		if budget, ok := budgets[strings.ToLower(r.Network)]; ok && r.PushWorkers != 1 && r.PushMs > budget {
+			overruns = append(overruns,
+				fmt.Sprintf("%s on %s pushed in %.1fms, budget %.0fms", r.Name, r.Network, r.PushMs, budget))
+		}
 	}
 	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
@@ -243,5 +260,29 @@ func runDrills(which string, seed int64, out string, verbose bool) error {
 		return err
 	}
 	fmt.Printf("wrote %d drill records to %s\n", len(reports), out)
+	if len(overruns) > 0 {
+		return fmt.Errorf("flexwanctl: push-time budget exceeded:\n  %s", strings.Join(overruns, "\n  "))
+	}
 	return nil
+}
+
+// parsePushBudgets parses "network=ms,network=ms" into a lower-cased
+// budget map.
+func parsePushBudgets(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("flexwanctl: -push-budget entry %q is not network=ms", part)
+		}
+		var ms float64
+		if _, err := fmt.Sscanf(val, "%g", &ms); err != nil || ms <= 0 {
+			return nil, fmt.Errorf("flexwanctl: -push-budget entry %q has no positive ms value", part)
+		}
+		out[strings.ToLower(strings.TrimSpace(name))] = ms
+	}
+	return out, nil
 }

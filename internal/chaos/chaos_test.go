@@ -149,6 +149,55 @@ func TestCernetAcceptanceDrill(t *testing.T) {
 	}
 }
 
+// TestDrillLogIndependentOfPushWorkers is the parallel-push half of the
+// determinism contract: because every device receives exactly one
+// batched RPC per push phase, the seeded fault decisions (keyed by
+// device, op, seq) cannot depend on scheduling — so the serial path
+// (push-workers=1), a bounded pool, and the full fan-out must all
+// produce byte-identical event logs and converge to a clean audit,
+// under resets as well as drops.
+func TestDrillLogIndependentOfPushWorkers(t *testing.T) {
+	n := RingNetwork(4, 100, 200)
+	sc := Scenario{
+		Name: "worker-sweep",
+		Seed: 42,
+		Faults: FaultConfig{
+			DropRequestProb: 0.10,
+			DropReplyProb:   0.05,
+			ResetProb:       0.05,
+		},
+		CrashTransponders: 1,
+	}
+	var base []byte
+	var baseHash string
+	for _, w := range []int{1, 2, 0} {
+		tb, err := NewTestbed(n, Options{PushWorkers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, lg, err := Run(tb, sc)
+		tb.Close()
+		if err != nil {
+			t.Fatalf("push-workers=%d: %v", w, err)
+		}
+		if rep.PushWorkers != w {
+			t.Errorf("report records push-workers=%d, want %d", rep.PushWorkers, w)
+		}
+		if !rep.OracleMatch || !rep.AuditClean {
+			t.Errorf("push-workers=%d did not converge: oracle=%v audit=%v",
+				w, rep.OracleMatch, rep.AuditClean)
+		}
+		if base == nil {
+			base, baseHash = lg.Marshal(), rep.LogHash
+			continue
+		}
+		if !bytes.Equal(base, lg.Marshal()) {
+			t.Fatalf("push-workers=%d event log diverged from serial (hash %s vs %s):\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, baseHash, rep.LogHash, base, w, lg.Marshal())
+		}
+	}
+}
+
 // TestInjectorDecisionsArePure verifies the injector's core property:
 // decisions depend only on (seed, device, op, seq), not on call order.
 func TestInjectorDecisionsArePure(t *testing.T) {

@@ -51,10 +51,19 @@ type Report struct {
 	Seed    int64  `json:"seed"`
 	Fiber   string `json:"fiber"`
 
+	// PushWorkers is the controller's configured push fan-out for this
+	// run (0 = one in-flight pipeline per device, 1 = legacy serial) —
+	// the ablation axis BENCH_recovery.json records.
+	PushWorkers int `json:"push_workers"`
+
 	DetectMs float64 `json:"detect_ms"`
 	SolveMs  float64 `json:"solve_ms"`
 	PushMs   float64 `json:"push_ms"`
-	TotalMs  float64 `json:"total_ms"`
+	// PushTxMs and PushWSSMs split the push between the transponder
+	// fan-out and the WSS fan-out.
+	PushTxMs  float64 `json:"push_tx_ms"`
+	PushWSSMs float64 `json:"push_wss_ms"`
+	TotalMs   float64 `json:"total_ms"`
 
 	AffectedGbps int  `json:"affected_gbps"`
 	RestoredGbps int  `json:"restored_gbps"`
@@ -215,9 +224,12 @@ func Run(tb *Testbed, sc Scenario) (*Report, *Log, error) {
 		Network:         tb.Net.Name,
 		Seed:            sc.Seed,
 		Fiber:           fiber,
+		PushWorkers:     tb.Ctrl.PushWorkers(),
 		DetectMs:        ms(rep.Event.Time.Sub(cutAt)),
 		SolveMs:         ms(rep.SolveTime),
 		PushMs:          ms(rep.PushTime),
+		PushTxMs:        ms(rep.PushTxTime),
+		PushWSSMs:       ms(rep.PushWSSTime),
 		TotalMs:         ms(total),
 		AffectedGbps:    rep.Result.AffectedGbps,
 		RestoredGbps:    rep.Result.RestoredGbps,

@@ -34,16 +34,17 @@ type FaultConfig struct {
 	Delay time.Duration
 	// Ops restricts injection to these RPC operations; nil means the
 	// configuration-plane default (get-config, edit-config,
-	// edit-candidate, commit, discard). Telemetry's get-state is
-	// deliberately outside the default set: poll counts vary with
-	// timing, and faulting them would make the event log
-	// schedule-dependent.
+	// edit-config-batch, edit-candidate, commit, discard). Telemetry's
+	// get-state is deliberately outside the default set: poll counts
+	// vary with timing, and faulting them would make the event log
+	// schedule-dependent. The hello is outside it too — redial counts
+	// depend on which retries the faults above force.
 	Ops []string
 }
 
 func defaultFaultOps() []string {
 	return []string{
-		netconf.OpGetConfig, netconf.OpEditConfig,
+		netconf.OpGetConfig, netconf.OpEditConfig, netconf.OpEditConfigBatch,
 		device.OpEditCandidate, device.OpCommit, device.OpDiscard,
 	}
 }

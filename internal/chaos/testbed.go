@@ -35,6 +35,12 @@ type Options struct {
 	Dial netconf.DialOptions
 	// Retry overrides the controller's per-RPC retry policy.
 	Retry *controller.RetryPolicy
+	// PushWorkers bounds the controller's config-push fan-out: 0 (the
+	// default) pushes every device pipeline concurrently, 1 is the
+	// legacy serial path (the ablation baseline), n > 1 a bounded pool.
+	// Worker count never changes a drill's event log — each device sees
+	// one batched RPC per push phase regardless of scheduling.
+	PushWorkers int
 	// Logf receives controller log lines (nil silences them).
 	Logf func(format string, args ...interface{})
 }
@@ -92,6 +98,7 @@ func NewTestbed(n workload.Network, opts Options) (*Testbed, error) {
 	if opts.Retry != nil {
 		ctrl.DevMgr().SetRetryPolicy(*opts.Retry)
 	}
+	ctrl.SetPushWorkers(opts.PushWorkers)
 
 	tb := &Testbed{
 		Net: n, Grid: grid, K: k, Fabric: fabric, Ctrl: ctrl,

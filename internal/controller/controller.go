@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexwan/internal/devmodel"
 	"flexwan/internal/netconf"
+	"flexwan/internal/parallel"
 	"flexwan/internal/plan"
 	"flexwan/internal/restore"
 	"flexwan/internal/spectrum"
@@ -42,6 +44,11 @@ type channelState struct {
 type Controller struct {
 	cfg    Config
 	devmgr *DevMgr
+
+	// pushWorkers bounds the concurrent push fan-out (see
+	// SetPushWorkers); atomic so the push engine can read it whether or
+	// not the caller holds mu.
+	pushWorkers atomic.Int64
 
 	mu sync.Mutex
 	// channels maps channel name ("link:seq") → live state.
@@ -115,18 +122,99 @@ func (c *Controller) PlanNetwork() (*plan.Result, error) {
 // Apply pushes a planning result to the hardware: for every wavelength it
 // claims a transponder pair, configures both ends, and installs the
 // identical passband on the WSS of every fiber along the path. The push
-// is coordinated per §4.3: one source of configuration for all devices,
-// so consistency and conflict-freedom hold network-wide.
+// is coordinated per §4.3 — one source of configuration for all devices,
+// so consistency and conflict-freedom hold network-wide — and pipelined:
+// the full per-device document set is built first, then pushed
+// concurrently, one batched RPC per device.
 func (c *Controller) Apply(res *plan.Result) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, w := range res.Wavelengths {
-		if err := c.provisionLocked(w); err != nil {
-			return err
+
+	// Phase 1 — claim hardware and build the complete per-device
+	// document set without touching the wire. Claims are all-or-nothing:
+	// an exhausted pool releases everything claimed here and changes no
+	// state.
+	type chanRec struct {
+		name     string
+		w        plan.Wavelength
+		txA, txB string
+	}
+	var chans []chanRec
+	var claims []string
+	releaseClaims := func() {
+		for _, id := range claims {
+			c.devmgr.ReleaseTransponder(id)
 		}
 	}
-	if err := c.pushWSSLocked(); err != nil {
-		return err
+	txPlan := newPushPlan()
+	for _, w := range res.Wavelengths {
+		c.seq[w.LinkID]++
+		channel := fmt.Sprintf("%s:%d", w.LinkID, c.seq[w.LinkID])
+		txA, err := c.devmgr.ClaimTransponder(string(w.Path.Src()), channel)
+		if err != nil {
+			releaseClaims()
+			return err
+		}
+		claims = append(claims, txA)
+		txB, err := c.devmgr.ClaimTransponder(string(w.Path.Dst()), channel)
+		if err != nil {
+			releaseClaims()
+			return err
+		}
+		claims = append(claims, txB)
+		cfg := transponderConfig(w, channel)
+		txPlan.add(txA, cfg, channel)
+		txPlan.add(txB, cfg, channel)
+		chans = append(chans, chanRec{name: channel, w: w, txA: txA, txB: txB})
+	}
+
+	// Phase 2 — concurrent transponder push. A channel with a failed
+	// endpoint is unwound: the endpoint that did take the enabled
+	// document is pushed a disable (best-effort — never leave a device
+	// lit on spectrum the controller does not track), and the pair goes
+	// back to the pool.
+	errs := c.executePush(txPlan)
+	var firstErr error
+	for _, rec := range chans {
+		errA, errB := errs[rec.txA], errs[rec.txB]
+		if errA == nil && errB == nil {
+			for _, fiber := range rec.w.Path.Fibers {
+				wc := c.wssConfig[fiber]
+				wc.Passbands = append(wc.Passbands, devmodel.Passband{
+					Channel: rec.name,
+					Start:   rec.w.Interval.Start,
+					Count:   rec.w.Interval.Count,
+				})
+				c.wssConfig[fiber] = wc
+			}
+			c.channels[rec.name] = &channelState{wavelength: rec.w, txA: rec.txA, txB: rec.txB}
+			continue
+		}
+		if firstErr == nil {
+			id, err := rec.txA, errA
+			if err == nil {
+				id, err = rec.txB, errB
+			}
+			firstErr = fmt.Errorf("controller: configuring %s for %s: %w", id, rec.name, err)
+		}
+		if errA == nil {
+			c.disableTransponder(rec.txA, rec.name)
+		}
+		if errB == nil {
+			c.disableTransponder(rec.txB, rec.name)
+		}
+		c.devmgr.ReleaseTransponder(rec.txA)
+		c.devmgr.ReleaseTransponder(rec.txB)
+	}
+
+	// Phase 3 — concurrent WSS push for every committed channel, so the
+	// surviving configuration is consistent end to end even when some
+	// channels were unwound.
+	if err := c.pushWSSLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	c.basePlan = res
 	c.logf("controller: applied plan with %d wavelengths over %d links",
@@ -134,39 +222,13 @@ func (c *Controller) Apply(res *plan.Result) error {
 	return nil
 }
 
-// provisionLocked claims hardware and configures the transponder pair for
-// one wavelength, and accumulates its passbands. Callers hold c.mu.
-func (c *Controller) provisionLocked(w plan.Wavelength) error {
-	c.seq[w.LinkID]++
-	channel := fmt.Sprintf("%s:%d", w.LinkID, c.seq[w.LinkID])
-	txA, err := c.devmgr.ClaimTransponder(string(w.Path.Src()), channel)
-	if err != nil {
-		return err
+// disableTransponder pushes a disable document to a transponder whose
+// channel failed to materialize — the unwind path. Best-effort: an
+// unreachable device is already dark, so failure is only logged.
+func (c *Controller) disableTransponder(id, channel string) {
+	if err := c.editConfig(id, devmodel.TransponderConfig{Enabled: false}); err != nil {
+		c.logf("controller: unwinding %s for %s (degraded, device stays dark): %v", id, channel, err)
 	}
-	txB, err := c.devmgr.ClaimTransponder(string(w.Path.Dst()), channel)
-	if err != nil {
-		c.devmgr.ReleaseTransponder(txA)
-		return err
-	}
-	cfg := transponderConfig(w, channel)
-	for _, id := range []string{txA, txB} {
-		if err := c.editConfig(id, cfg); err != nil {
-			c.devmgr.ReleaseTransponder(txA)
-			c.devmgr.ReleaseTransponder(txB)
-			return fmt.Errorf("controller: configuring %s for %s: %w", id, channel, err)
-		}
-	}
-	for _, fiber := range w.Path.Fibers {
-		wc := c.wssConfig[fiber]
-		wc.Passbands = append(wc.Passbands, devmodel.Passband{
-			Channel: channel,
-			Start:   w.Interval.Start,
-			Count:   w.Interval.Count,
-		})
-		c.wssConfig[fiber] = wc
-	}
-	c.channels[channel] = &channelState{wavelength: w, txA: txA, txB: txB}
-	return nil
 }
 
 // transponderConfig builds the standard config document for a wavelength.
@@ -202,27 +264,45 @@ func (c *Controller) pushWSSLocked() error {
 }
 
 // pushWSSDegradedLocked pushes every fiber's accumulated passband
-// document to its WSS, reporting unreachable devices through skip
-// instead of aborting. A fiber with no registered WSS is still an error:
-// that is a deployment wiring bug, not an outage. Callers hold c.mu.
+// document to its WSS — concurrently, one document per device —
+// reporting unreachable devices through skip (invoked in sorted device
+// order) instead of aborting. A fiber with no registered WSS is still an
+// error: that is a deployment wiring bug, not an outage. Callers hold
+// c.mu.
 func (c *Controller) pushWSSDegradedLocked(skip func(deviceID string, err error)) error {
+	plan, err := c.wssPlanLocked()
+	if err != nil {
+		return err
+	}
+	errs := c.executePush(plan)
+	for _, id := range plan.devices() {
+		if errs[id] != nil {
+			skip(id, errs[id])
+		}
+	}
+	return nil
+}
+
+// wssPlanLocked builds the per-WSS push plan from the accumulated
+// passband intent: each WSS gets its fiber's full document. Callers
+// hold c.mu.
+func (c *Controller) wssPlanLocked() (*pushPlan, error) {
 	fibers := make([]string, 0, len(c.wssConfig))
 	for f := range c.wssConfig {
 		fibers = append(fibers, f)
 	}
 	sort.Strings(fibers)
+	plan := newPushPlan()
 	for _, fiber := range fibers {
 		wssID, ok := c.devmgr.WSSForFiber(fiber)
 		if !ok {
-			return fmt.Errorf("controller: no WSS registered for fiber %s", fiber)
+			return nil, fmt.Errorf("controller: no WSS registered for fiber %s", fiber)
 		}
 		cfg := c.wssConfig[fiber]
 		sort.Slice(cfg.Passbands, func(i, j int) bool { return cfg.Passbands[i].Start < cfg.Passbands[j].Start })
-		if err := c.editConfig(wssID, cfg); err != nil {
-			skip(wssID, err)
-		}
+		plan.add(wssID, cfg, "")
 	}
-	return nil
+	return plan, nil
 }
 
 // editConfig pushes one configuration document through the retrying,
@@ -316,24 +396,71 @@ func (c *Controller) Audit() (AuditReport, error) {
 	var report AuditReport
 	report.ChannelsChecked = len(channels)
 
-	// Read back WSS configs once per fiber.
-	wssCfg := make(map[string]devmodel.WSSConfig)
-	fiberOf := make(map[string]string)
+	// Collect the read set — each distinct fiber's WSS and every channel
+	// endpoint with a registered descriptor — then fan the get-config
+	// reads out concurrently, one session per device. Errors surface in
+	// sorted device order, so a dead device fails the audit
+	// deterministically.
+	fibers := make([]string, 0)
+	fiberSeen := make(map[string]bool)
 	for _, st := range channels {
 		for _, fiber := range st.wavelength.Path.Fibers {
-			if _, done := wssCfg[fiber]; done {
+			if !fiberSeen[fiber] {
+				fiberSeen[fiber] = true
+				fibers = append(fibers, fiber)
+			}
+		}
+	}
+	sort.Strings(fibers)
+	for _, fiber := range fibers {
+		if _, ok := c.devmgr.WSSForFiber(fiber); !ok {
+			return report, fmt.Errorf("controller: no WSS for fiber %s", fiber)
+		}
+	}
+	txIDs := make([]string, 0, 2*len(channels))
+	txSeen := make(map[string]bool)
+	for _, st := range channels {
+		for _, txID := range []string{st.txA, st.txB} {
+			if txSeen[txID] {
 				continue
 			}
-			wssID, ok := c.devmgr.WSSForFiber(fiber)
-			if !ok {
-				return report, fmt.Errorf("controller: no WSS for fiber %s", fiber)
+			txSeen[txID] = true
+			if _, ok := c.devmgr.Descriptor(txID); ok {
+				txIDs = append(txIDs, txID)
 			}
-			var cfg devmodel.WSSConfig
-			if err := c.devmgr.Call(wssID, netconf.OpGetConfig, nil, &cfg); err != nil {
-				return report, err
-			}
-			wssCfg[fiber] = cfg
-			fiberOf[wssID] = fiber
+		}
+	}
+	sort.Strings(txIDs)
+
+	wssCfg := make(map[string]devmodel.WSSConfig)
+	{
+		cfgs, errs := parallel.Map(nil, c.readWorkers(len(fibers)), len(fibers),
+			func(_ context.Context, i int) (devmodel.WSSConfig, error) {
+				wssID, _ := c.devmgr.WSSForFiber(fibers[i])
+				var cfg devmodel.WSSConfig
+				err := c.devmgr.Call(wssID, netconf.OpGetConfig, nil, &cfg)
+				return cfg, err
+			})
+		if err := parallel.First(errs); err != nil {
+			return report, err
+		}
+		for i, fiber := range fibers {
+			wssCfg[fiber] = cfgs[i]
+		}
+	}
+	txCfg := make(map[string]devmodel.TransponderConfig)
+	{
+		cfgs, errs := parallel.Map(nil, c.readWorkers(len(txIDs)), len(txIDs),
+			func(_ context.Context, i int) (devmodel.TransponderConfig, error) {
+				var cfg devmodel.TransponderConfig
+				err := c.devmgr.Call(txIDs[i], netconf.OpGetConfig, nil, &cfg)
+				return cfg, err
+			})
+		if err := parallel.First(errs); err != nil {
+			return report, err
+		}
+		for i, id := range txIDs {
+			txCfg[id] = cfgs[i]
 		}
 	}
 
@@ -348,13 +475,10 @@ func (c *Controller) Audit() (AuditReport, error) {
 		// Transponder ends must carry the same spectrum.
 		consistent := true
 		for _, txID := range []string{st.txA, st.txB} {
-			if _, ok := c.devmgr.Descriptor(txID); !ok {
+			cfg, ok := txCfg[txID]
+			if !ok {
 				consistent = false
 				continue
-			}
-			var cfg devmodel.TransponderConfig
-			if err := c.devmgr.Call(txID, netconf.OpGetConfig, nil, &cfg); err != nil {
-				return report, err
 			}
 			if cfg.Interval() != want || !cfg.Enabled {
 				consistent = false
@@ -373,11 +497,6 @@ func (c *Controller) Audit() (AuditReport, error) {
 	}
 
 	// Conflict check: per fiber, passbands must be pairwise disjoint.
-	fibers := make([]string, 0, len(wssCfg))
-	for f := range wssCfg {
-		fibers = append(fibers, f)
-	}
-	sort.Strings(fibers)
 	for _, fiber := range fibers {
 		pbs := wssCfg[fiber].Passbands
 		for i := range pbs {
@@ -433,6 +552,11 @@ type RestoreReport struct {
 	// the restoration plan and pushing it to the hardware.
 	SolveTime time.Duration
 	PushTime  time.Duration
+	// PushTxTime and PushWSSTime break PushTime into its two pipeline
+	// phases: the concurrent transponder push (teardown + retune, one
+	// batched RPC per device) and the concurrent WSS passband push.
+	PushTxTime  time.Duration
+	PushWSSTime time.Duration
 	// SkippedDevices lists devices that stayed unreachable through the
 	// retry policy during the push — the degraded-mode escape hatch:
 	// restoration proceeds for every vendor that answers, and the
@@ -514,25 +638,26 @@ func (c *Controller) HandleFiberCutReport(fiber string) (*RestoreReport, error) 
 		c.logf("controller: degraded push: skipping %s: %v", deviceID, err)
 	}
 
-	// Tear down every failed channel; restored ones are re-provisioned on
-	// their original hardware (the "spare transponders whose original
-	// wavelengths are passing through the cut fiber", §8).
+	// Build the full per-device document set first: teardown documents
+	// for every failed channel, then retune documents for the restored
+	// ones re-provisioned on their original hardware (the "spare
+	// transponders whose original wavelengths are passing through the
+	// cut fiber", §8). A transponder torn down and immediately retuned
+	// gets both documents in one batched RPC, applied in order.
 	failedNames := c.failedChannelsLocked(cut)
 	type hw struct{ txA, txB string }
 	spares := make(map[string][]hw) // linkID → freed transponder pairs
+	txPlan := newPushPlan()
+	off := devmodel.TransponderConfig{Enabled: false}
 	for _, name := range failedNames {
 		st := c.channels[name]
 		c.removePassbandsLocked(name, st.wavelength.Path.Fibers)
 		delete(c.channels, name)
 		spares[st.wavelength.LinkID] = append(spares[st.wavelength.LinkID], hw{st.txA, st.txB})
 		// Disable both ends; a dark transponder stops alarming. An
-		// unreachable end is already dark — skip it.
-		off := devmodel.TransponderConfig{Enabled: false}
-		for _, id := range []string{st.txA, st.txB} {
-			if err := c.editConfig(id, off); err != nil {
-				skip(id, err)
-			}
-		}
+		// unreachable end is already dark — it is skipped and reported.
+		txPlan.add(st.txA, off, "")
+		txPlan.add(st.txB, off, "")
 	}
 
 	for _, r := range res.Restored {
@@ -551,14 +676,9 @@ func (c *Controller) HandleFiberCutReport(fiber string) (*RestoreReport, error) 
 			Interval: r.Interval,
 		}
 		cfg := transponderConfig(w, channel)
-		pending := false
-		for _, id := range []string{pair.txA, pair.txB} {
-			if err := c.editConfig(id, cfg); err != nil {
-				skip(id, err)
-				pending = true
-			}
-		}
-		// Record the full intent even when an endpoint was skipped:
+		txPlan.add(pair.txA, cfg, channel)
+		txPlan.add(pair.txB, cfg, channel)
+		// Record the full intent even when an endpoint ends up skipped:
 		// Repair re-pushes exactly this state once the device returns.
 		for _, f := range w.Path.Fibers {
 			wc := c.wssConfig[f]
@@ -568,9 +688,6 @@ func (c *Controller) HandleFiberCutReport(fiber string) (*RestoreReport, error) 
 			c.wssConfig[f] = wc
 		}
 		c.channels[channel] = &channelState{wavelength: w, txA: pair.txA, txB: pair.txB}
-		if pending {
-			rep.PendingChannels = append(rep.PendingChannels, channel)
-		}
 	}
 	// Unused spares go back to the pool.
 	for _, pool := range spares {
@@ -579,9 +696,25 @@ func (c *Controller) HandleFiberCutReport(fiber string) (*RestoreReport, error) 
 			c.devmgr.ReleaseTransponder(pair.txB)
 		}
 	}
+
+	// Push the transponder pipelines concurrently; devices that stay
+	// unreachable through the retry policy are skipped and reported in
+	// sorted device order, and the channels they should have lit are
+	// surfaced as pending for Repair to converge.
+	txErrs := c.executePush(txPlan)
+	for _, id := range txPlan.devices() {
+		if txErrs[id] != nil {
+			skip(id, txErrs[id])
+		}
+	}
+	rep.PendingChannels = append(rep.PendingChannels, txPlan.pendingChannels(txErrs)...)
+	rep.PushTxTime = time.Since(pushStart)
+
+	wssStart := time.Now()
 	if err := c.pushWSSDegradedLocked(skip); err != nil {
 		return nil, err
 	}
+	rep.PushWSSTime = time.Since(wssStart)
 	rep.PushTime = time.Since(pushStart)
 	sort.Strings(rep.SkippedDevices)
 	c.logf("controller: fiber %s cut — restored %d/%d Gbps over %d channels (%d devices skipped)",

@@ -76,7 +76,10 @@ func (d *DevMgr) RetryPolicy() RetryPolicy {
 
 // Register validates the descriptor, dials the device's management
 // address, and indexes it. The controller locates devices by the IP
-// address in the descriptor (§4.3).
+// address in the descriptor (§4.3). Every validation runs before any
+// index is touched: a rejected registration leaves no phantom entry
+// behind and closes its session, so a corrected re-registration under
+// the same ID succeeds.
 func (d *DevMgr) Register(desc devmodel.Descriptor) error {
 	if err := desc.Validate(); err != nil {
 		return err
@@ -89,9 +92,15 @@ func (d *DevMgr) Register(desc devmodel.Descriptor) error {
 		return fmt.Errorf("controller: dialing %s at %s: %w", desc.ID, desc.Address, err)
 	}
 	// The device's hello must agree with the registered identity — a
-	// mismatch indicates a miswired management network.
+	// mismatch indicates a miswired management network. A hello that
+	// cannot be read is a dial failure, not a verified session: skipping
+	// the check would silently disable the miswiring defense.
 	var hello devmodel.Descriptor
-	if err := client.Hello(&hello); err == nil && hello.ID != "" && hello.ID != desc.ID {
+	if err := client.Hello(&hello); err != nil {
+		client.Close()
+		return fmt.Errorf("controller: hello from %s at %s: %w", desc.ID, desc.Address, err)
+	}
+	if hello.ID != "" && hello.ID != desc.ID {
 		client.Close()
 		return fmt.Errorf("controller: device at %s identifies as %s, registered as %s",
 			desc.Address, hello.ID, desc.ID)
@@ -102,18 +111,23 @@ func (d *DevMgr) Register(desc devmodel.Descriptor) error {
 		client.Close()
 		return fmt.Errorf("controller: duplicate device %s", desc.ID)
 	}
+	// Class-specific validation, still before indexing.
+	if desc.Class == devmodel.ClassWSS {
+		if desc.Fiber == "" {
+			client.Close()
+			return fmt.Errorf("controller: WSS %s has no fiber binding", desc.ID)
+		}
+		if prev, dup := d.wssByFiber[desc.Fiber]; dup {
+			client.Close()
+			return fmt.Errorf("controller: fiber %s already controlled by WSS %s", desc.Fiber, prev)
+		}
+	}
 	d.devices[desc.ID] = desc
 	d.clients[desc.ID] = client
 	switch desc.Class {
 	case devmodel.ClassTransponder:
 		d.freeTx[desc.Site] = insertSorted(d.freeTx[desc.Site], desc.ID)
 	case devmodel.ClassWSS:
-		if desc.Fiber == "" {
-			return fmt.Errorf("controller: WSS %s has no fiber binding", desc.ID)
-		}
-		if prev, dup := d.wssByFiber[desc.Fiber]; dup {
-			return fmt.Errorf("controller: fiber %s already controlled by WSS %s", desc.Fiber, prev)
-		}
 		d.wssByFiber[desc.Fiber] = desc.ID
 	}
 	return nil
@@ -286,9 +300,15 @@ func (d *DevMgr) session(id string) (*netconf.Client, error) {
 		return nil, fmt.Errorf("controller: redialing %s at %s: %w", id, desc.Address, err)
 	}
 	// Re-verify identity, as Register does: a restart must not silently
-	// hand the session to a different device on a recycled address.
+	// hand the session to a different device on a recycled address. An
+	// unreadable hello is a failed redial (transient — Call retries on a
+	// fresh dial), never an unverified session.
 	var hello devmodel.Descriptor
-	if err := fresh.Hello(&hello); err == nil && hello.ID != "" && hello.ID != desc.ID {
+	if err := fresh.Hello(&hello); err != nil {
+		fresh.Close()
+		return nil, fmt.Errorf("controller: hello on redial of %s at %s: %w", id, desc.Address, err)
+	}
+	if hello.ID != "" && hello.ID != desc.ID {
 		fresh.Close()
 		return nil, fmt.Errorf("controller: device at %s identifies as %s, registered as %s",
 			desc.Address, hello.ID, desc.ID)

@@ -1,0 +1,269 @@
+package controller
+
+import (
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexwan/internal/device"
+	"flexwan/internal/devmodel"
+	"flexwan/internal/netconf"
+	"flexwan/internal/phy"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/topology"
+	"flexwan/internal/transponder"
+)
+
+// TestRegisterRejectionLeavesNoPhantom is the regression test for the
+// registration-ordering bug: a WSS whose descriptor fails validation
+// after the dial (no fiber binding, duplicate fiber) used to be indexed
+// before the check fired, leaving a phantom device, a leaked session,
+// and a permanently blocked re-registration. Every rejection must leave
+// the registry untouched so a corrected descriptor succeeds.
+func TestRegisterRejectionLeavesNoPhantom(t *testing.T) {
+	d := NewDevMgr()
+	grid := spectrum.DefaultGrid()
+	agent := device.NewWSS(devmodel.Descriptor{ID: "wss-x", Class: devmodel.ClassWSS}, grid)
+	addr, err := agent.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+
+	noFiber := devmodel.Descriptor{
+		ID: "wss-x", Class: devmodel.ClassWSS, Vendor: "v", Address: addr, Site: "A",
+	}
+	if err := d.Register(noFiber); err == nil {
+		t.Fatal("WSS with no fiber binding registered")
+	}
+	if _, ok := d.Descriptor("wss-x"); ok {
+		t.Fatal("rejected WSS left a phantom descriptor")
+	}
+	if _, ok := d.Client("wss-x"); ok {
+		t.Fatal("rejected WSS left a live session in the registry")
+	}
+
+	good := noFiber
+	good.Fiber = "f-x"
+	if err := d.Register(good); err != nil {
+		t.Fatalf("corrected re-registration under the same ID failed: %v", err)
+	}
+	if id, ok := d.WSSForFiber("f-x"); !ok || id != "wss-x" {
+		t.Fatalf("fiber index = (%q, %v), want wss-x", id, ok)
+	}
+
+	// A duplicate fiber binding is rejected without stealing the index
+	// or leaving a phantom under the new ID.
+	agent2 := device.NewWSS(devmodel.Descriptor{ID: "wss-y", Class: devmodel.ClassWSS}, grid)
+	addr2, err := agent2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent2.Close)
+	dupFiber := devmodel.Descriptor{
+		ID: "wss-y", Class: devmodel.ClassWSS, Vendor: "v", Address: addr2, Site: "A", Fiber: "f-x",
+	}
+	if err := d.Register(dupFiber); err == nil {
+		t.Fatal("duplicate fiber binding registered")
+	}
+	if _, ok := d.Descriptor("wss-y"); ok {
+		t.Fatal("rejected duplicate left a phantom descriptor")
+	}
+	dupFiber.Fiber = "f-y"
+	if err := d.Register(dupFiber); err != nil {
+		t.Fatalf("corrected fiber binding failed: %v", err)
+	}
+}
+
+// TestRegisterRejectsUnreadableHello is the regression test for the
+// hello-verification bug: a device whose greeting cannot be decoded
+// used to be accepted as "identity verified" because only a clean read
+// with a mismatched ID was rejected. An unreadable hello is a failed
+// dial — and must not leave a phantom entry blocking a retry.
+func TestRegisterRejectsUnreadableHello(t *testing.T) {
+	// A server whose hello document is not a Descriptor.
+	bogus := netconf.NewServer("not-a-descriptor", func(string, json.RawMessage) (interface{}, error) {
+		return nil, nil
+	})
+	addr, err := bogus.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bogus.Close)
+
+	d := NewDevMgr()
+	desc := devmodel.Descriptor{
+		ID: "tx-x", Class: devmodel.ClassTransponder, Vendor: "v", Address: addr, Site: "A",
+	}
+	err = d.Register(desc)
+	if err == nil {
+		t.Fatal("registration with an unreadable hello succeeded")
+	}
+	if !strings.Contains(err.Error(), "hello") {
+		t.Errorf("error %v does not name the hello exchange", err)
+	}
+	if _, ok := d.Descriptor("tx-x"); ok {
+		t.Fatal("failed registration left a phantom descriptor")
+	}
+
+	// The same ID registers fine against a device that greets properly.
+	agent := device.NewTransponder(devmodel.Descriptor{ID: "tx-x", Class: devmodel.ClassTransponder},
+		spectrum.DefaultGrid(), transponder.SVT(), device.NewFabric(phy.DefaultLink()))
+	good, err := agent.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+	desc.Address = good
+	if err := d.Register(desc); err != nil {
+		t.Fatalf("re-registration after hello failure: %v", err)
+	}
+	if d.FreeTransponders("A") != 1 {
+		t.Fatal("re-registered transponder missing from the free pool")
+	}
+}
+
+// TestCallRedialsAfterHelloDrop is the regression test for the redial
+// half of the hello bug: a dropped greeting on a redial used to hand
+// Call an unverified session; it must instead count as a failed dial
+// attempt that the retry loop rides out.
+func TestCallRedialsAfterHelloDrop(t *testing.T) {
+	h := newHarness(t, 1, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100})
+	d := h.ctrl.DevMgr()
+	d.SetDialOptions(netconf.DialOptions{DialTimeout: 150 * time.Millisecond, CallTimeout: 150 * time.Millisecond})
+	d.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Sleep: func(time.Duration) {},
+	})
+	var helloDrops int32
+	h.wss["f1"].Server().SetInterceptor(func(op string) netconf.FaultDecision {
+		if op == netconf.OpHello && atomic.CompareAndSwapInt32(&helloDrops, 0, 1) {
+			return netconf.FaultDecision{Fault: netconf.FaultDropRequest}
+		}
+		return netconf.FaultDecision{}
+	})
+	// Force the next Call onto the redial path.
+	if client, ok := d.Client("wss-f1"); ok {
+		d.invalidate("wss-f1", client)
+	}
+	var cfg devmodel.WSSConfig
+	if err := d.Call("wss-f1", netconf.OpGetConfig, nil, &cfg); err != nil {
+		t.Fatalf("Call did not recover from a dropped redial hello: %v", err)
+	}
+	if atomic.LoadInt32(&helloDrops) != 1 {
+		t.Fatal("the hello drop never fired; the test proved nothing")
+	}
+}
+
+// TestApplyRollbackDisablesConfiguredPeer is the regression test for
+// the half-provisioned-channel leak: when txB's edit-config is NACKed
+// after txA already accepted an enabled document, the rollback must
+// push a disable to txA — not just release the pair and leave a live
+// laser the audit's conflict check can't even see.
+func TestApplyRollbackDisablesConfiguredPeer(t *testing.T) {
+	h := newHarness(t, 1, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The B-side transponder NACKs every configuration push.
+	h.transponders["tx-B-0"].Server().SetInterceptor(func(op string) netconf.FaultDecision {
+		if op == netconf.OpEditConfig || op == netconf.OpEditConfigBatch {
+			return netconf.FaultDecision{Err: "vendor: unsupported mode"}
+		}
+		return netconf.FaultDecision{}
+	})
+	if err := h.ctrl.Apply(res); err == nil {
+		t.Fatal("Apply succeeded with a NACKing endpoint")
+	}
+	// Both transponders back in the pool, nothing assigned.
+	for _, site := range []string{"A", "B"} {
+		if free := h.ctrl.DevMgr().FreeTransponders(site); free != 1 {
+			t.Errorf("site %s free pool = %d, want 1", site, free)
+		}
+	}
+	if ch, ok := h.ctrl.DevMgr().Assignment("tx-A-0"); ok {
+		t.Errorf("tx-A-0 still assigned to %s after rollback", ch)
+	}
+	// The survivor's laser is off.
+	var cfg devmodel.TransponderConfig
+	if err := h.ctrl.DevMgr().Call("tx-A-0", netconf.OpGetConfig, nil, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Enabled {
+		t.Fatal("rolled-back endpoint tx-A-0 is still enabled on the device")
+	}
+	if len(h.ctrl.LiveChannels()) != 0 {
+		t.Fatal("failed Apply left live channels")
+	}
+	audit, err := h.ctrl.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Clean() {
+		t.Fatalf("audit dirty after rollback: %+v", audit)
+	}
+}
+
+// TestParallelPushConvergesUnderFaults drives the fan-out push through
+// injected first-attempt drops on several devices at once (run under
+// -race in CI): Apply must converge, the audit must come back clean,
+// and the DevMgr's pool/assignment books must balance.
+func TestParallelPushConvergesUnderFaults(t *testing.T) {
+	h := newHarness(t, 2,
+		topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 100},
+		topology.IPLink{ID: "e2", A: "A", B: "C", DemandGbps: 100},
+		topology.IPLink{ID: "e3", A: "C", B: "B", DemandGbps: 100},
+	)
+	d := h.ctrl.DevMgr()
+	d.SetDialOptions(netconf.DialOptions{CallTimeout: 150 * time.Millisecond})
+	d.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}})
+	// Every device drops its first configuration push; retries succeed.
+	for _, tr := range h.transponders {
+		srv := tr.Server()
+		var dropped int32
+		srv.SetInterceptor(func(op string) netconf.FaultDecision {
+			if (op == netconf.OpEditConfig || op == netconf.OpEditConfigBatch) &&
+				atomic.CompareAndSwapInt32(&dropped, 0, 1) {
+				return netconf.FaultDecision{Fault: netconf.FaultDropRequest}
+			}
+			return netconf.FaultDecision{}
+		})
+	}
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.Apply(res); err != nil {
+		t.Fatalf("parallel Apply under faults: %v", err)
+	}
+	audit, err := h.ctrl.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Clean() {
+		t.Fatalf("audit dirty after faulted parallel push: %+v", audit)
+	}
+	// Book-keeping: every live channel's endpoints are assigned to it,
+	// and free + assigned accounts for every registered transponder.
+	assigned := 0
+	for _, ch := range h.ctrl.LiveChannels() {
+		for _, tx := range []string{ch.TxA, ch.TxB} {
+			got, ok := d.Assignment(tx)
+			if !ok || got != ch.Name {
+				t.Errorf("endpoint %s of %s assigned to (%q, %v)", tx, ch.Name, got, ok)
+			}
+			assigned++
+		}
+	}
+	free := 0
+	for _, site := range []string{"A", "B", "C"} {
+		free += d.FreeTransponders(site)
+	}
+	if free+assigned != len(h.transponders) {
+		t.Errorf("pool books don't balance: %d free + %d assigned != %d registered",
+			free, assigned, len(h.transponders))
+	}
+}

@@ -124,14 +124,21 @@ func (c *Controller) Repair() ([]string, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// Re-assert intent through the same pipelined engine as the push
+	// path: every endpoint's channel document, one batched RPC per
+	// device, fanned out concurrently.
+	txPlan := newPushPlan()
 	for _, name := range names {
 		st := c.channels[name]
 		cfg := transponderConfig(st.wavelength, name)
-		for _, tx := range []string{st.txA, st.txB} {
-			if err := c.editConfig(tx, cfg); err != nil {
-				c.mu.Unlock()
-				return before.Inconsistencies, fmt.Errorf("controller: repairing %s: %w", name, err)
-			}
+		txPlan.add(st.txA, cfg, name)
+		txPlan.add(st.txB, cfg, name)
+	}
+	errs := c.executePush(txPlan)
+	for _, id := range txPlan.devices() {
+		if errs[id] != nil {
+			c.mu.Unlock()
+			return before.Inconsistencies, fmt.Errorf("controller: repairing %s: %w", id, errs[id])
 		}
 	}
 	err = c.pushWSSLocked()

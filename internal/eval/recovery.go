@@ -45,27 +45,63 @@ func RecoveryDrillLadder(seed int64) []RecoveryDrill {
 	}
 }
 
-// RunRecoveryDrills executes the drills, one fresh testbed each, and
-// returns their scorecards.
-func RunRecoveryDrills(drills []RecoveryDrill, logf func(format string, args ...interface{})) ([]*RecoveryBenchRecord, error) {
-	var out []*RecoveryBenchRecord
-	for _, d := range drills {
-		tb, err := chaos.NewTestbed(d.Network, chaos.Options{})
+// RecoveryRunOptions tunes how the drill ladder executes.
+type RecoveryRunOptions struct {
+	// PushWorkers is the controller's config-push fan-out for the
+	// primary record of each drill (0 = one in-flight pipeline per
+	// device, the default; 1 = legacy serial).
+	PushWorkers int
+	// SerialAblation re-runs every drill on a fresh testbed with
+	// PushWorkers=1 and appends the serial record after the parallel
+	// one, so BENCH_recovery.json carries a serial-vs-parallel ablation
+	// point per drill. Fault decisions are schedule-independent, so the
+	// pair must produce byte-identical event logs — a mismatch is an
+	// error, not a footnote.
+	SerialAblation bool
+	// Logf receives per-drill progress lines (nil silences them).
+	Logf func(format string, args ...interface{})
+}
+
+// RunRecoveryDrills executes the drills, one fresh testbed per record,
+// and returns their scorecards.
+func RunRecoveryDrills(drills []RecoveryDrill, opts RecoveryRunOptions) ([]*RecoveryBenchRecord, error) {
+	runOne := func(d RecoveryDrill, pushWorkers int) (*RecoveryBenchRecord, error) {
+		tb, err := chaos.NewTestbed(d.Network, chaos.Options{PushWorkers: pushWorkers})
 		if err != nil {
 			return nil, fmt.Errorf("eval: building %s testbed: %w", d.Network.Name, err)
 		}
 		rep, _, err := chaos.Run(tb, d.Scenario)
 		tb.Close()
 		if err != nil {
-			return nil, fmt.Errorf("eval: drill %s: %w", d.Scenario.Name, err)
+			return nil, fmt.Errorf("eval: drill %s (push-workers %d): %w", d.Scenario.Name, pushWorkers, err)
 		}
-		if logf != nil {
-			logf("drill %s on %s: restored %d/%d Gbps, oracle match %v, audit clean %v, detect=%.1fms solve=%.1fms push=%.1fms (%d faults, hash %.12s)",
-				rep.Name, rep.Network, rep.RestoredGbps, rep.AffectedGbps,
+		if opts.Logf != nil {
+			opts.Logf("drill %s on %s (push-workers %d): restored %d/%d Gbps, oracle match %v, audit clean %v, detect=%.1fms solve=%.1fms push=%.1fms (tx=%.1fms wss=%.1fms, %d faults, hash %.12s)",
+				rep.Name, rep.Network, rep.PushWorkers, rep.RestoredGbps, rep.AffectedGbps,
 				rep.OracleMatch, rep.AuditClean, rep.DetectMs, rep.SolveMs, rep.PushMs,
-				rep.FaultsInjected, rep.LogHash)
+				rep.PushTxMs, rep.PushWSSMs, rep.FaultsInjected, rep.LogHash)
+		}
+		return rep, nil
+	}
+	var out []*RecoveryBenchRecord
+	for _, d := range drills {
+		rep, err := runOne(d, opts.PushWorkers)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, rep)
+		if !opts.SerialAblation || opts.PushWorkers == 1 {
+			continue
+		}
+		serial, err := runOne(d, 1)
+		if err != nil {
+			return nil, err
+		}
+		if serial.LogHash != rep.LogHash {
+			return nil, fmt.Errorf("eval: drill %s event log diverged across push fan-out: serial %s vs parallel %s — fault decisions are no longer schedule-independent",
+				d.Scenario.Name, serial.LogHash, rep.LogHash)
+		}
+		out = append(out, serial)
 	}
 	return out, nil
 }

@@ -1,0 +1,152 @@
+package netconf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startRecorder runs a server whose handler records every (op, payload)
+// it sees, rejecting any document equal to rejectDoc.
+func startRecorder(t *testing.T, rejectDoc string) (*Server, string, func() []string) {
+	t.Helper()
+	var mu sync.Mutex
+	var applied []string
+	srv := NewServer(echoHello{Name: "dev1"}, func(op string, payload json.RawMessage) (interface{}, error) {
+		var doc string
+		if err := json.Unmarshal(payload, &doc); err != nil {
+			return nil, err
+		}
+		if rejectDoc != "" && doc == rejectDoc {
+			return nil, fmt.Errorf("unsupported document %q", doc)
+		}
+		mu.Lock()
+		applied = append(applied, op+":"+doc)
+		mu.Unlock()
+		return nil, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), applied...)
+	}
+}
+
+// TestBatchEditAppliesInOrder proves one edit-config-batch RPC applies
+// every document, in order, as individual edit-configs — the device
+// sees the same pipeline a serial push would send, in one round trip.
+func TestBatchEditAppliesInOrder(t *testing.T) {
+	_, addr, applied := startRecorder(t, "")
+	c := dialFast(t, addr)
+	batch, err := NewBatchEdit("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(OpEditConfigBatch, batch, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{OpEditConfig + `:a`, OpEditConfig + `:b`, OpEditConfig + `:c`}
+	got := applied()
+	if len(got) != len(want) {
+		t.Fatalf("applied %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("applied %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBatchEditRejectionAborts proves the first rejected document stops
+// the batch: earlier documents stay applied (absolute documents make
+// the re-push idempotent), later ones never run, and the error is a
+// device NACK naming the offending position — not a transient failure.
+func TestBatchEditRejectionAborts(t *testing.T) {
+	_, addr, applied := startRecorder(t, "b")
+	c := dialFast(t, addr)
+	batch, err := NewBatchEdit("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	callErr := c.Call(OpEditConfigBatch, batch, nil)
+	var rpcErr *RPCError
+	if !errors.As(callErr, &rpcErr) {
+		t.Fatalf("batch rejection returned %v, want RPCError", callErr)
+	}
+	if IsTransient(callErr) {
+		t.Error("batch NACK misclassified as transient")
+	}
+	if !strings.Contains(rpcErr.Msg, "batch document 2/3") {
+		t.Errorf("NACK %q does not name the rejected position", rpcErr.Msg)
+	}
+	got := applied()
+	if len(got) != 1 || got[0] != OpEditConfig+`:a` {
+		t.Fatalf("applied %v, want only document a", got)
+	}
+}
+
+// TestBatchEditSingleDocEquivalent proves a one-document batch behaves
+// exactly like a plain edit-config.
+func TestBatchEditSingleDocEquivalent(t *testing.T) {
+	_, addr, applied := startRecorder(t, "")
+	c := dialFast(t, addr)
+	batch, err := NewBatchEdit("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(OpEditConfigBatch, batch, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := applied(); len(got) != 1 || got[0] != OpEditConfig+`:solo` {
+		t.Fatalf("applied %v, want one edit-config", got)
+	}
+}
+
+// TestHelloDropFailsDial proves a dropped hello greeting fails the dial
+// instead of yielding a half-open session — the fault the DevMgr must
+// classify as a transient dial failure, never a verified session.
+func TestHelloDropFailsDial(t *testing.T) {
+	srv, addr := startEcho(t)
+	srv.SetInterceptor(func(op string) FaultDecision {
+		if op == OpHello {
+			return FaultDecision{Fault: FaultDropRequest}
+		}
+		return FaultDecision{}
+	})
+	if c, err := DialWithOptions(addr, DialOptions{DialTimeout: 100 * time.Millisecond}); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded despite dropped hello")
+	}
+	// Clearing the fault heals the dial path.
+	srv.SetInterceptor(nil)
+	c := dialFast(t, addr)
+	var out string
+	if err := c.Call("echo", "hi", &out); err != nil || out != "hi" {
+		t.Fatalf("post-heal call: %v (out %q)", err, out)
+	}
+}
+
+// TestHelloResetFailsDial proves a connection reset during the greeting
+// fails the dial cleanly.
+func TestHelloResetFailsDial(t *testing.T) {
+	srv, addr := startEcho(t)
+	srv.SetInterceptor(func(op string) FaultDecision {
+		if op == OpHello {
+			return FaultDecision{Fault: FaultReset}
+		}
+		return FaultDecision{}
+	})
+	if c, err := DialWithOptions(addr, DialOptions{DialTimeout: 100 * time.Millisecond}); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded despite reset hello")
+	}
+}

@@ -164,6 +164,10 @@ func TestDoubleListenRejected(t *testing.T) {
 func TestCallTimeoutConfigurable(t *testing.T) {
 	srv, addr := startEcho(t)
 	srv.SetInterceptor(func(op string) FaultDecision {
+		if op == OpHello {
+			// Let the session establish; only the RPC should be dropped.
+			return FaultDecision{}
+		}
 		return FaultDecision{Fault: FaultDropRequest}
 	})
 	c, err := DialWithOptions(addr, DialOptions{CallTimeout: 60 * time.Millisecond})

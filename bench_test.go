@@ -665,6 +665,48 @@ func BenchmarkPresolveAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverMemoryBudget enforces a per-instance bytes/op budget on
+// the default (revised simplex) exact solve — the memory regression
+// guard CI's bench smoke runs. The budgets sit roughly 2x above the
+// measured revised-engine allocation and well under half the dense
+// tableau's (≈1.5 MB/op at 32 pixels, ≈6 MB/op at 64), so either an
+// engine regression or an accidental fall-back to the dense path trips
+// them. TotalAlloc deltas are read directly because the testing
+// framework's own B/op is not visible from inside the benchmark.
+func BenchmarkSolverMemoryBudget(b *testing.B) {
+	budgets := []struct {
+		pixels int
+		bytes  float64
+	}{{16, 300_000}, {32, 700_000}, {64, 1_700_000}}
+	for _, bu := range budgets {
+		b.Run("exact/pixels="+itoa(bu.pixels), func(b *testing.B) {
+			p, err := eval.ExactScalingProblem(bu.pixels)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := solver.Options{MaxNodes: 100000, Workers: 1}
+			if _, err := plan.SolveExact(p, opts); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveExact(p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			perOp := float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N)
+			b.ReportMetric(perOp, "bytes/op-measured")
+			if perOp > bu.bytes {
+				b.Fatalf("pixels=%d: %.0f bytes/op exceeds budget %.0f", bu.pixels, perOp, bu.bytes)
+			}
+		})
+	}
+}
+
 // BenchmarkNetconfRPC measures management-protocol round-trip throughput
 // (one get-state per iteration against a live transponder agent).
 func BenchmarkNetconfRPC(b *testing.B) {

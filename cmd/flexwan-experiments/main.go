@@ -196,7 +196,7 @@ func main() {
 		if *solverWorkers > 0 {
 			counts = []int{1, *solverWorkers}
 		}
-		bench, err := eval.SolverBenchmarks([]int{16, 20, 24, 32}, counts, 3, 300*time.Millisecond)
+		bench, err := eval.SolverBenchmarks([]int{16, 20, 24, 32, 48, 64, 96}, counts, 3, 300*time.Millisecond)
 		if err != nil {
 			fail(err)
 		}

@@ -16,8 +16,10 @@ import (
 // ExactScalingProblem builds the seed exact-planning instance used by
 // BenchmarkExactScaling and the `bench` experiment mode: a two-fiber line
 // A—B—C with two IP links on the RADWAN catalog over a pixels-wide grid.
-// More pixels means more starting-pixel γ variables, hence a harder MIP;
-// the instance stays within MaxExactVars up to at least 48 pixels.
+// More pixels means more starting-pixel γ variables, hence a harder MIP.
+// The instance grows roughly six variables per pixel, so the whole
+// benchmark ladder (up to 96 pixels) sits far below the build caps of
+// both LP engines (solver.DefaultMaxVars / DefaultDenseMaxVars).
 func ExactScalingProblem(pixels int) (plan.Problem, error) {
 	g := topology.New()
 	if err := g.AddFiber("f1", "A", "B", 100); err != nil {
@@ -60,14 +62,17 @@ func SolverBenchBranchings() []solver.BranchRule {
 	return []solver.BranchRule{solver.BranchPseudocost, solver.BranchMostFractional}
 }
 
-// SolverBenchPoint is one (instance, branching-rule, worker-count,
-// presolve) measurement. GoMaxProcs is the effective GOMAXPROCS the
-// sub-run executed under — pinned to at least Workers so worker-scaling
-// points are honest measurements rather than time-sliced onto fewer
-// threads than the sweep claims.
+// SolverBenchPoint is one (instance, engine, branching-rule,
+// worker-count, presolve) measurement. GoMaxProcs is the effective
+// GOMAXPROCS the sub-run executed under — pinned to at least Workers so
+// worker-scaling points are honest measurements rather than time-sliced
+// onto fewer threads than the sweep claims. Engine is "revised" (the
+// default LU-factorized revised simplex) or "dense" (the
+// Options.DenseSimplex tableau ablation).
 type SolverBenchPoint struct {
 	Instance      string  `json:"instance"`
 	Pixels        int     `json:"pixels"`
+	Engine        string  `json:"engine"`
 	Branching     string  `json:"branching"`
 	Workers       int     `json:"workers"`
 	GoMaxProcs    int     `json:"gomaxprocs"`
@@ -96,9 +101,10 @@ type SolverBench struct {
 }
 
 // SolverBenchmarks times the exact planning MIP on the BenchmarkExactScaling
-// instances for each branching rule and worker count, plus one
-// presolve-off ablation point per instance (pseudocost, one worker),
-// paired with its presolve-on twin. Each point runs until both minIters
+// instances for each branching rule and worker count, plus two ablation
+// points per instance at the default rule and one worker: presolve off,
+// and the dense-tableau engine (Options.DenseSimplex) — the memory
+// baseline the revised simplex is measured against. Each point runs until both minIters
 // iterations and minTime have elapsed (a hand-rolled testing.B: the
 // experiment binary cannot import package testing). Every sub-run is
 // pinned to GOMAXPROCS ≥ workers — so a workers=4 point on a
@@ -125,9 +131,13 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 		instance := fmt.Sprintf("exact-planning/pixels=%d", pixels)
 		refObjective, haveRef := 0.0, false
 
-		measure := func(rule solver.BranchRule, workers int, noPresolve bool) (SolverBenchPoint, error) {
-			opts := solver.Options{MaxNodes: 100000, Workers: workers, Branching: rule, NoPresolve: noPresolve}
-			label := fmt.Sprintf("%s branching=%s workers=%d presolve=%v", instance, rule, workers, !noPresolve)
+		measure := func(rule solver.BranchRule, workers int, noPresolve, dense bool) (SolverBenchPoint, error) {
+			opts := solver.Options{MaxNodes: 100000, Workers: workers, Branching: rule, NoPresolve: noPresolve, DenseSimplex: dense}
+			engine := "revised"
+			if dense {
+				engine = "dense"
+			}
+			label := fmt.Sprintf("%s engine=%s branching=%s workers=%d presolve=%v", instance, engine, rule, workers, !noPresolve)
 			eff := base
 			if workers > eff {
 				runtime.GOMAXPROCS(workers)
@@ -166,6 +176,7 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 			pt := SolverBenchPoint{
 				Instance:      instance,
 				Pixels:        pixels,
+				Engine:        engine,
 				Branching:     string(rule),
 				Workers:       workers,
 				GoMaxProcs:    eff,
@@ -190,7 +201,7 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 		for _, rule := range rules {
 			var nsAt1 float64
 			for _, workers := range workerCounts {
-				pt, err := measure(rule, workers, false)
+				pt, err := measure(rule, workers, false, false)
 				if err != nil {
 					return SolverBench{}, err
 				}
@@ -206,18 +217,28 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 		// Presolve ablation: same instance with presolve disabled, at the
 		// default rule and one worker so the on/off pair differs only in
 		// presolve. Objective identity is enforced by measure above.
-		off, err := measure(rules[0], 1, true)
+		off, err := measure(rules[0], 1, true, false)
 		if err != nil {
 			return SolverBench{}, err
 		}
 		off.SpeedupVs1 = 1
 		out.Points = append(out.Points, off)
+		// Engine ablation: the dense-tableau path on the same instance,
+		// default rule, one worker, presolve on — the pair against the
+		// matching revised point isolates the engine. Objective identity
+		// across engines is enforced by measure above.
+		dense, err := measure(rules[0], 1, false, true)
+		if err != nil {
+			return SolverBench{}, err
+		}
+		dense.SpeedupVs1 = 1
+		out.Points = append(out.Points, dense)
 	}
 	return out, nil
 }
 
 func (s SolverBench) String() string {
-	header := []string{"instance", "branching", "workers", "gmp", "presolve", "rows-/cols-", "iters", "ns/op", "allocs/op", "nodes", "pivots", "warm%", "speedup"}
+	header := []string{"instance", "engine", "branching", "workers", "gmp", "presolve", "rows-/cols-", "iters", "ns/op", "allocs/op", "nodes", "pivots", "warm%", "speedup"}
 	rows := make([][]string, len(s.Points))
 	for i, pt := range s.Points {
 		presolve := "off"
@@ -226,6 +247,7 @@ func (s SolverBench) String() string {
 		}
 		rows[i] = []string{
 			pt.Instance,
+			pt.Engine,
 			pt.Branching,
 			fmt.Sprintf("%d", pt.Workers),
 			fmt.Sprintf("%d", pt.GoMaxProcs),

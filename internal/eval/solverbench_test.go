@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"flexwan/internal/plan"
+	"flexwan/internal/solver"
+)
+
+// TestEngineDifferentialLadder is the end-to-end engine differential on
+// the real planning MIP: across the benchmark scaling ladder, the dense
+// tableau and the revised simplex must reach the SAME optimal objective
+// (exact float equality — both engines prove optimality, and the
+// acceptance bar for this instance family is bitwise-identical objective
+// values), with presolve on and off. The reported plan is also checked
+// for internal consistency: provisioned capacity covers demand.
+func TestEngineDifferentialLadder(t *testing.T) {
+	ladder := []int{16, 24, 32, 48, 64}
+	if testing.Short() {
+		ladder = []int{16, 24}
+	}
+	for _, pixels := range ladder {
+		p, err := ExactScalingProblem(pixels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref float64
+		haveRef := false
+		for _, dense := range []bool{false, true} {
+			for _, noPresolve := range []bool{false, true} {
+				label := fmt.Sprintf("pixels=%d dense=%v presolve=%v", pixels, dense, !noPresolve)
+				res, err := plan.SolveExact(p, solver.Options{
+					MaxNodes: 100000, Workers: 1,
+					DenseSimplex: dense, NoPresolve: noPresolve,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if res.Solver.Status != solver.Optimal {
+					t.Fatalf("%s: status %v", label, res.Solver.Status)
+				}
+				if !haveRef {
+					ref, haveRef = res.Solver.Objective, true
+				} else if res.Solver.Objective != ref {
+					t.Fatalf("%s: objective %v, want %v (engines diverged)", label, res.Solver.Objective, ref)
+				}
+				for id, lp := range res.PerLink {
+					if lp.ProvisionedGbps < lp.DemandGbps {
+						t.Fatalf("%s: link %s provisioned %d < demand %d",
+							label, id, lp.ProvisionedGbps, lp.DemandGbps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolverBenchmarksSmoke runs the benchmark harness at minimal
+// iteration counts and checks the new engine dimension: every instance
+// must contribute exactly one dense-ablation point, engines must be
+// labelled, and the dense point's bytes/op on the same instance must not
+// be reported as zero (the memory comparison the PR's 4x criterion reads
+// off BENCH_solver.json).
+func TestSolverBenchmarksSmoke(t *testing.T) {
+	bench, err := SolverBenchmarks([]int{12}, []int{1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var denseN, revisedN int
+	for _, pt := range bench.Points {
+		switch pt.Engine {
+		case "dense":
+			denseN++
+		case "revised":
+			revisedN++
+		default:
+			t.Fatalf("point %s has unknown engine %q", pt.Instance, pt.Engine)
+		}
+		if pt.BytesPerOp <= 0 || math.IsNaN(pt.BytesPerOp) {
+			t.Fatalf("point %s engine=%s: BytesPerOp = %v", pt.Instance, pt.Engine, pt.BytesPerOp)
+		}
+	}
+	if denseN != 1 {
+		t.Fatalf("dense ablation points = %d, want 1 per instance", denseN)
+	}
+	if revisedN < 2 {
+		t.Fatalf("revised points = %d, want >= 2 (sweep + presolve ablation)", revisedN)
+	}
+	if !strings.Contains(bench.String(), "dense") {
+		t.Fatal("rendered table missing the engine column")
+	}
+}

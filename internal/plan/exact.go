@@ -3,20 +3,13 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"flexwan/internal/solver"
 	"flexwan/internal/spectrum"
 	"flexwan/internal/topology"
 	"flexwan/internal/transponder"
 )
-
-// MaxExactVars bounds the size of the exact MIP. Beyond this the
-// formulation is handed to the heuristic in practice; SolveExact refuses
-// rather than thrash. The dense-tableau simplex underneath handles a few
-// thousand columns comfortably; production-scale instances (hundreds of
-// links on a 384-pixel grid) are far past it, exactly as the paper's
-// Gurobi runs take "hours of runtime" on theirs.
-const MaxExactVars = 8000
 
 // SolveStats records how an exact MIP search terminated: final solver
 // status, branch-and-bound nodes explored, workers used, the proven
@@ -68,6 +61,14 @@ type gammaVar struct {
 // status, transponder count) hold by construction and only (1) capacity
 // and (3) conflict appear as rows. Constraint (2) reach is enforced by
 // never creating infeasible (path, format) variables.
+//
+// The build refuses — rather than thrash — once the variable count
+// passes opts.MaxBuildVars(): 8000 columns under Options.DenseSimplex
+// (the dense tableau's memory is quadratic in the standard-form size),
+// 250000 under the default revised engine, or Options.MaxVars verbatim
+// when set. Production-scale instances (hundreds of links on a 384-pixel
+// grid) still belong to the heuristic Solve, exactly as the paper's
+// Gurobi runs take "hours of runtime" on theirs.
 func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 	if err := validate(p); err != nil {
 		return nil, err
@@ -78,24 +79,62 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 	}
 
 	m := solver.NewModel("flexwan-planning", solver.Minimize)
-	var gammas []gammaVar
 	// slotUsers[fiber][w] lists variables occupying pixel w on the fiber.
 	slotUsers := make(map[string][][]solver.VarID)
+
+	// Pre-pass: resolve the feasible (path, mode) sets once and count the
+	// γ variables, so the over-cap refusal happens before any model is
+	// built and every append target below is allocated at final size —
+	// append doubling otherwise dominates build garbage on large grids.
+	type pathModes struct {
+		path  topology.Path
+		modes []transponder.Mode
+	}
+	maxVars := opts.MaxBuildVars()
+	feas := make(map[string][]pathModes, len(p.IP.Links))
+	perLink := make(map[string]int, len(p.IP.Links))
+	nGamma := 0
+	for _, link := range p.IP.Links {
+		pms := make([]pathModes, 0, len(paths[link.ID]))
+		n := 0
+		for _, path := range paths[link.ID] {
+			modes := p.Catalog.FeasibleModes(path.LengthKm)
+			pms = append(pms, pathModes{path: path, modes: modes})
+			for _, mode := range modes {
+				if px := mode.Pixels(p.Grid); px <= p.Grid.Pixels {
+					n += p.Grid.Pixels - px + 1
+				}
+			}
+		}
+		feas[link.ID] = pms
+		perLink[link.ID] = n
+		nGamma += n
+	}
+	if nGamma > maxVars {
+		return nil, fmt.Errorf("plan: exact MIP exceeds %d variables (Options.MaxVars; default per LP engine); use the heuristic Solve or raise the cap", maxVars)
+	}
+	m.Grow(nGamma, len(p.IP.Links))
+	gammas := make([]gammaVar, 0, nGamma)
 
 	// A channel of the same format may be needed more than once per
 	// (link, path): the binary γ encoding expresses multiplicity through
 	// distinct starting pixels q, exactly as the paper defines the q-th
 	// order.
 	for _, link := range p.IP.Links {
-		var linkTerms []solver.Term
-		for pi, path := range paths[link.ID] {
-			for _, mode := range p.Catalog.FeasibleModes(path.LengthKm) {
+		linkTerms := make([]solver.Term, 0, perLink[link.ID])
+		for pi, pm := range feas[link.ID] {
+			path := pm.path
+			for _, mode := range pm.modes {
 				pixels := mode.Pixels(p.Grid)
 				if pixels > p.Grid.Pixels {
 					continue
 				}
+				// One name prefix per (link, path, mode): the per-variable
+				// name is then a single concatenation, not an fmt.Sprintf —
+				// variable naming used to dominate build allocations.
+				prefix := "g[" + link.ID + "," + strconv.Itoa(pi) + "," + mode.String() + ","
 				for q := 0; q+pixels <= p.Grid.Pixels; q++ {
-					name := fmt.Sprintf("g[%s,%d,%s,%d]", link.ID, pi, mode, q)
+					name := prefix + strconv.Itoa(q) + "]"
 					obj := 1 + p.epsilon()*mode.SpacingGHz
 					id := m.AddBinVar(name, obj)
 					gammas = append(gammas, gammaVar{
@@ -112,9 +151,6 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 						for w := q; w < q+pixels; w++ {
 							rows[w] = append(rows[w], id)
 						}
-					}
-					if m.NumVars() > MaxExactVars {
-						return nil, fmt.Errorf("plan: exact MIP exceeds %d variables; use the heuristic Solve", MaxExactVars)
 					}
 				}
 			}
@@ -134,16 +170,17 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 		fibers = append(fibers, f)
 	}
 	sort.Strings(fibers)
+	var terms []solver.Term // reused row buffer; AddConstraint copies
 	for _, f := range fibers {
 		for w, users := range slotUsers[f] {
 			if len(users) < 2 {
 				continue // a single candidate cannot conflict
 			}
-			terms := make([]solver.Term, len(users))
-			for i, id := range users {
-				terms[i] = solver.Term{Var: id, Coef: 1}
+			terms = terms[:0]
+			for _, id := range users {
+				terms = append(terms, solver.Term{Var: id, Coef: 1})
 			}
-			name := fmt.Sprintf("slot[%s,%d]", f, w)
+			name := "slot[" + f + "," + strconv.Itoa(w) + "]"
 			if err := m.AddConstraint(name, terms, solver.LE, 1); err != nil {
 				return nil, err
 			}
@@ -159,9 +196,9 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 		return nil, fmt.Errorf("plan: exact MIP infeasible (demand exceeds spectrum or reach)")
 	case solver.Unbounded:
 		return nil, fmt.Errorf("plan: exact MIP unbounded — formulation bug")
-	case solver.LimitReached:
+	case solver.LimitReached, solver.IterLimit:
 		if len(sol.Values) == 0 {
-			return nil, fmt.Errorf("plan: node limit reached with no incumbent")
+			return nil, fmt.Errorf("plan: solve limit (%s) reached with no incumbent", sol.Status)
 		}
 		// Fall through with the incumbent: still a valid plan, possibly
 		// suboptimal; Gap reports how far.

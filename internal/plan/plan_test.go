@@ -497,8 +497,10 @@ func TestHeuristicMatchesExactCount(t *testing.T) {
 }
 
 func TestSolveExactTooLarge(t *testing.T) {
-	// A default-grid SVT instance explodes past MaxExactVars and must be
-	// refused, not attempted.
+	// A default-grid SVT instance explodes past the build cap and must be
+	// refused, not attempted. The cap is per-engine (Options.MaxBuildVars):
+	// the dense tableau refuses at its 8000-column default, and an explicit
+	// Options.MaxVars binds regardless of engine.
 	ip := &topology.IPTopology{}
 	for i := 0; i < 10; i++ {
 		id := string(rune('a' + i))
@@ -513,8 +515,11 @@ func TestSolveExactTooLarge(t *testing.T) {
 		Grid:    spectrum.DefaultGrid(),
 		K:       3,
 	}
-	if _, err := SolveExact(p, solver.Options{}); err == nil {
-		t.Error("oversized exact MIP accepted")
+	if _, err := SolveExact(p, solver.Options{DenseSimplex: true}); err == nil {
+		t.Error("oversized exact MIP accepted by the dense engine cap")
+	}
+	if _, err := SolveExact(p, solver.Options{MaxVars: 100}); err == nil {
+		t.Error("oversized exact MIP accepted despite explicit MaxVars")
 	}
 }
 

@@ -3,6 +3,7 @@ package restore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"flexwan/internal/plan"
 	"flexwan/internal/solver"
@@ -97,6 +98,7 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 				if pixels > p.Grid.Pixels || mode.DataRateGbps > ls.affectedGbps {
 					continue
 				}
+				prefix := "r[" + id + "," + mode.String() + ","
 				for q := 0; q+pixels <= p.Grid.Pixels; q++ {
 					iv := spectrum.Interval{Start: q, Count: pixels}
 					// Constraint (9): the interval must be spare on every
@@ -111,7 +113,7 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 					if !free {
 						continue
 					}
-					gid := m.AddBinVar(fmt.Sprintf("r[%s,%s,%d]", id, mode, q), float64(mode.DataRateGbps))
+					gid := m.AddBinVar(prefix+strconv.Itoa(q)+"]", float64(mode.DataRateGbps))
 					gammas = append(gammas, gVar{linkID: id, path: path, mode: mode, startQ: q, pixels: pixels, id: gid})
 					capTerms = append(capTerms, solver.Term{Var: gid, Coef: float64(mode.DataRateGbps)})
 					cntTerms = append(cntTerms, solver.Term{Var: gid, Coef: 1})
@@ -125,8 +127,8 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 							rows[w] = append(rows[w], gid)
 						}
 					}
-					if m.NumVars() > plan.MaxExactVars {
-						return nil, fmt.Errorf("restore: exact MIP exceeds %d variables; use the heuristic Solve", plan.MaxExactVars)
+					if m.NumVars() > opts.MaxBuildVars() {
+						return nil, fmt.Errorf("restore: exact MIP exceeds %d variables (Options.MaxVars; default per LP engine); use the heuristic Solve or raise the cap", opts.MaxBuildVars())
 					}
 				}
 			}
@@ -155,16 +157,17 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 		fibers = append(fibers, f)
 	}
 	sort.Strings(fibers)
+	var terms []solver.Term // reused row buffer; AddConstraint copies
 	for _, f := range fibers {
 		for w, users := range slotUsers[f] {
 			if len(users) < 2 {
 				continue
 			}
-			terms := make([]solver.Term, len(users))
-			for i, gid := range users {
-				terms[i] = solver.Term{Var: gid, Coef: 1}
+			terms = terms[:0]
+			for _, gid := range users {
+				terms = append(terms, solver.Term{Var: gid, Coef: 1})
 			}
-			if err := m.AddConstraint(fmt.Sprintf("slot[%s,%d]", f, w), terms, solver.LE, 1); err != nil {
+			if err := m.AddConstraint("slot["+f+","+strconv.Itoa(w)+"]", terms, solver.LE, 1); err != nil {
 				return nil, err
 			}
 		}
@@ -178,8 +181,8 @@ func SolveExact(p Problem, opts solver.Options) (*Result, error) {
 	if sol.Status == solver.Infeasible || sol.Status == solver.Unbounded {
 		return nil, fmt.Errorf("restore: exact MIP %v — formulation bug (0 restoration is always feasible)", sol.Status)
 	}
-	if sol.Status == solver.LimitReached && len(sol.Values) == 0 {
-		return nil, fmt.Errorf("restore: node limit reached with no incumbent")
+	if (sol.Status == solver.LimitReached || sol.Status == solver.IterLimit) && len(sol.Values) == 0 {
+		return nil, fmt.Errorf("restore: solve limit (%s) reached with no incumbent", sol.Status)
 	}
 
 	restoredPerLink := make(map[string]int)

@@ -60,7 +60,7 @@ func (m *Model) solveReduced(opts Options) Solution {
 		}
 	}
 	if !hasInt {
-		return m.SolveLP()
+		return m.solveRelaxation(opts)
 	}
 	return m.branchAndBound(opts)
 }
@@ -215,10 +215,11 @@ type bbNode struct {
 	bound  float64 // relaxation objective of the parent (optimistic)
 	depth  int
 
-	// snap is the parent's optimal basis; both children share one
-	// immutable snapshot and try a dual-simplex warm start from it before
-	// falling back to the cold two-phase solve. nil at the root.
-	snap *basisSnap
+	// snap is the parent's optimal basis snapshot (engine-specific:
+	// *rxSnap or *basisSnap); both children share one immutable snapshot
+	// and try a dual-simplex warm start from it before falling back to a
+	// cold solve. nil at the root.
+	snap any
 	// fracStep is how far the branch moved the branched variable: the
 	// down-fraction for an ub child, the up-fraction for an lb child.
 	// Pseudocost updates divide the observed objective degradation by it.
@@ -307,7 +308,7 @@ func (m *Model) branchAndBound(opts Options) Solution {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	root := m.solveLPWithBounds(nil, nil)
+	root := m.solveRelaxation(opts)
 	if root.Status != Optimal {
 		root.Workers = workers
 		root.Branching = opts.Branching
@@ -386,17 +387,17 @@ func (s *bbSearch) globalBoundLocked(candidate float64) float64 {
 	return best
 }
 
-// worker is one branch-and-bound worker loop. It owns a private lpScratch
+// worker is one branch-and-bound worker loop. It owns a private LP engine
 // and pops nodes from the shared frontier until the search terminates.
 func (s *bbSearch) worker(id int) {
-	sc := &lpScratch{}
+	eng := newLPEngine(s.m, s.opts)
 	ctx := s.opts.Context
-	// tabOwner/tabBounds identify whose optimal tableau currently sits in
-	// sc: the basis snapshot created from that solve and the bound chain it
-	// was solved under. When the next popped node descends directly from
-	// exactly that solve, solveLPDive re-optimizes the retained tableau in
-	// place instead of rebuilding anything.
-	var tabOwner *basisSnap
+	// tabOwner/tabBounds identify whose optimal state the engine currently
+	// retains: the basis snapshot created from that solve and the bound
+	// chain it was solved under. When the next popped node descends
+	// directly from exactly that solve, solveDive re-optimizes the retained
+	// state in place instead of rebuilding anything.
+	var tabOwner any
 	var tabBounds *boundChange
 	var diveChanges []*boundChange
 	s.mu.Lock()
@@ -468,11 +469,11 @@ func (s *bbSearch) worker(id int) {
 		warm, dove := false, false
 		iters := 0
 		if !s.opts.NoWarmStart && node.snap != nil && node.snap == tabOwner {
-			// Dive path: sc still holds this node's parent's optimal
-			// tableau. Collect the bound changes separating the node from
-			// that solve (its branching plus any reduced-cost fixings) and
-			// apply them as O(rows) rhs updates, then repair with dual
-			// simplex — no rebuild, no basis re-installation.
+			// Dive path: the engine still holds this node's parent's
+			// optimal state. Collect the bound changes separating the node
+			// from that solve (its branching plus any reduced-cost fixings)
+			// and apply them in place, then repair with dual simplex — no
+			// rebuild, no refactorization.
 			diveChanges = diveChanges[:0]
 			c := node.bounds
 			for c != nil && c != tabBounds && len(diveChanges) < 64 {
@@ -480,8 +481,8 @@ func (s *bbSearch) worker(id int) {
 				c = c.parent
 			}
 			if c == tabBounds && len(diveChanges) > 0 {
-				ws, ok := s.m.solveLPDive(sc, diveChanges)
-				iters += sc.lastPivots
+				ws, ok := eng.solveDive(diveChanges)
+				iters += eng.pivots()
 				dove = true
 				if ok {
 					sol, warm = ws, true
@@ -489,30 +490,30 @@ func (s *bbSearch) worker(id int) {
 			}
 		}
 		if !warm {
-			applyBounds(s.m, node.bounds, sc)
+			eng.applyBounds(node.bounds)
 			if !s.opts.NoWarmStart && node.snap != nil && !dove {
-				ws, ok := s.m.solveLPWarm(sc, node.snap)
-				iters += sc.lastPivots
+				ws, ok := eng.solveWarm(node.snap)
+				iters += eng.pivots()
 				if ok {
 					sol, warm = ws, true
 				}
 			}
 			if !warm {
-				sol = s.m.solveLPBounds(sc)
-				iters += sc.lastPivots
+				sol = eng.solveCold()
+				iters += eng.pivots()
 			}
 		}
-		// Snapshot the optimal basis outside the lock while sc still holds
-		// it — but only when this node will actually branch — and tighten
-		// the children's bound chain with reduced-cost fixings against the
-		// incumbent read at pop time (a stale incumbent is only weaker, so
-		// the fixings stay valid).
-		var snap *basisSnap
+		// Snapshot the optimal basis outside the lock while the engine
+		// still holds it — but only when this node will actually branch —
+		// and tighten the children's bound chain with reduced-cost fixings
+		// against the incumbent read at pop time (a stale incumbent is only
+		// weaker, so the fixings stay valid).
+		var snap any
 		fixBase := node.bounds
 		if sol.Status == Optimal && s.hasFracInt(sol.Values) {
-			snap = sc.snapshot()
+			snap = eng.snapshot()
 			if hasInc {
-				fixBase = s.m.reducedCostFixings(sc, sol.Objective, incObj, node.bounds)
+				fixBase = eng.fixings(sol.Objective, incObj, node.bounds)
 			}
 		}
 		tabOwner, tabBounds = snap, fixBase
@@ -610,10 +611,21 @@ func (m *Model) reducedCostFixings(sc *lpScratch, obj, inc float64, chain *bound
 // snap is the node's own optimal basis and fixBase its bound chain
 // extended with reduced-cost fixings (== node.bounds when there are none;
 // both unused when the node does not branch).
-func (s *bbSearch) processLocked(node *bbNode, sol Solution, snap *basisSnap, fixBase *boundChange) {
+func (s *bbSearch) processLocked(node *bbNode, sol Solution, snap any, fixBase *boundChange) {
 	// Feed the pseudocosts before any pruning: the degradation this child
 	// observed is real information about its branch variable either way.
 	s.observePseudocostLocked(node, sol)
+	if sol.Status == IterLimit {
+		// The node LP ran out of pivots without an optimality certificate:
+		// it can be neither pruned nor soundly branched (its bound is
+		// unproven). Stop the search like a node-budget stop and report
+		// LimitReached with the incumbent so far.
+		if !s.stop {
+			s.stop, s.limitHit = true, true
+			s.stopBound = s.globalBoundLocked(node.bound)
+		}
+		return
+	}
 	if sol.Status != Optimal {
 		return // infeasible subtree
 	}

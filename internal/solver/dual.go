@@ -123,7 +123,7 @@ func (m *Model) solveLPWarm(sc *lpScratch, snap *basisSnap) (Solution, bool) {
 	}
 	m.fillTableau(sc, n, mRows, total, nArt)
 
-	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz}
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz, maxIter: sc.maxIter}
 	sc.inst = growBools(sc.inst, mRows)
 	if !t.installBasis(snap.basis, sc.inst) {
 		sc.lastPivots = t.pivots
@@ -242,7 +242,7 @@ func (m *Model) solveLPDive(sc *lpScratch, changes []*boundChange) (Solution, bo
 		}
 	}
 
-	t := &tableau{a: sc.a, b: sc.b[:rows], cost: sc.cost, basis: sc.basis, barred: sc.barred, nz: &sc.nz}
+	t := &tableau{a: sc.a, b: sc.b[:rows], cost: sc.cost, basis: sc.basis, barred: sc.barred, nz: &sc.nz, maxIter: sc.maxIter}
 	status, done := t.dualIterate()
 	sc.lastPivots = t.pivots
 	if !done {
@@ -303,12 +303,15 @@ func (t *tableau) installBasis(target []int32, inst []bool) bool {
 // negative entries of the leaving row), and pivot, until the rhs is
 // nonnegative (Optimal) or some negative row has no negative entry
 // (Infeasible). Switches to first-index row selection after a Bland-style
-// threshold. Returns done=false if the pivot budget runs out, in which
-// case the caller must fall back to a cold solve.
+// threshold. Returns (IterLimit, false) if the pivot budget runs out, in
+// which case the caller must fall back to a cold solve.
 func (t *tableau) dualIterate() (Status, bool) {
 	mRows := len(t.a)
 	nCols := len(t.cost)
-	maxIter := 100*(mRows+nCols) + 2000
+	maxIter := t.maxIter
+	if maxIter <= 0 {
+		maxIter = 100*(mRows+nCols) + 2000
+	}
 	blandAfter := 20 * (mRows + nCols)
 	for iter := 0; iter < maxIter; iter++ {
 		leave := -1
@@ -370,5 +373,5 @@ func (t *tableau) dualIterate() (Status, bool) {
 		}
 		t.pivot(leave, enter)
 	}
-	return LimitReached, false
+	return IterLimit, false
 }

@@ -1,0 +1,258 @@
+package solver
+
+import "math"
+
+// Basis-factorization tolerances and policy.
+const (
+	// luSingTol is the pivot magnitude below which a basis column is
+	// declared singular and factorization fails (the caller falls back).
+	luSingTol = 1e-11
+	// luEtaTol is the spike-pivot magnitude below which a pivot triggers a
+	// fresh factorization instead of an eta update: dividing by a tiny
+	// w_p amplifies error through every later FTRAN/BTRAN.
+	luEtaTol = 1e-7
+	// luMaxEtas bounds the eta file before a periodic refactorization:
+	// each eta adds O(nnz(w)) work to every solve, so past this point
+	// refactorizing is both cheaper and more accurate.
+	luMaxEtas = 64
+)
+
+// luFactor is an LU factorization of the simplex basis B (the constraint
+// columns of the basic variables) with partial pivoting, plus a
+// product-form eta file appended per pivot:
+//
+//	P·B₀ = L·U        (left-looking sparse LU, unit-diagonal L)
+//	B_k  = B₀·E₁⋯E_k  (E_i = I + (w−e_p)e_pᵀ, w the FTRAN'd entering column)
+//
+// FTRAN solves B_k·w = a (apply L,U solves then the etas in creation
+// order); BTRAN solves B_kᵀ·v = c (etas transposed in reverse, then
+// Uᵀ,Lᵀ). L rows are indexed in original constraint-row space, U in pivot
+// order, etas in basis-position space. All buffers are retained across
+// factorizations, so a branch-and-bound worker refactorizing thousands of
+// times allocates only on growth.
+type luFactor struct {
+	m    int
+	perm []int32 // pivot order k → original row
+	pinv []int32 // original row → pivot order
+
+	lPtr []int32 // len m+1; L column k occupies [lPtr[k], lPtr[k+1])
+	lIdx []int32 // original-row index of each below-diagonal L entry
+	lVal []float64
+
+	uPtr  []int32 // len m+1; U column j (above-diagonal) entries
+	uIdx  []int32 // pivot-order index k < j
+	uVal  []float64
+	udiag []float64 // U diagonal per column
+
+	etaPos []int32   // pivot basis-position per eta
+	etaPiv []float64 // spike value at the pivot position
+	etaPtr []int32   // len nEtas+1; offsets into etaIdx/etaVal
+	etaIdx []int32   // basis positions i ≠ p with nonzero spike value
+	etaVal []float64
+
+	mark  []bool  // factorization scratch: row touched this column
+	touch []int32 // factorization scratch: touched-row list
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func (f *luFactor) nEtas() int { return len(f.etaPos) }
+
+// factorize computes P·B = L·U for the basis given as one column index
+// per row position (structural column, or cols+r for row r's slack), and
+// clears the eta file. Returns false when the basis is numerically
+// singular. The caller's dense work vectors must be zero on entry; x is
+// used as the dense accumulation column and is zero again on return.
+func (f *luFactor) factorize(basis []int32, csc *cscMatrix, x []float64) bool {
+	m := csc.rows
+	f.m = m
+	f.perm = growInt32(f.perm, m)
+	f.pinv = growInt32(f.pinv, m)
+	f.udiag = growFloats(f.udiag, m)
+	f.lPtr = growInt32(f.lPtr, m+1)
+	f.uPtr = growInt32(f.uPtr, m+1)
+	f.lIdx, f.lVal = f.lIdx[:0], f.lVal[:0]
+	f.uIdx, f.uVal = f.uIdx[:0], f.uVal[:0]
+	f.etaPos, f.etaPiv = f.etaPos[:0], f.etaPiv[:0]
+	f.etaIdx, f.etaVal = f.etaIdx[:0], f.etaVal[:0]
+	f.etaPtr = append(f.etaPtr[:0], 0)
+	f.mark = growBools(f.mark, m)
+	if cap(f.touch) < m {
+		f.touch = make([]int32, 0, m)
+	}
+	for r := 0; r < m; r++ {
+		f.pinv[r] = -1
+		f.mark[r] = false
+	}
+	f.lPtr[0], f.uPtr[0] = 0, 0
+
+	for j := 0; j < m; j++ {
+		// Scatter basis column j into the dense work vector.
+		touch := f.touch[:0]
+		col := basis[j]
+		if int(col) >= csc.cols {
+			r := col - int32(csc.cols)
+			x[r] = 1
+			f.mark[r] = true
+			touch = append(touch, r)
+		} else {
+			for k := csc.colPtr[col]; k < csc.colPtr[col+1]; k++ {
+				r := csc.rowIdx[k]
+				x[r] = csc.val[k]
+				f.mark[r] = true
+				touch = append(touch, r)
+			}
+		}
+		// Left-looking elimination: columns k < j in pivot order. A prior
+		// pivot row's value is fixed once its column is passed (later L
+		// columns touch only still-unpivoted rows), so the ascending scan
+		// sees every fill-in exactly once.
+		for k := 0; k < j; k++ {
+			pr := f.perm[k]
+			xk := x[pr]
+			if xk == 0 {
+				continue
+			}
+			f.uIdx = append(f.uIdx, int32(k))
+			f.uVal = append(f.uVal, xk)
+			for t := f.lPtr[k]; t < f.lPtr[k+1]; t++ {
+				i := f.lIdx[t]
+				if !f.mark[i] {
+					f.mark[i] = true
+					touch = append(touch, i)
+				}
+				x[i] -= xk * f.lVal[t]
+			}
+		}
+		f.uPtr[j+1] = int32(len(f.uIdx))
+		// Partial pivoting over the unpivoted touched rows.
+		piv, pivAbs := int32(-1), luSingTol
+		for _, i := range touch {
+			if f.pinv[i] < 0 {
+				if a := math.Abs(x[i]); a > pivAbs {
+					pivAbs, piv = a, i
+				}
+			}
+		}
+		if piv < 0 {
+			// Singular: clean up the work vector before failing.
+			for _, i := range touch {
+				x[i] = 0
+				f.mark[i] = false
+			}
+			f.touch = touch[:0]
+			return false
+		}
+		f.perm[j] = piv
+		f.pinv[piv] = int32(j)
+		d := x[piv]
+		f.udiag[j] = d
+		for _, i := range touch {
+			if f.pinv[i] < 0 && x[i] != 0 {
+				f.lIdx = append(f.lIdx, i)
+				f.lVal = append(f.lVal, x[i]/d)
+			}
+			x[i] = 0
+			f.mark[i] = false
+		}
+		f.lPtr[j+1] = int32(len(f.lIdx))
+		f.touch = touch[:0]
+	}
+	return true
+}
+
+// ftran solves B·out = x. x is dense in original-row space and is zeroed
+// on return; out is dense in basis-position space and fully overwritten.
+func (f *luFactor) ftran(x, out []float64) {
+	// L solve in place (original-row space, pivot order).
+	for k := 0; k < f.m; k++ {
+		xk := x[f.perm[k]]
+		if xk != 0 {
+			for t := f.lPtr[k]; t < f.lPtr[k+1]; t++ {
+				x[f.lIdx[t]] -= xk * f.lVal[t]
+			}
+		}
+	}
+	// Gather to pivot order, restoring the zero invariant on x.
+	for k := 0; k < f.m; k++ {
+		out[k] = x[f.perm[k]]
+		x[f.perm[k]] = 0
+	}
+	// U solve (backward; pivot order equals basis position for columns).
+	for j := f.m - 1; j >= 0; j-- {
+		v := out[j] / f.udiag[j]
+		out[j] = v
+		if v != 0 {
+			for t := f.uPtr[j]; t < f.uPtr[j+1]; t++ {
+				out[f.uIdx[t]] -= v * f.uVal[t]
+			}
+		}
+	}
+	// Eta file in creation order: E⁻¹z scales position p then updates the
+	// spike's other nonzeros.
+	for e := 0; e < len(f.etaPos); e++ {
+		p := f.etaPos[e]
+		zp := out[p] / f.etaPiv[e]
+		out[p] = zp
+		if zp != 0 {
+			for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
+				out[f.etaIdx[t]] -= zp * f.etaVal[t]
+			}
+		}
+	}
+}
+
+// btran solves Bᵀ·out = c. c is dense in basis-position space and is
+// zeroed on return; out is dense in original-row space and fully
+// overwritten.
+func (f *luFactor) btran(c, out []float64) {
+	// Eta transposes in reverse creation order: only position p changes.
+	for e := len(f.etaPos) - 1; e >= 0; e-- {
+		p := f.etaPos[e]
+		dot := 0.0
+		for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
+			dot += f.etaVal[t] * c[f.etaIdx[t]]
+		}
+		c[p] = (c[p] - dot) / f.etaPiv[e]
+	}
+	// Uᵀ solve (forward, in place): t_j = (c_j − Σ_{k<j} U[k,j]·t_k)/U[j,j].
+	for j := 0; j < f.m; j++ {
+		s := c[j]
+		for t := f.uPtr[j]; t < f.uPtr[j+1]; t++ {
+			s -= f.uVal[t] * c[f.uIdx[t]]
+		}
+		c[j] = s / f.udiag[j]
+	}
+	// Lᵀ solve (backward, in place): s_k = t_k − Σ_{i} L[i,k]·s_{pinv[i]}.
+	for k := f.m - 1; k >= 0; k-- {
+		s := c[k]
+		for t := f.lPtr[k]; t < f.lPtr[k+1]; t++ {
+			s -= f.lVal[t] * c[f.pinv[f.lIdx[t]]]
+		}
+		c[k] = s
+	}
+	// Scatter to original-row space, restoring the zero invariant on c.
+	for k := 0; k < f.m; k++ {
+		out[f.perm[k]] = c[k]
+		c[k] = 0
+	}
+}
+
+// appendEta records the pivot at basis position p with spike w (the
+// FTRAN'd entering column) as a product-form eta.
+func (f *luFactor) appendEta(p int, w []float64) {
+	f.etaPos = append(f.etaPos, int32(p))
+	f.etaPiv = append(f.etaPiv, w[p])
+	for i, v := range w {
+		if i != p && v != 0 {
+			f.etaIdx = append(f.etaIdx, int32(i))
+			f.etaVal = append(f.etaVal, v)
+		}
+	}
+	f.etaPtr = append(f.etaPtr, int32(len(f.etaIdx)))
+}

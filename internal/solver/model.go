@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Sense selects minimization or maximization of the objective.
@@ -82,6 +83,13 @@ type Model struct {
 	sense Sense
 	vars  []variable
 	cons  []constraint
+
+	// cscOnce/csc cache the column-compressed constraint matrix the
+	// revised simplex works on: built once on first solve and shared
+	// read-only by every branch-and-bound worker. Mutating the model after
+	// a solve started is already undefined, so the cache never invalidates.
+	cscOnce sync.Once
+	csc     *cscMatrix
 }
 
 // NewModel returns an empty model.
@@ -94,6 +102,23 @@ func (m *Model) NumVars() int { return len(m.vars) }
 
 // NumConstraints returns the number of constraints added so far.
 func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// Grow pre-allocates capacity for nVars additional variables and nCons
+// additional constraints. Semantics never change; builders that can
+// count their size cheaply up front (the exact MIP formulations) call it
+// to avoid append-doubling garbage on large models.
+func (m *Model) Grow(nVars, nCons int) {
+	if c := len(m.vars) + nVars; c > cap(m.vars) {
+		vars := make([]variable, len(m.vars), c)
+		copy(vars, m.vars)
+		m.vars = vars
+	}
+	if c := len(m.cons) + nCons; c > cap(m.cons) {
+		cons := make([]constraint, len(m.cons), c)
+		copy(cons, m.cons)
+		m.cons = cons
+	}
+}
 
 // AddVar adds a continuous variable with bounds [lb, ub] and objective
 // coefficient obj. Use math.Inf(1) for an unbounded ub.
@@ -188,6 +213,12 @@ const (
 	// incumbent is within that gap of optimal but not proven optimal.
 	// Solution.Gap carries the proven gap.
 	GapLimit
+	// IterLimit means a simplex solve exhausted its pivot budget before
+	// proving optimality: the point reached is feasible for the phase it
+	// stopped in but carries no optimality certificate. LP solves surface
+	// it directly; branch-and-bound treats a node hitting it like a node
+	// budget stop and finishes with LimitReached plus the incumbent.
+	IterLimit
 )
 
 func (s Status) String() string {
@@ -200,6 +231,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case GapLimit:
 		return "gap-limit"
+	case IterLimit:
+		return "iteration-limit"
 	default:
 		return "limit-reached"
 	}
@@ -300,8 +333,45 @@ type Options struct {
 	// the model exactly as built, as before presolve existed. For ablation
 	// and debugging; mirrors NoWarmStart.
 	NoPresolve bool
+	// DenseSimplex switches every LP solve back to the dense-tableau
+	// two-phase simplex the solver used before the revised engine existed.
+	// Memory is O(rows·cols) instead of nonzero-proportional, so it only
+	// scales to a few thousand columns; kept as an escape hatch and for
+	// differential testing against the revised path.
+	DenseSimplex bool
+	// MaxLPIter caps simplex pivots per LP solve call (each phase of the
+	// dense two-phase counts separately). 0 means the size-derived default.
+	// A solve that exhausts the cap returns IterLimit instead of claiming
+	// optimality.
+	MaxLPIter int
+	// MaxVars is the variable-count guard model builders (plan, restore)
+	// enforce before constructing an exact MIP for these options; the
+	// solver itself never refuses a model. 0 means the engine default —
+	// see MaxBuildVars.
+	MaxVars int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
+}
+
+// Default MaxVars guards per engine: the revised simplex stores the
+// constraint matrix sparsely and its basis factored, so it scales to far
+// more columns than the dense tableau, whose memory is quadratic in the
+// standard-form size.
+const (
+	DefaultMaxVars      = 250000
+	DefaultDenseMaxVars = 8000
+)
+
+// MaxBuildVars returns the effective variable cap for these options:
+// MaxVars when set, otherwise the default for the selected LP engine.
+func (o Options) MaxBuildVars() int {
+	if o.MaxVars > 0 {
+		return o.MaxVars
+	}
+	if o.DenseSimplex {
+		return DefaultDenseMaxVars
+	}
+	return DefaultMaxVars
 }
 
 func (o Options) withDefaults() (Options, error) {

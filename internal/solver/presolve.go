@@ -85,11 +85,22 @@ func (m *Model) presolve(logf func(format string, args ...interface{})) *presolv
 		p.grpOf[i] = -1
 	}
 	rows := make([]preRow, len(m.cons))
+	// One arena for every row's working term copy instead of a slice
+	// allocation per row. Passes only ever shrink a row's terms in place,
+	// so the sub-slices never collide; the capacity is pre-counted so the
+	// arena never reallocates under them.
+	nnz := 0
+	for i := range m.cons {
+		nnz += len(m.cons[i].terms)
+	}
+	arena := make([]Term, 0, nnz)
 	for i := range m.cons {
 		c := &m.cons[i]
+		start := len(arena)
+		arena = append(arena, c.terms...)
 		rows[i] = preRow{
 			name:  c.name,
-			terms: append([]Term(nil), c.terms...),
+			terms: arena[start:len(arena):len(arena)],
 			rel:   c.rel,
 			rhs:   c.rhs,
 			live:  true,
@@ -809,13 +820,24 @@ func (p *presolved) build(rows []preRow) {
 			p.newID[i] = int(red.AddVar(v.name, lb, ub, v.obj))
 		}
 	}
-	var terms []Term
+	// Feed rows into the reduced model directly: every surviving term list
+	// is already merged (each reduced column at most once — duplicate-group
+	// non-representatives are skipped) with nonzero coefficients, so
+	// AddConstraint's duplicate scan and per-call copy are pure overhead.
+	// One pre-counted arena backs every reduced row's term slice.
+	nnz := 0
+	for r := range rows {
+		if rows[r].live {
+			nnz += len(rows[r].terms)
+		}
+	}
+	arena := make([]Term, 0, nnz)
 	for r := range rows {
 		row := &rows[r]
 		if !row.live {
 			continue
 		}
-		terms = terms[:0]
+		start := len(arena)
 		rhs := row.rhs
 		for _, t := range row.terms {
 			if p.fixed[t.Var] {
@@ -826,8 +848,9 @@ func (p *presolved) build(rows []preRow) {
 			if id < 0 {
 				continue // non-representative duplicate: the rep's term carries it
 			}
-			terms = append(terms, Term{Var: VarID(id), Coef: t.Coef})
+			arena = append(arena, Term{Var: VarID(id), Coef: t.Coef})
 		}
+		terms := arena[start:len(arena):len(arena)]
 		if len(terms) == 0 {
 			tol := preFeasTol * math.Max(1, math.Abs(rhs))
 			ok := false
@@ -845,10 +868,7 @@ func (p *presolved) build(rows []preRow) {
 			}
 			continue
 		}
-		// Terms reference freshly added variables, so the only AddConstraint
-		// failure mode (unknown VarID) cannot occur. AddConstraint copies
-		// the slice, so the scratch buffer is safe to reuse.
-		_ = red.AddConstraint(row.name, terms, row.rel, rhs)
+		red.cons = append(red.cons, constraint{name: row.name, terms: terms, rel: row.rel, rhs: rhs})
 	}
 	p.reduced = red
 	p.rowsRemoved = len(m.cons) - red.NumConstraints()
@@ -867,7 +887,8 @@ func (p *presolved) postsolve(sol Solution) Solution {
 	sol.PresolveRows = p.rowsRemoved
 	sol.PresolveCols = p.colsRemoved
 	if len(sol.Values) != p.reduced.NumVars() ||
-		(sol.Status != Optimal && sol.Status != GapLimit && sol.Status != LimitReached) {
+		(sol.Status != Optimal && sol.Status != GapLimit &&
+			sol.Status != LimitReached && sol.Status != IterLimit) {
 		return sol
 	}
 	vals := make([]float64, len(p.orig.vars))

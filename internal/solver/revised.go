@@ -1,0 +1,722 @@
+package solver
+
+import "math"
+
+// Artificial-box policy for dual-infeasible columns at cold start (see
+// placeNonbasic): a column whose cost sign demands a bound the model does
+// not have gets a temporary box at ±rxBigBound; if the optimum lands on
+// that box the solve retries once with the box enlarged by rxBigGrow, and
+// gives up to the dense engine if it still binds (the problem is unbounded
+// or near it, which the dense two-phase decides exactly).
+const (
+	rxBigBound = 1e7
+	rxBigGrow  = 1e4
+)
+
+// rxStatus is a column's role relative to the current basis.
+type rxStatus int8
+
+const (
+	rxAtLower rxStatus = iota // nonbasic at its lower bound
+	rxAtUpper                 // nonbasic at its upper bound
+	rxBasic
+	rxFree // nonbasic at value 0, both bounds infinite
+)
+
+// rxSnap is the revised engine's per-node basis snapshot: the basis and
+// every column's status at the parent's optimum. Unlike the dense
+// basisSnap it carries no row-orientation data — the revised engine works
+// on the model rows directly, so nothing about the snapshot depends on
+// rhs signs, and bound changes never alter its shape (bounds live in
+// vectors, not in tableau rows). Immutable after creation; shared by both
+// children.
+type rxSnap struct {
+	rows, cols int
+	basis      []int32
+	status     []rxStatus
+}
+
+// rxResult is the internal outcome of a dual-simplex run.
+type rxResult int
+
+const (
+	rxOptimal rxResult = iota
+	rxInfeasible
+	rxIterLimit
+	rxGiveUp // numerical trouble: the caller falls back to the dense engine
+)
+
+// rxScratch is the revised simplex's per-worker state: the shared
+// read-only CSC matrix, bound/status/basis vectors sized by columns and
+// rows (never rows×cols), the LU factorization of the basis, and a
+// handful of dense work vectors of length rows. Standard form is
+//
+//	min c·x   s.t.  A·x + s = b,  lb ≤ x ≤ ub,
+//
+// with one implicit unit slack column per row whose bounds encode the
+// relation. Bounded variables are handled natively — a nonbasic column
+// sits at its lower or upper bound — so finite upper bounds cost nothing,
+// where the dense tableau spends a full row on each. A scratch must not
+// be shared between concurrent solves; each branch-and-bound worker owns
+// one.
+type rxScratch struct {
+	m     *Model
+	csc   *cscMatrix
+	nRows int
+	nCols int // structural columns; slack j for row r is nCols+r
+	nTot  int
+	sign  float64 // +1 Minimize, −1 Maximize
+
+	cost   []float64 // per column, sign-scaled (slacks 0)
+	lb, ub []float64 // effective bounds for this solve (slack part fixed)
+	status []rxStatus
+	basis  []int32   // per row position, the basic column
+	xB     []float64 // basic variable values, by row position
+
+	lu     luFactor
+	colBuf []float64 // dense original-row scratch (FTRAN input; zero between uses)
+	w      []float64 // FTRAN output: the spike B⁻¹a_enter
+	rho    []float64 // BTRAN(e_p), original-row space
+	y      []float64 // BTRAN(c_B), original-row space
+	posBuf []float64 // BTRAN input scratch, position space (zero between uses)
+
+	values []float64 // model-variable extraction buffer (aliased by Solutions)
+
+	artLBCols []int32 // columns whose lb is currently an artificial box
+	artUBCols []int32 // columns whose ub is currently an artificial box
+
+	maxIter    int // per-solve pivot cap (0 = size-derived default)
+	lastPivots int
+	usedArt    bool // solve placed artificial boxes: no snapshot, no fixings
+}
+
+func newRxScratch(m *Model) *rxScratch {
+	csc := m.cscMatrixOf()
+	rx := &rxScratch{
+		m:     m,
+		csc:   csc,
+		nRows: csc.rows,
+		nCols: csc.cols,
+		nTot:  csc.cols + csc.rows,
+		sign:  1,
+	}
+	if m.sense == Maximize {
+		rx.sign = -1
+	}
+	rx.cost = make([]float64, rx.nTot)
+	for i := range m.vars {
+		rx.cost[i] = rx.sign * m.vars[i].obj
+	}
+	rx.lb = make([]float64, rx.nTot)
+	rx.ub = make([]float64, rx.nTot)
+	rx.status = make([]rxStatus, rx.nTot)
+	rx.basis = make([]int32, rx.nRows)
+	rx.xB = make([]float64, rx.nRows)
+	rx.colBuf = make([]float64, rx.nRows)
+	rx.w = make([]float64, rx.nRows)
+	rx.rho = make([]float64, rx.nRows)
+	rx.y = make([]float64, rx.nRows)
+	rx.posBuf = make([]float64, rx.nRows)
+	rx.values = make([]float64, rx.nCols)
+	// Slack bounds are fixed by the row relations; set once.
+	for r := 0; r < rx.nRows; r++ {
+		j := rx.nCols + r
+		switch csc.rel[r] {
+		case LE:
+			rx.lb[j], rx.ub[j] = 0, math.Inf(1)
+		case GE:
+			rx.lb[j], rx.ub[j] = math.Inf(-1), 0
+		case EQ:
+			rx.lb[j], rx.ub[j] = 0, 0
+		}
+	}
+	return rx
+}
+
+// resolveBounds loads the model bounds tightened by the node's bound-change
+// chain into the structural part of lb/ub.
+func (rx *rxScratch) resolveBounds(chain *boundChange) {
+	for i := range rx.m.vars {
+		rx.lb[i], rx.ub[i] = rx.m.vars[i].lb, rx.m.vars[i].ub
+	}
+	for c := chain; c != nil; c = c.parent {
+		if c.upper {
+			if c.val < rx.ub[c.v] {
+				rx.ub[c.v] = c.val
+			}
+		} else if c.val > rx.lb[c.v] {
+			rx.lb[c.v] = c.val
+		}
+	}
+}
+
+// nonbasicValue returns the value a nonbasic column currently sits at.
+func (rx *rxScratch) nonbasicValue(j int) float64 {
+	switch rx.status[j] {
+	case rxAtLower:
+		return rx.lb[j]
+	case rxAtUpper:
+		return rx.ub[j]
+	}
+	return 0 // rxFree (and rxBasic, whose value lives in xB)
+}
+
+// scatterCol writes column j (structural or slack) into the dense
+// original-row vector x, which must be zero on entry.
+func (rx *rxScratch) scatterCol(j int, x []float64) {
+	if j >= rx.nCols {
+		x[j-rx.nCols] = 1
+		return
+	}
+	for k := rx.csc.colPtr[j]; k < rx.csc.colPtr[j+1]; k++ {
+		x[rx.csc.rowIdx[k]] = rx.csc.val[k]
+	}
+}
+
+// computeXB recomputes the basic values xB = B⁻¹(b − N·x_N) from scratch.
+// Called after every (re)factorization so accumulated update error in xB
+// is flushed along with the eta file.
+func (rx *rxScratch) computeXB() {
+	x := rx.colBuf
+	copy(x, rx.csc.rhs)
+	for j := 0; j < rx.nCols; j++ {
+		if rx.status[j] == rxBasic {
+			continue
+		}
+		v := rx.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for k := rx.csc.colPtr[j]; k < rx.csc.colPtr[j+1]; k++ {
+			x[rx.csc.rowIdx[k]] -= rx.csc.val[k] * v
+		}
+	}
+	for r := 0; r < rx.nRows; r++ {
+		j := rx.nCols + r
+		if rx.status[j] != rxBasic {
+			x[r] -= rx.nonbasicValue(j)
+		}
+	}
+	rx.lu.ftran(x, rx.xB)
+}
+
+// refactor factorizes the current basis and recomputes xB. Returns false
+// on a singular basis.
+func (rx *rxScratch) refactor() bool {
+	if !rx.lu.factorize(rx.basis, rx.csc, rx.colBuf) {
+		return false
+	}
+	rx.computeXB()
+	return true
+}
+
+// priceCol returns α_j = ρ·a_j and d_j = c_j − y·a_j for column j in one
+// pass over its nonzeros.
+func (rx *rxScratch) priceCol(j int) (alpha, d float64) {
+	if j >= rx.nCols {
+		r := j - rx.nCols
+		return rx.rho[r], rx.cost[j] - rx.y[r]
+	}
+	var yd float64
+	for k := rx.csc.colPtr[j]; k < rx.csc.colPtr[j+1]; k++ {
+		r := rx.csc.rowIdx[k]
+		alpha += rx.csc.val[k] * rx.rho[r]
+		yd += rx.csc.val[k] * rx.y[r]
+	}
+	return alpha, rx.cost[j] - yd
+}
+
+// dualIterate runs bounded-variable dual simplex pivots from the current
+// (dual-feasible) basis until primal feasibility (rxOptimal), a violated
+// row with no admissible entering column (rxInfeasible), the pivot budget
+// (rxIterLimit), or numerical trouble (rxGiveUp). Row selection switches
+// to first-violated-index after a Bland-style threshold; the entering
+// ratio test breaks ties toward the smallest column index, so the pivot
+// sequence is deterministic.
+func (rx *rxScratch) dualIterate() rxResult {
+	maxIter := rx.maxIter
+	if maxIter <= 0 {
+		maxIter = 100*(rx.nRows+rx.nTot) + 2000
+	}
+	blandAfter := 20 * (rx.nRows + rx.nTot)
+	for iter := 0; iter < maxIter; iter++ {
+		// Leaving row: largest bound violation among the basic values;
+		// sigma is the violation direction (+1 above ub, −1 below lb).
+		p, sigma, worst := -1, 1.0, feasTol
+		for r := 0; r < rx.nRows; r++ {
+			bc := rx.basis[r]
+			xr := rx.xB[r]
+			if v := rx.lb[bc] - xr; v > worst {
+				worst, p, sigma = v, r, -1
+				if iter >= blandAfter {
+					break
+				}
+			} else if v := xr - rx.ub[bc]; v > worst {
+				worst, p, sigma = v, r, 1
+				if iter >= blandAfter {
+					break
+				}
+			}
+		}
+		if p < 0 {
+			return rxOptimal
+		}
+		leave := int(rx.basis[p])
+
+		// Price: ρ = B⁻ᵀe_p gives the leaving row of B⁻¹A; y = B⁻ᵀc_B
+		// gives reduced costs. Both recomputed fresh — no incremental cost
+		// row to drift.
+		rx.posBuf[p] = 1
+		rx.lu.btran(rx.posBuf, rx.rho)
+		for r := 0; r < rx.nRows; r++ {
+			rx.posBuf[r] = rx.cost[rx.basis[r]]
+		}
+		rx.lu.btran(rx.posBuf, rx.y)
+
+		// Dual ratio test: among nonbasic columns whose movement pushes
+		// xB[p] toward its violated bound, pick the one whose reduced cost
+		// hits zero first, keeping every other column dual feasible.
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < rx.nTot; j++ {
+			st := rx.status[j]
+			if st == rxBasic || rx.lb[j] == rx.ub[j] {
+				continue // fixed columns cannot move; their d is unconstrained
+			}
+			alpha, d := rx.priceCol(j)
+			switch st {
+			case rxAtLower:
+				if sigma*alpha <= pivotTol {
+					continue
+				}
+			case rxAtUpper:
+				if sigma*alpha >= -pivotTol {
+					continue
+				}
+			default: // rxFree: d ≈ 0, either direction admissible
+				if math.Abs(alpha) <= pivotTol {
+					continue
+				}
+			}
+			ratio := d / (sigma * alpha)
+			if ratio < 0 {
+				ratio = 0 // roundoff pushed d marginally past its bound
+			}
+			if ratio < bestRatio-feasTol {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// The violated row prices every admissible movement the wrong
+			// way: no feasible point exists under the current bounds.
+			return rxInfeasible
+		}
+
+		// Spike: w = B⁻¹a_enter.
+		rx.scatterCol(enter, rx.colBuf)
+		rx.lu.ftran(rx.colBuf, rx.w)
+		alphaP := rx.w[p]
+		if math.Abs(alphaP) <= pivotTol {
+			// FTRAN disagrees with the priced α beyond tolerance: the
+			// factorization has degraded. Fall back rather than divide.
+			return rxGiveUp
+		}
+
+		// Primal step: the leaving variable lands exactly on its violated
+		// bound; the entering variable absorbs the step.
+		target := rx.ub[leave]
+		if sigma < 0 {
+			target = rx.lb[leave]
+		}
+		step := (rx.xB[p] - target) / alphaP
+		enterVal := rx.nonbasicValue(enter) + step
+		if step != 0 {
+			for i := 0; i < rx.nRows; i++ {
+				rx.xB[i] -= step * rx.w[i]
+			}
+		}
+		rx.xB[p] = enterVal
+		if sigma > 0 {
+			rx.status[leave] = rxAtUpper
+		} else {
+			rx.status[leave] = rxAtLower
+		}
+		rx.status[enter] = rxBasic
+		rx.basis[p] = int32(enter)
+		rx.lastPivots++
+
+		// Factor update: append a product-form eta, or refactorize when the
+		// eta file is long or the spike pivot is small.
+		if rx.lu.nEtas() >= luMaxEtas || math.Abs(alphaP) < luEtaTol {
+			if !rx.refactor() {
+				return rxGiveUp
+			}
+		} else {
+			rx.lu.appendEta(p, rx.w)
+		}
+	}
+	return rxIterLimit
+}
+
+// placeNonbasic assigns every structural column a dual-feasible nonbasic
+// status for the all-slack basis: positive cost at lower, negative at
+// upper, zero wherever a finite bound exists (free otherwise). A column
+// whose cost sign demands a bound the problem does not have gets an
+// artificial box at ±big (previous boxes are dissolved first). Returns
+// whether any box was placed.
+func (rx *rxScratch) placeNonbasic(big float64) bool {
+	for _, j := range rx.artLBCols {
+		rx.lb[j] = math.Inf(-1)
+	}
+	for _, j := range rx.artUBCols {
+		rx.ub[j] = math.Inf(1)
+	}
+	rx.artLBCols = rx.artLBCols[:0]
+	rx.artUBCols = rx.artUBCols[:0]
+	for j := 0; j < rx.nCols; j++ {
+		l, u, c := rx.lb[j], rx.ub[j], rx.cost[j]
+		lInf, uInf := math.IsInf(l, -1), math.IsInf(u, 1)
+		switch {
+		case c > feasTol:
+			if lInf {
+				rx.lb[j] = -big
+				rx.artLBCols = append(rx.artLBCols, int32(j))
+			}
+			rx.status[j] = rxAtLower
+		case c < -feasTol:
+			if uInf {
+				rx.ub[j] = big
+				rx.artUBCols = append(rx.artUBCols, int32(j))
+			}
+			rx.status[j] = rxAtUpper
+		default:
+			switch {
+			case !lInf:
+				rx.status[j] = rxAtLower
+			case !uInf:
+				rx.status[j] = rxAtUpper
+			default:
+				rx.status[j] = rxFree
+			}
+		}
+	}
+	art := len(rx.artLBCols)+len(rx.artUBCols) > 0
+	rx.usedArt = rx.usedArt || art
+	return art
+}
+
+// colValue returns column j's current value, basic or not.
+func (rx *rxScratch) colValue(j int) float64 {
+	if rx.status[j] == rxBasic {
+		for r, b := range rx.basis {
+			if int(b) == j {
+				return rx.xB[r]
+			}
+		}
+	}
+	return rx.nonbasicValue(j)
+}
+
+// artBoundActive reports whether any artificially boxed column's optimal
+// value sits on its box — in which case the box, not the problem, shaped
+// the optimum.
+func (rx *rxScratch) artBoundActive() bool {
+	for _, j := range rx.artLBCols {
+		if rx.colValue(int(j)) <= rx.lb[j]+1e-6*math.Abs(rx.lb[j]) {
+			return true
+		}
+	}
+	for _, j := range rx.artUBCols {
+		if rx.colValue(int(j)) >= rx.ub[j]-1e-6*math.Abs(rx.ub[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// extract maps the current basic point back to model variables. The
+// returned Values alias rx.values: callers that keep a solution across
+// solves must copy first.
+func (rx *rxScratch) extract() Solution {
+	for j := 0; j < rx.nCols; j++ {
+		rx.values[j] = rx.nonbasicValue(j)
+	}
+	for r := 0; r < rx.nRows; r++ {
+		if b := int(rx.basis[r]); b < rx.nCols {
+			rx.values[b] = rx.xB[r]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < rx.nCols; j++ {
+		obj += rx.m.vars[j].obj * rx.values[j]
+	}
+	return Solution{Status: Optimal, Objective: obj, Values: rx.values}
+}
+
+// solveCold solves from the all-slack basis under the bounds loaded by
+// resolveBounds. ok=false means the engine could not certify the outcome
+// (singular basis, numerical trouble, or an artificial box kept binding)
+// and the caller must decide with the dense two-phase engine.
+func (rx *rxScratch) solveCold() (Solution, bool) {
+	rx.lastPivots = 0
+	rx.usedArt = false
+	for j := 0; j < rx.nCols; j++ {
+		if rx.lb[j] > rx.ub[j]+feasTol {
+			return Solution{Status: Infeasible}, true
+		}
+	}
+	big := rxBigBound
+	for attempt := 0; ; attempt++ {
+		art := rx.placeNonbasic(big)
+		for r := 0; r < rx.nRows; r++ {
+			j := rx.nCols + r
+			rx.basis[r] = int32(j)
+			rx.status[j] = rxBasic
+		}
+		if !rx.refactor() {
+			return Solution{}, false
+		}
+		switch rx.dualIterate() {
+		case rxOptimal:
+			if !art || !rx.artBoundActive() {
+				return rx.extract(), true
+			}
+		case rxInfeasible:
+			if !art {
+				return Solution{Status: Infeasible}, true
+			}
+			// Infeasible under artificial boxes is not a certificate for
+			// the real problem — the boxes shrink the feasible region.
+		case rxIterLimit:
+			return Solution{Status: IterLimit}, true
+		default:
+			return Solution{}, false
+		}
+		if attempt > 0 {
+			return Solution{}, false // enlarged box still decisive: dense decides
+		}
+		big *= rxBigGrow
+	}
+}
+
+// dualFeasible verifies every nonbasic column prices out on the right side
+// for its status, using the y already in rx.y.
+func (rx *rxScratch) dualFeasible() bool {
+	for j := 0; j < rx.nTot; j++ {
+		st := rx.status[j]
+		if st == rxBasic || rx.lb[j] == rx.ub[j] {
+			continue
+		}
+		var yd float64
+		if j >= rx.nCols {
+			yd = rx.y[j-rx.nCols]
+		} else {
+			for k := rx.csc.colPtr[j]; k < rx.csc.colPtr[j+1]; k++ {
+				yd += rx.csc.val[k] * rx.y[rx.csc.rowIdx[k]]
+			}
+		}
+		d := rx.cost[j] - yd
+		switch st {
+		case rxAtLower:
+			if d < -feasTol {
+				return false
+			}
+		case rxAtUpper:
+			if d > feasTol {
+				return false
+			}
+		default:
+			if math.Abs(d) > feasTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishDual runs the dual simplex and converts the outcome. ok=false
+// sends the caller down the fallback ladder (warm → cold → dense).
+func (rx *rxScratch) finishDual() (Solution, bool) {
+	switch rx.dualIterate() {
+	case rxOptimal:
+		return rx.extract(), true
+	case rxInfeasible:
+		return Solution{Status: Infeasible}, true
+	default:
+		return Solution{}, false
+	}
+}
+
+// solveWarm re-optimizes under the bounds loaded by resolveBounds starting
+// from a parent snapshot: install statuses and basis, factorize once,
+// verify dual feasibility (costs are unchanged, so the parent's optimal
+// basis should price out clean — refuse on roundoff rather than risk a
+// dual loop), then repair primal feasibility with the dual simplex.
+// ok=false means fall back to solveCold.
+func (rx *rxScratch) solveWarm(snap *rxSnap) (Solution, bool) {
+	rx.lastPivots = 0
+	rx.usedArt = false
+	if snap == nil || snap.rows != rx.nRows || snap.cols != rx.nCols {
+		return Solution{}, false
+	}
+	for j := 0; j < rx.nCols; j++ {
+		if rx.lb[j] > rx.ub[j]+feasTol {
+			return Solution{Status: Infeasible}, true
+		}
+	}
+	copy(rx.basis, snap.basis)
+	copy(rx.status, snap.status)
+	// A nonbasic-at-bound status needs that bound finite. Snapshots are
+	// only taken from solves without artificial boxes and branching only
+	// tightens bounds, so this never fires; keep as a cheap invariant.
+	for j := 0; j < rx.nTot; j++ {
+		switch rx.status[j] {
+		case rxAtLower:
+			if math.IsInf(rx.lb[j], -1) {
+				return Solution{}, false
+			}
+		case rxAtUpper:
+			if math.IsInf(rx.ub[j], 1) {
+				return Solution{}, false
+			}
+		}
+	}
+	if !rx.refactor() {
+		return Solution{}, false
+	}
+	for r := 0; r < rx.nRows; r++ {
+		rx.posBuf[r] = rx.cost[rx.basis[r]]
+	}
+	rx.lu.btran(rx.posBuf, rx.y)
+	if !rx.dualFeasible() {
+		return Solution{}, false
+	}
+	return rx.finishDual()
+}
+
+// solveDive re-optimizes in place after tightening bounds on the parent's
+// optimal state still sitting in the scratch — no refactorization at all.
+// A tightened bound on a basic variable changes nothing until the dual
+// repair; on a nonbasic variable at that bound it shifts the column's
+// value, moving xB by −δ·B⁻¹a_j — one FTRAN against the factorization
+// already in place. This is the factorization-reuse analogue of the dense
+// engine's O(rows) rhs-update dive. ok=false means re-solve via
+// resolveBounds + solveWarm/solveCold.
+func (rx *rxScratch) solveDive(changes []*boundChange) (Solution, bool) {
+	rx.lastPivots = 0
+	for _, c := range changes {
+		j := int(c.v)
+		if c.upper {
+			newUb := math.Min(rx.ub[j], c.val)
+			if newUb < rx.lb[j]-feasTol {
+				return Solution{Status: Infeasible}, true
+			}
+			delta := newUb - rx.ub[j]
+			rx.ub[j] = newUb
+			switch rx.status[j] {
+			case rxAtUpper:
+				if delta != 0 {
+					rx.shiftNonbasic(j, delta)
+				}
+			case rxFree:
+				if newUb < 0 {
+					rx.status[j] = rxAtUpper
+					rx.shiftNonbasic(j, newUb)
+				}
+			}
+		} else {
+			newLb := math.Max(rx.lb[j], c.val)
+			if newLb > rx.ub[j]+feasTol {
+				return Solution{Status: Infeasible}, true
+			}
+			delta := newLb - rx.lb[j]
+			rx.lb[j] = newLb
+			switch rx.status[j] {
+			case rxAtLower:
+				if delta != 0 {
+					rx.shiftNonbasic(j, delta)
+				}
+			case rxFree:
+				if newLb > 0 {
+					rx.status[j] = rxAtLower
+					rx.shiftNonbasic(j, newLb)
+				}
+			}
+		}
+	}
+	return rx.finishDual()
+}
+
+// shiftNonbasic moves nonbasic column j's value by delta, updating the
+// basic values: xB ← xB − δ·B⁻¹a_j.
+func (rx *rxScratch) shiftNonbasic(j int, delta float64) {
+	rx.scatterCol(j, rx.colBuf)
+	rx.lu.ftran(rx.colBuf, rx.w)
+	for i := 0; i < rx.nRows; i++ {
+		rx.xB[i] -= delta * rx.w[i]
+	}
+}
+
+// snapshot captures the basis and statuses of the most recent Optimal
+// solve, or nil when the solve used artificial boxes (children must not
+// inherit statuses pinned to bounds that do not exist).
+func (rx *rxScratch) snapshot() *rxSnap {
+	if rx.usedArt {
+		return nil
+	}
+	return &rxSnap{
+		rows:   rx.nRows,
+		cols:   rx.nCols,
+		basis:  append([]int32(nil), rx.basis...),
+		status: append([]rxStatus(nil), rx.status...),
+	}
+}
+
+// fixings derives reduced-cost bound tightenings from the optimal basis in
+// the scratch: an integer column nonbasic at a bound with reduced cost d
+// degrades the objective by |d| per unit it moves inward, so once the
+// incumbent is within budget, its range shrinks to ⌊budget/|d|⌋. Same
+// logic as the dense engine's reducedCostFixings, priced through BTRAN.
+func (rx *rxScratch) fixings(obj, inc float64, chain *boundChange) *boundChange {
+	if rx.usedArt {
+		return chain // artificial boxes make the dual prices unreliable
+	}
+	zMin, incMin := rx.sign*obj, rx.sign*inc
+	budget := incMin - zMin + 1e-6*math.Max(1, math.Abs(incMin))
+	if budget < 0 {
+		return chain
+	}
+	for r := 0; r < rx.nRows; r++ {
+		rx.posBuf[r] = rx.cost[rx.basis[r]]
+	}
+	rx.lu.btran(rx.posBuf, rx.y)
+	for i := range rx.m.vars {
+		if !rx.m.vars[i].integer {
+			continue
+		}
+		st := rx.status[i]
+		if st != rxAtLower && st != rxAtUpper {
+			continue
+		}
+		width := rx.ub[i] - rx.lb[i]
+		if width < 1 {
+			continue
+		}
+		var yd float64
+		for k := rx.csc.colPtr[i]; k < rx.csc.colPtr[i+1]; k++ {
+			yd += rx.csc.val[k] * rx.y[rx.csc.rowIdx[k]]
+		}
+		d := rx.cost[i] - yd
+		if st == rxAtLower && d > feasTol {
+			if maxT := math.Floor(budget / d); maxT < width {
+				chain = &boundChange{parent: chain, v: VarID(i), upper: true, val: rx.lb[i] + maxT}
+			}
+		} else if st == rxAtUpper && d < -feasTol {
+			if maxT := math.Floor(budget / -d); maxT < width {
+				chain = &boundChange{parent: chain, v: VarID(i), upper: false, val: rx.ub[i] - maxT}
+			}
+		}
+	}
+	return chain
+}

@@ -10,32 +10,13 @@ const (
 	feasTol  = 1e-7 // feasibility / optimality tolerance
 )
 
-// SolveLP solves the linear relaxation of the model (integrality dropped)
-// with a two-phase dense simplex.
+// SolveLP solves the linear relaxation of the model (integrality
+// dropped) with the default engine: the LU-factorized revised simplex,
+// falling back to the dense two-phase tableau on the rare solves the
+// revised path cannot certify. Use SolveWithOptions with
+// Options.DenseSimplex to force the dense path.
 func (m *Model) SolveLP() Solution {
-	return m.solveLPWithBounds(nil, nil)
-}
-
-// solveLPWithBounds solves the LP relaxation with optional per-variable
-// bound overrides (a nil map entry means "use the model bound"). It
-// allocates a fresh scratch space and detaches the returned Values from
-// it, so the result is safe to keep. The branch-and-bound hot path calls
-// solveLPBounds with a long-lived per-worker scratch instead.
-func (m *Model) solveLPWithBounds(lbOverride, ubOverride map[VarID]float64) Solution {
-	sc := &lpScratch{}
-	sc.resolveModelBounds(m)
-	for v, b := range lbOverride {
-		sc.lb[v] = b
-	}
-	for v, b := range ubOverride {
-		sc.ub[v] = b
-	}
-	sol := m.solveLPBounds(sc)
-	sol.SimplexIters = sc.lastPivots
-	if sol.Values != nil {
-		sol.Values = append([]float64(nil), sol.Values...)
-	}
-	return sol
+	return m.solveRelaxation(Options{})
 }
 
 // lpScratch is reusable simplex workspace: the dense tableau, basis,
@@ -70,6 +51,7 @@ type lpScratch struct {
 
 	nz tabSparse // compressed sparse row structure of the fresh tableau
 
+	maxIter    int // per-call pivot cap (0 = size-derived default)
 	lastRows   int // rows of the most recent tableau build
 	lastTotal  int // columns of the most recent tableau build
 	lastArt    int // first artificial column of the most recent build
@@ -362,7 +344,7 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 	m.fillTableau(sc, n, mRows, total, nArt)
 	m.buildCosts(sc, total)
 
-	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz}
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz, maxIter: sc.maxIter}
 
 	// Phase 1: minimize the sum of artificials.
 	artStart := total - nArt
@@ -373,11 +355,15 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 			sc.phase1[j] = 1
 		}
 		t.setCosts(sc.phase1)
-		if status := t.iterate(); status == Unbounded {
+		switch t.iterate() {
+		case Unbounded:
 			// Phase 1 objective is bounded below by 0; unbounded here
 			// signals numerical trouble — treat as infeasible.
 			sc.lastPivots = t.pivots
 			return Solution{Status: Infeasible}
+		case IterLimit:
+			sc.lastPivots = t.pivots
+			return Solution{Status: IterLimit}
 		}
 		if -t.obj > feasTol {
 			sc.lastPivots = t.pivots
@@ -408,9 +394,13 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 	}
 	t.barred = sc.barred
 	t.setCosts(sc.cobj)
-	if status := t.iterate(); status == Unbounded {
+	switch t.iterate() {
+	case Unbounded:
 		sc.lastPivots = t.pivots
 		return Solution{Status: Unbounded}
+	case IterLimit:
+		sc.lastPivots = t.pivots
+		return Solution{Status: IterLimit}
 	}
 	sc.lastPivots = t.pivots
 	return m.extract(sc, t, total)
@@ -419,14 +409,15 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 // tableau carries the dense simplex state. All fields are views into an
 // lpScratch; the tableau mutates them in place.
 type tableau struct {
-	a      [][]float64 // m×n
-	b      []float64   // m
-	cost   []float64   // reduced-cost row (length n)
-	obj    float64     // negative of current objective value offset
-	basis  []int
-	barred []bool      // columns that may never enter (phase-2 artificials)
-	nz     *tabSparse  // build-time row sparsity (nil: always scan dense)
-	pivots int         // Gauss-Jordan pivots performed (all phases)
+	a       [][]float64 // m×n
+	b       []float64   // m
+	cost    []float64   // reduced-cost row (length n)
+	obj     float64     // negative of current objective value offset
+	basis   []int
+	barred  []bool      // columns that may never enter (phase-2 artificials)
+	nz      *tabSparse  // build-time row sparsity (nil: always scan dense)
+	maxIter int         // per-call pivot cap (0 = size-derived default)
+	pivots  int         // Gauss-Jordan pivots performed (all phases)
 }
 
 // setCosts installs a cost vector (copied into the working row) and
@@ -458,11 +449,16 @@ func (t *tableau) setCosts(c []float64) {
 
 // iterate runs primal simplex pivots to optimality, switching from
 // Dantzig's rule to Bland's rule when iterations exceed a threshold, which
-// guarantees termination.
+// guarantees termination within the pivot budget. Exhausting the budget
+// returns IterLimit: the current point is feasible for the phase being
+// solved but carries no optimality certificate.
 func (t *tableau) iterate() Status {
 	mRows := len(t.a)
 	nCols := len(t.cost)
-	maxIter := 200*(mRows+nCols) + 5000
+	maxIter := t.maxIter
+	if maxIter <= 0 {
+		maxIter = 200*(mRows+nCols) + 5000
+	}
 	blandAfter := 20 * (mRows + nCols)
 	for iter := 0; iter < maxIter; iter++ {
 		// Entering column.
@@ -510,10 +506,10 @@ func (t *tableau) iterate() Status {
 		}
 		t.pivot(leave, enter)
 	}
-	// Iteration budget exhausted: report the current (feasible) point as
-	// optimal-so-far; callers treat this as optimal since Bland's rule
-	// makes non-termination practically unreachable.
-	return Optimal
+	// Iteration budget exhausted: surface it instead of passing the
+	// current point off as optimal — callers propagate IterLimit so the
+	// lack of a certificate is visible in the solve status.
+	return IterLimit
 }
 
 // pivot performs a Gauss-Jordan pivot on (row, col). The scaled pivot

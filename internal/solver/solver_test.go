@@ -336,7 +336,7 @@ func TestStatusStrings(t *testing.T) {
 	for s, want := range map[Status]string{
 		Optimal: "optimal", Infeasible: "infeasible",
 		Unbounded: "unbounded", LimitReached: "limit-reached",
-		GapLimit: "gap-limit",
+		GapLimit: "gap-limit", IterLimit: "iteration-limit",
 	} {
 		if s.String() != want {
 			t.Errorf("Status(%d).String() = %s", s, s.String())

@@ -6,8 +6,12 @@
 package flexwan_test
 
 import (
+	"encoding/json"
+	"math"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"flexwan/internal/device"
 	"flexwan/internal/devmodel"
@@ -704,6 +708,83 @@ func BenchmarkSolverMemoryBudget(b *testing.B) {
 				b.Fatalf("pixels=%d: %.0f bytes/op exceeds budget %.0f", bu.pixels, perOp, bu.bytes)
 			}
 		})
+	}
+}
+
+// BenchmarkExactRegressionGuard fails if the default exact solve at
+// pixels=64 (revised simplex, Forrest–Tomlin updates, one worker,
+// pseudocost branching, all presolve passes on) regresses more than 25%
+// against the committed BENCH_solver.json baseline — the performance
+// contract CI's bench smoke enforces. Machines differ, so the budget is
+// calibrated: the pixels=16 point from the same baseline is re-measured
+// here and the 64-pixel budget scaled by how much slower this machine is
+// (never scaled down — a faster machine still has to beat the absolute
+// bar). Min-of-3 timing on both points keeps scheduler noise out of the
+// verdict. Skips when no baseline is committed.
+func BenchmarkExactRegressionGuard(b *testing.B) {
+	raw, err := os.ReadFile("BENCH_solver.json")
+	if err != nil {
+		b.Skipf("no committed baseline: %v", err)
+	}
+	var baseline eval.SolverBench
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		b.Fatalf("BENCH_solver.json: %v", err)
+	}
+	find := func(instance string) *eval.SolverBenchPoint {
+		for i, pt := range baseline.Points {
+			if pt.Instance == instance && pt.Engine == "revised" && pt.Workers == 1 &&
+				pt.Branching == string(solver.BranchPseudocost) && pt.Presolve && pt.NodePresolve {
+				return &baseline.Points[i]
+			}
+		}
+		b.Fatalf("BENCH_solver.json has no revised/workers=1 point for %s", instance)
+		return nil
+	}
+	base16 := find("exact-planning/pixels=16")
+	base64 := find("exact-planning/pixels=64")
+	opts := solver.Options{MaxNodes: 100000, Workers: 1, Branching: solver.BranchPseudocost}
+	problem := func(pixels int) plan.Problem {
+		p, err := eval.ExactScalingProblem(pixels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.SolveExact(p, opts); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		return p
+	}
+	p16, p64 := problem(16), problem(64)
+	timeOnce := func(p plan.Problem) float64 {
+		start := time.Now()
+		if _, err := plan.SolveExact(p, opts); err != nil {
+			b.Fatal(err)
+		}
+		return float64(time.Since(start).Nanoseconds())
+	}
+	// The calibration and the guarded measurement run interleaved, with a
+	// GC ahead of each round, so both points see the same heap and
+	// scheduler conditions — measuring them back-to-back let GC debt from
+	// earlier benchmarks in the same process land on one side only.
+	best16, got := math.Inf(1), math.Inf(1)
+	for r := 0; r < 4; r++ {
+		runtime.GC()
+		if ns := timeOnce(p16); ns < best16 {
+			best16 = ns
+		}
+		if ns := timeOnce(p64); ns < got {
+			got = ns
+		}
+	}
+	scale := best16 / base16.NsPerOp
+	if scale < 1 {
+		scale = 1
+	}
+	budget := base64.NsPerOp * scale * 1.25
+	b.ReportMetric(got/base64.NsPerOp, "x-vs-baseline")
+	b.ReportMetric(scale, "machine-scale")
+	if got > budget {
+		b.Fatalf("exact solve at pixels=64 took %.0f ns, budget %.0f ns (baseline %.0f x machine scale %.2f x 1.25)",
+			got, budget, base64.NsPerOp, scale)
 	}
 }
 

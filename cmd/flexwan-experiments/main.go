@@ -15,6 +15,8 @@
 //	flexwan-experiments -fig exact -branching most-fractional
 //	                                    # branching-rule ablation
 //	flexwan-experiments -fig bench      # solver benchmarks → BENCH_solver.json
+//	flexwan-experiments -fig bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                                    # profile any mode with pprof
 package main
 
 import (
@@ -23,7 +25,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"flexwan/internal/eval"
@@ -40,6 +45,8 @@ func main() {
 	branching := flag.String("branching", string(solver.BranchPseudocost), "branch-and-bound variable selection for the 'exact' mode: pseudocost or most-fractional ('bench' always records both)")
 	noPresolve := flag.Bool("no-presolve", false, "disable the presolve reductions in the 'exact' mode ('bench' always records both)")
 	benchOut := flag.String("bench-out", "BENCH_solver.json", "output path for the 'bench' mode record")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (captured at exit, after a GC) to this file")
 	flag.Parse()
 
 	rule := solver.BranchRule(*branching)
@@ -56,9 +63,13 @@ func main() {
 	all := want["all"]
 	run := func(name string) bool { return all || want[name] }
 
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
+
 	tb := workload.TBackbone(*seed)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flexwan-experiments:", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 	writeCSV := func(name string, data eval.CSVData) {
@@ -196,7 +207,7 @@ func main() {
 		if *solverWorkers > 0 {
 			counts = []int{1, *solverWorkers}
 		}
-		bench, err := eval.SolverBenchmarks([]int{16, 20, 24, 32, 48, 64, 96}, counts, 3, 300*time.Millisecond)
+		bench, err := eval.SolverBenchmarks(eval.DefaultSolverBenchInstances(), counts, 3, 300*time.Millisecond)
 		if err != nil {
 			fail(err)
 		}
@@ -209,5 +220,52 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("wrote", *benchOut)
+	}
+}
+
+// startProfiles begins CPU profiling (when cpuPath is set) and returns a
+// stop function that flushes the CPU profile and writes the heap profile
+// (when memPath is set). The stop function is idempotent and runs on both
+// the normal and the fail exit path — os.Exit skips deferred calls, so an
+// aborted run would otherwise leave a truncated, unusable CPU profile.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexwan-experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "flexwan-experiments:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "flexwan-experiments:", err)
+				}
+			}
+			if memPath == "" {
+				return
+			}
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flexwan-experiments:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "flexwan-experiments:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "flexwan-experiments:", err)
+			}
+		})
 	}
 }

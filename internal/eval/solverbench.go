@@ -11,6 +11,7 @@ import (
 	"flexwan/internal/spectrum"
 	"flexwan/internal/topology"
 	"flexwan/internal/transponder"
+	"flexwan/internal/workload"
 )
 
 // ExactScalingProblem builds the seed exact-planning instance used by
@@ -43,6 +44,86 @@ func ExactScalingProblem(pixels int) (plan.Problem, error) {
 	}, nil
 }
 
+// ExactTBackboneProblem builds a full-T-backbone exact-planning instance:
+// the complete synthetic backbone of workload.TBackbone(seed) — all eight
+// metro clusters, the long-haul core, and every IP link — with demands
+// multiplied by scale so the wavelength count per link stays within exact
+// reach, on a pixels-wide RADWAN grid with K candidate paths per link.
+// Unlike the two-link ExactScalingProblem line, the MIP here carries the
+// real topology's structure: shared metro fibers, long-haul transit, and
+// per-fiber conflict rows across 36 fibers.
+func ExactTBackboneProblem(seed int64, scale float64, pixels, k int) (plan.Problem, error) {
+	n := workload.TBackbone(seed).Scale(scale)
+	return plan.Problem{
+		Optical: n.Optical, IP: n.IP, Catalog: transponder.RADWAN(),
+		Grid: spectrum.Grid{PixelGHz: 12.5, Pixels: pixels}, K: k,
+	}, nil
+}
+
+// SolverBenchInstance names one exact-planning instance of the benchmark
+// ladder. Line instances are ExactScalingProblem at Pixels; T-backbone
+// instances (TBackbone true) are ExactTBackboneProblem at Scale, Pixels,
+// and K candidate paths. SkipDense marks instances too large for the
+// dense-tableau ablation (its memory is quadratic in the standard-form
+// size); SkipPresolveOff marks instances whose LP bound is useless without
+// the presolve coefficient tightening — the presolve-off ablation would
+// exhaust the node budget with no incumbent instead of measuring anything.
+// SkipNodePresolveOff does the same for the node-presolve ablation, needed
+// on the hardest T-backbone instance where per-node propagation is what
+// keeps the search from drowning in start-pixel symmetries.
+type SolverBenchInstance struct {
+	Name                string
+	Pixels              int
+	TBackbone           bool
+	Scale               float64
+	K                   int
+	SkipDense           bool
+	SkipPresolveOff     bool
+	SkipNodePresolveOff bool
+}
+
+// Problem builds the instance.
+func (si SolverBenchInstance) Problem() (plan.Problem, error) {
+	if si.TBackbone {
+		k := si.K
+		if k <= 0 {
+			k = 1
+		}
+		return ExactTBackboneProblem(1, si.Scale, si.Pixels, k)
+	}
+	return ExactScalingProblem(si.Pixels)
+}
+
+// DefaultSolverBenchInstances is the ladder recorded in BENCH_solver.json:
+// the two-link line from 16 to 128 pixels, then full T-backbone instances
+// — the complete synthetic backbone (36 fibers, 38 IP links) at demand
+// scale 0.02, once at 32 pixels with the single shortest path per link and
+// once at 24 pixels with three candidate paths (the hardest instance the
+// exact ladder proves optimal; the k=3 spectrum packing at 24 pixels is
+// where the FT-vs-eta-file gap is widest).
+func DefaultSolverBenchInstances() []SolverBenchInstance {
+	out := []SolverBenchInstance{}
+	for _, px := range []int{16, 20, 24, 32, 48, 64, 96, 128} {
+		out = append(out, SolverBenchInstance{
+			Name: fmt.Sprintf("exact-planning/pixels=%d", px), Pixels: px,
+		})
+	}
+	for _, ti := range []SolverBenchInstance{
+		{Pixels: 32, Scale: 0.02, K: 1},
+		// The k=3 spectrum packing only stays solvable with node
+		// presolve on: without it the 100000-node budget finds no
+		// incumbent at all, so that ablation is skipped here.
+		{Pixels: 24, Scale: 0.02, K: 3, SkipNodePresolveOff: true},
+	} {
+		ti.Name = fmt.Sprintf("exact-tbackbone/pixels=%d,scale=%g,k=%d", ti.Pixels, ti.Scale, ti.K)
+		ti.TBackbone = true
+		ti.SkipDense = true       // thousands of columns: far past the dense tableau's range
+		ti.SkipPresolveOff = true // without coefficient tightening the LP bound prunes nothing
+		out = append(out, ti)
+	}
+	return out
+}
+
 // SolverBenchWorkerCounts is the fixed worker ladder benchmarked and
 // recorded in BENCH_solver.json: 1, 2, 4, plus GOMAXPROCS when the
 // machine has more cores. Fixed (rather than derived from the local core
@@ -63,32 +144,41 @@ func SolverBenchBranchings() []solver.BranchRule {
 }
 
 // SolverBenchPoint is one (instance, engine, branching-rule,
-// worker-count, presolve) measurement. GoMaxProcs is the effective
-// GOMAXPROCS the sub-run executed under — pinned to at least Workers so
-// worker-scaling points are honest measurements rather than time-sliced
-// onto fewer threads than the sweep claims. Engine is "revised" (the
-// default LU-factorized revised simplex) or "dense" (the
-// Options.DenseSimplex tableau ablation).
+// worker-count, presolve, node-presolve) measurement. GoMaxProcs is the
+// effective GOMAXPROCS the sub-run executed under — pinned to at least
+// Workers so worker-scaling points are honest measurements rather than
+// time-sliced onto fewer threads than the sweep claims. Engine is
+// "revised" (the default revised simplex with Forrest–Tomlin basis
+// updates), "revised-eta" (the Options.EtaFileUpdates product-form
+// ablation), or "dense" (the Options.DenseSimplex tableau ablation). The
+// LU-health block (refactorizations through np_fixings) comes from the
+// solver's SolveStats and is zero for the dense engine.
 type SolverBenchPoint struct {
-	Instance      string  `json:"instance"`
-	Pixels        int     `json:"pixels"`
-	Engine        string  `json:"engine"`
-	Branching     string  `json:"branching"`
-	Workers       int     `json:"workers"`
-	GoMaxProcs    int     `json:"gomaxprocs"`
-	Presolve      bool    `json:"presolve"`
-	PresolveRows  int     `json:"presolve_rows"`
-	PresolveCols  int     `json:"presolve_cols"`
-	Iterations    int     `json:"iterations"`
-	NsPerOp       float64 `json:"ns_per_op"`
-	AllocsPerOp   float64 `json:"allocs_per_op"`
-	BytesPerOp    float64 `json:"bytes_per_op"`
-	Objective     float64 `json:"objective"`
-	Nodes         int     `json:"nodes"`
-	SimplexIters  int     `json:"simplex_iters"`
-	WarmStartHits int     `json:"warm_start_hits"`
-	WarmStartRate float64 `json:"warm_start_rate"`
-	SpeedupVs1    float64 `json:"speedup_vs_1"`
+	Instance         string  `json:"instance"`
+	Pixels           int     `json:"pixels"`
+	Engine           string  `json:"engine"`
+	Branching        string  `json:"branching"`
+	Workers          int     `json:"workers"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	Presolve         bool    `json:"presolve"`
+	NodePresolve     bool    `json:"node_presolve"`
+	PresolveRows     int     `json:"presolve_rows"`
+	PresolveCols     int     `json:"presolve_cols"`
+	Iterations       int     `json:"iterations"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	BytesPerOp       float64 `json:"bytes_per_op"`
+	Objective        float64 `json:"objective"`
+	Nodes            int     `json:"nodes"`
+	SimplexIters     int     `json:"simplex_iters"`
+	WarmStartHits    int     `json:"warm_start_hits"`
+	WarmStartRate    float64 `json:"warm_start_rate"`
+	Refactorizations int     `json:"refactorizations"`
+	BasisUpdates     int     `json:"basis_updates"`
+	PeakUFill        int     `json:"peak_u_fill"`
+	DenseFallbacks   int     `json:"dense_fallbacks"`
+	NPFixings        int     `json:"np_fixings"`
+	SpeedupVs1       float64 `json:"speedup_vs_1"`
 }
 
 // SolverBench is the headline solver benchmark record, serialized to
@@ -100,20 +190,25 @@ type SolverBench struct {
 	Points     []SolverBenchPoint `json:"points"`
 }
 
-// SolverBenchmarks times the exact planning MIP on the BenchmarkExactScaling
-// instances for each branching rule and worker count, plus two ablation
+// SolverBenchmarks times the exact planning MIP on the given instance
+// ladder for each branching rule and worker count, plus four ablation
 // points per instance at the default rule and one worker: presolve off,
-// and the dense-tableau engine (Options.DenseSimplex) — the memory
-// baseline the revised simplex is measured against. Each point runs until both minIters
+// node presolve off (Options.NoNodePresolve), the product-form eta-file
+// basis maintenance (Options.EtaFileUpdates, engine "revised-eta") — the
+// PR 7 baseline the Forrest–Tomlin default is measured against — and the
+// dense-tableau engine (Options.DenseSimplex, skipped on instances marked
+// SkipDense; the presolve-off point is likewise skipped on instances
+// marked SkipPresolveOff). Each point runs until both minIters
 // iterations and minTime have elapsed (a hand-rolled testing.B: the
 // experiment binary cannot import package testing). Every sub-run is
 // pinned to GOMAXPROCS ≥ workers — so a workers=4 point on a
 // GOMAXPROCS=1 process is a real 4-way run, not time-slicing dressed up
 // as scaling — and the effective value is recorded per point. It
 // verifies the objective is identical across every configuration per
-// instance — the determinism contract, presolve included — and returns
+// instance — the determinism contract, presolve/node-presolve/basis-
+// maintenance included — and returns
 // an error if not. Speedups are relative to the same rule at one worker.
-func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time.Duration) (SolverBench, error) {
+func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIters int, minTime time.Duration) (SolverBench, error) {
 	if minIters < 1 {
 		minIters = 1
 	}
@@ -123,21 +218,29 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 	for _, r := range rules {
 		out.Branchings = append(out.Branchings, string(r))
 	}
-	for _, pixels := range pixelSizes {
-		p, err := ExactScalingProblem(pixels)
+	for _, inst := range instances {
+		p, err := inst.Problem()
 		if err != nil {
 			return SolverBench{}, err
 		}
-		instance := fmt.Sprintf("exact-planning/pixels=%d", pixels)
+		instance := inst.Name
+		pixels := inst.Pixels
 		refObjective, haveRef := 0.0, false
 
-		measure := func(rule solver.BranchRule, workers int, noPresolve, dense bool) (SolverBenchPoint, error) {
-			opts := solver.Options{MaxNodes: 100000, Workers: workers, Branching: rule, NoPresolve: noPresolve, DenseSimplex: dense}
+		measure := func(rule solver.BranchRule, workers int, noPresolve, noNodePresolve, etaFile, dense bool) (SolverBenchPoint, error) {
+			opts := solver.Options{
+				MaxNodes: 100000, Workers: workers, Branching: rule,
+				NoPresolve: noPresolve, NoNodePresolve: noNodePresolve,
+				EtaFileUpdates: etaFile, DenseSimplex: dense,
+			}
 			engine := "revised"
+			if etaFile {
+				engine = "revised-eta"
+			}
 			if dense {
 				engine = "dense"
 			}
-			label := fmt.Sprintf("%s engine=%s branching=%s workers=%d presolve=%v", instance, engine, rule, workers, !noPresolve)
+			label := fmt.Sprintf("%s engine=%s branching=%s workers=%d presolve=%v node-presolve=%v", instance, engine, rule, workers, !noPresolve, !noNodePresolve)
 			eff := base
 			if workers > eff {
 				runtime.GOMAXPROCS(workers)
@@ -174,23 +277,29 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 			runtime.ReadMemStats(&after)
 
 			pt := SolverBenchPoint{
-				Instance:      instance,
-				Pixels:        pixels,
-				Engine:        engine,
-				Branching:     string(rule),
-				Workers:       workers,
-				GoMaxProcs:    eff,
-				Presolve:      !noPresolve,
-				PresolveRows:  last.Solver.PresolveRows,
-				PresolveCols:  last.Solver.PresolveCols,
-				Iterations:    iters,
-				NsPerOp:       float64(elapsed.Nanoseconds()) / float64(iters),
-				AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(iters),
-				BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
-				Objective:     last.Solver.Objective,
-				Nodes:         last.Solver.Nodes,
-				SimplexIters:  last.Solver.SimplexIters,
-				WarmStartHits: last.Solver.WarmStartHits,
+				Instance:         instance,
+				Pixels:           pixels,
+				Engine:           engine,
+				Branching:        string(rule),
+				Workers:          workers,
+				GoMaxProcs:       eff,
+				Presolve:         !noPresolve,
+				NodePresolve:     !noNodePresolve,
+				PresolveRows:     last.Solver.PresolveRows,
+				PresolveCols:     last.Solver.PresolveCols,
+				Iterations:       iters,
+				NsPerOp:          float64(elapsed.Nanoseconds()) / float64(iters),
+				AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / float64(iters),
+				BytesPerOp:       float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+				Objective:        last.Solver.Objective,
+				Nodes:            last.Solver.Nodes,
+				SimplexIters:     last.Solver.SimplexIters,
+				WarmStartHits:    last.Solver.WarmStartHits,
+				Refactorizations: last.Solver.Refactorizations,
+				BasisUpdates:     last.Solver.BasisUpdates,
+				PeakUFill:        last.Solver.PeakUFill,
+				DenseFallbacks:   last.Solver.DenseFallbacks,
+				NPFixings:        last.Solver.NodePresolveFixings,
 			}
 			if pt.Nodes > 0 {
 				pt.WarmStartRate = float64(pt.WarmStartHits) / float64(pt.Nodes)
@@ -201,7 +310,7 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 		for _, rule := range rules {
 			var nsAt1 float64
 			for _, workers := range workerCounts {
-				pt, err := measure(rule, workers, false, false)
+				pt, err := measure(rule, workers, false, false, false, false)
 				if err != nil {
 					return SolverBench{}, err
 				}
@@ -214,50 +323,67 @@ func SolverBenchmarks(pixelSizes, workerCounts []int, minIters int, minTime time
 				out.Points = append(out.Points, pt)
 			}
 		}
-		// Presolve ablation: same instance with presolve disabled, at the
-		// default rule and one worker so the on/off pair differs only in
-		// presolve. Objective identity is enforced by measure above.
-		off, err := measure(rules[0], 1, true, false)
-		if err != nil {
-			return SolverBench{}, err
+		// Ablations, each at the default rule and one worker so the pair
+		// against the matching revised point isolates exactly one change.
+		// Objective identity across all of them is enforced by measure.
+		for _, abl := range []struct {
+			noPresolve, noNodePresolve, etaFile, dense bool
+			skip                                       bool
+		}{
+			// Presolve off. Skipped where the untightened LP bound is so
+			// weak the node budget runs out without an incumbent.
+			{noPresolve: true, skip: inst.SkipPresolveOff},
+			// Node presolve off: what the per-node propagation pass buys.
+			{noNodePresolve: true, skip: inst.SkipNodePresolveOff},
+			// Product-form eta file: the basis-maintenance scheme before
+			// Forrest–Tomlin, isolating the update algebra.
+			{etaFile: true},
+			// Dense tableau: the memory baseline the revised simplex is
+			// measured against; meaningless past a few thousand columns.
+			{dense: true, skip: inst.SkipDense},
+		} {
+			if abl.skip {
+				continue
+			}
+			pt, err := measure(rules[0], 1, abl.noPresolve, abl.noNodePresolve, abl.etaFile, abl.dense)
+			if err != nil {
+				return SolverBench{}, err
+			}
+			pt.SpeedupVs1 = 1
+			out.Points = append(out.Points, pt)
 		}
-		off.SpeedupVs1 = 1
-		out.Points = append(out.Points, off)
-		// Engine ablation: the dense-tableau path on the same instance,
-		// default rule, one worker, presolve on — the pair against the
-		// matching revised point isolates the engine. Objective identity
-		// across engines is enforced by measure above.
-		dense, err := measure(rules[0], 1, false, true)
-		if err != nil {
-			return SolverBench{}, err
-		}
-		dense.SpeedupVs1 = 1
-		out.Points = append(out.Points, dense)
 	}
 	return out, nil
 }
 
 func (s SolverBench) String() string {
-	header := []string{"instance", "engine", "branching", "workers", "gmp", "presolve", "rows-/cols-", "iters", "ns/op", "allocs/op", "nodes", "pivots", "warm%", "speedup"}
+	header := []string{"instance", "engine", "branching", "workers", "gmp", "presolve", "np", "rows-/cols-", "iters", "ns/op", "nodes", "pivots", "refac", "updates", "fill", "fb", "npfix", "warm%", "speedup"}
 	rows := make([][]string, len(s.Points))
-	for i, pt := range s.Points {
-		presolve := "off"
-		if pt.Presolve {
-			presolve = "on"
+	onOff := func(b bool) string {
+		if b {
+			return "on"
 		}
+		return "off"
+	}
+	for i, pt := range s.Points {
 		rows[i] = []string{
 			pt.Instance,
 			pt.Engine,
 			pt.Branching,
 			fmt.Sprintf("%d", pt.Workers),
 			fmt.Sprintf("%d", pt.GoMaxProcs),
-			presolve,
+			onOff(pt.Presolve),
+			onOff(pt.NodePresolve),
 			fmt.Sprintf("%d/%d", pt.PresolveRows, pt.PresolveCols),
 			fmt.Sprintf("%d", pt.Iterations),
 			fmt.Sprintf("%.0f", pt.NsPerOp),
-			fmt.Sprintf("%.0f", pt.AllocsPerOp),
 			fmt.Sprintf("%d", pt.Nodes),
 			fmt.Sprintf("%d", pt.SimplexIters),
+			fmt.Sprintf("%d", pt.Refactorizations),
+			fmt.Sprintf("%d", pt.BasisUpdates),
+			fmt.Sprintf("%d", pt.PeakUFill),
+			fmt.Sprintf("%d", pt.DenseFallbacks),
+			fmt.Sprintf("%d", pt.NPFixings),
 			fmt.Sprintf("%.0f%%", 100*pt.WarmStartRate),
 			fmt.Sprintf("%.2fx", pt.SpeedupVs1),
 		}

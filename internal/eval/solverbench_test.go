@@ -12,15 +12,29 @@ import (
 
 // TestEngineDifferentialLadder is the end-to-end engine differential on
 // the real planning MIP: across the benchmark scaling ladder, the dense
-// tableau and the revised simplex must reach the SAME optimal objective
-// (exact float equality — both engines prove optimality, and the
-// acceptance bar for this instance family is bitwise-identical objective
-// values), with presolve on and off. The reported plan is also checked
-// for internal consistency: provisioned capacity covers demand.
+// tableau, the revised simplex under Forrest–Tomlin updates, and the
+// revised simplex under the product-form eta file must reach the SAME
+// optimal objective (exact float equality — every engine proves
+// optimality, and the acceptance bar for this instance family is
+// bitwise-identical objective values), with presolve and node presolve
+// each toggled. The reported plan is also checked for internal
+// consistency: provisioned capacity covers demand.
 func TestEngineDifferentialLadder(t *testing.T) {
 	ladder := []int{16, 24, 32, 48, 64}
 	if testing.Short() {
 		ladder = []int{16, 24}
+	}
+	type cfg struct {
+		dense, etaFile, noPresolve, noNodePresolve bool
+	}
+	cfgs := []cfg{
+		{},                     // default: revised + Forrest–Tomlin, all passes on
+		{etaFile: true},        // product-form eta file
+		{dense: true},          // dense tableau
+		{noPresolve: true},     // global presolve off
+		{noNodePresolve: true}, // node presolve off
+		{etaFile: true, noPresolve: true},
+		{dense: true, noPresolve: true},
 	}
 	for _, pixels := range ladder {
 		p, err := ExactScalingProblem(pixels)
@@ -29,67 +43,132 @@ func TestEngineDifferentialLadder(t *testing.T) {
 		}
 		var ref float64
 		haveRef := false
-		for _, dense := range []bool{false, true} {
-			for _, noPresolve := range []bool{false, true} {
-				label := fmt.Sprintf("pixels=%d dense=%v presolve=%v", pixels, dense, !noPresolve)
-				res, err := plan.SolveExact(p, solver.Options{
-					MaxNodes: 100000, Workers: 1,
-					DenseSimplex: dense, NoPresolve: noPresolve,
-				})
-				if err != nil {
-					t.Fatalf("%s: %v", label, err)
-				}
-				if res.Solver.Status != solver.Optimal {
-					t.Fatalf("%s: status %v", label, res.Solver.Status)
-				}
-				if !haveRef {
-					ref, haveRef = res.Solver.Objective, true
-				} else if res.Solver.Objective != ref {
-					t.Fatalf("%s: objective %v, want %v (engines diverged)", label, res.Solver.Objective, ref)
-				}
-				for id, lp := range res.PerLink {
-					if lp.ProvisionedGbps < lp.DemandGbps {
-						t.Fatalf("%s: link %s provisioned %d < demand %d",
-							label, id, lp.ProvisionedGbps, lp.DemandGbps)
-					}
+		for _, c := range cfgs {
+			label := fmt.Sprintf("pixels=%d dense=%v eta=%v presolve=%v np=%v",
+				pixels, c.dense, c.etaFile, !c.noPresolve, !c.noNodePresolve)
+			res, err := plan.SolveExact(p, solver.Options{
+				MaxNodes: 100000, Workers: 1,
+				DenseSimplex: c.dense, EtaFileUpdates: c.etaFile,
+				NoPresolve: c.noPresolve, NoNodePresolve: c.noNodePresolve,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if res.Solver.Status != solver.Optimal {
+				t.Fatalf("%s: status %v", label, res.Solver.Status)
+			}
+			if !haveRef {
+				ref, haveRef = res.Solver.Objective, true
+			} else if res.Solver.Objective != ref {
+				t.Fatalf("%s: objective %v, want %v (engines diverged)", label, res.Solver.Objective, ref)
+			}
+			for id, lp := range res.PerLink {
+				if lp.ProvisionedGbps < lp.DemandGbps {
+					t.Fatalf("%s: link %s provisioned %d < demand %d",
+						label, id, lp.ProvisionedGbps, lp.DemandGbps)
 				}
 			}
 		}
 	}
 }
 
-// TestSolverBenchmarksSmoke runs the benchmark harness at minimal
-// iteration counts and checks the new engine dimension: every instance
-// must contribute exactly one dense-ablation point, engines must be
-// labelled, and the dense point's bytes/op on the same instance must not
-// be reported as zero (the memory comparison the PR's 4x criterion reads
-// off BENCH_solver.json).
-func TestSolverBenchmarksSmoke(t *testing.T) {
-	bench, err := SolverBenchmarks([]int{12}, []int{1}, 1, 0)
+// TestExactTBackbone solves a full T-backbone instance exactly — all
+// clusters, core, and IP links of the synthetic backbone — and checks the
+// plan against demand, plus the FT/eta objective identity on a real
+// (non-line) topology. Kept at a small grid so it stays a unit test; the
+// benchmark ladder runs the bigger ones.
+func TestExactTBackbone(t *testing.T) {
+	p, err := ExactTBackboneProblem(1, 0.02, 32, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var denseN, revisedN int
+	var ref float64
+	haveRef := false
+	for _, etaFile := range []bool{false, true} {
+		res, err := plan.SolveExact(p, solver.Options{
+			MaxNodes: 200000, Workers: 1, EtaFileUpdates: etaFile,
+		})
+		if err != nil {
+			t.Fatalf("etaFile=%v: %v", etaFile, err)
+		}
+		if res.Solver.Status != solver.Optimal {
+			t.Fatalf("etaFile=%v: status %v", etaFile, res.Solver.Status)
+		}
+		if !haveRef {
+			ref, haveRef = res.Solver.Objective, true
+		} else if res.Solver.Objective != ref {
+			t.Fatalf("etaFile=%v: objective %v, want %v", etaFile, res.Solver.Objective, ref)
+		}
+		for id, lp := range res.PerLink {
+			if lp.ProvisionedGbps < lp.DemandGbps {
+				t.Fatalf("etaFile=%v: link %s provisioned %d < demand %d",
+					etaFile, id, lp.ProvisionedGbps, lp.DemandGbps)
+			}
+		}
+	}
+}
+
+// TestSolverBenchmarksSmoke runs the benchmark harness at minimal
+// iteration counts and checks the ablation dimensions: every instance
+// must contribute one dense, one revised-eta, and one node-presolve-off
+// point (dense skipped on SkipDense instances), engines must be labelled,
+// and bytes/op must be reported nonzero.
+func TestSolverBenchmarksSmoke(t *testing.T) {
+	instances := []SolverBenchInstance{{Name: "exact-planning/pixels=12", Pixels: 12}}
+	bench, err := SolverBenchmarks(instances, []int{1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var denseN, etaN, revisedN, npOffN int
 	for _, pt := range bench.Points {
 		switch pt.Engine {
 		case "dense":
 			denseN++
+		case "revised-eta":
+			etaN++
 		case "revised":
 			revisedN++
 		default:
 			t.Fatalf("point %s has unknown engine %q", pt.Instance, pt.Engine)
 		}
+		if !pt.NodePresolve {
+			npOffN++
+		}
 		if pt.BytesPerOp <= 0 || math.IsNaN(pt.BytesPerOp) {
 			t.Fatalf("point %s engine=%s: BytesPerOp = %v", pt.Instance, pt.Engine, pt.BytesPerOp)
+		}
+		if pt.Engine != "dense" && pt.Refactorizations == 0 {
+			t.Fatalf("point %s engine=%s: Refactorizations = 0", pt.Instance, pt.Engine)
 		}
 	}
 	if denseN != 1 {
 		t.Fatalf("dense ablation points = %d, want 1 per instance", denseN)
 	}
-	if revisedN < 2 {
-		t.Fatalf("revised points = %d, want >= 2 (sweep + presolve ablation)", revisedN)
+	if etaN != 1 {
+		t.Fatalf("revised-eta ablation points = %d, want 1 per instance", etaN)
+	}
+	if npOffN != 1 {
+		t.Fatalf("node-presolve-off ablation points = %d, want 1 per instance", npOffN)
+	}
+	if revisedN < 3 {
+		t.Fatalf("revised points = %d, want >= 3 (sweep + presolve + node-presolve ablations)", revisedN)
 	}
 	if !strings.Contains(bench.String(), "dense") {
 		t.Fatal("rendered table missing the engine column")
+	}
+}
+
+// TestSolverBenchSkipDense checks the dense ablation is skipped on
+// instances marked too large for the tableau.
+func TestSolverBenchSkipDense(t *testing.T) {
+	instances := []SolverBenchInstance{{Name: "exact-planning/pixels=12", Pixels: 12, SkipDense: true}}
+	bench, err := SolverBenchmarks(instances, []int{1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range bench.Points {
+		if pt.Engine == "dense" {
+			t.Fatalf("SkipDense instance produced a dense point: %+v", pt)
+		}
 	}
 }

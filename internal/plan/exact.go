@@ -27,6 +27,18 @@ type SolveStats struct {
 	Branching     solver.BranchRule
 	PresolveRows  int
 	PresolveCols  int
+
+	// LU/basis health of the revised-simplex engines underneath the search:
+	// full refactorizations, in-place basis updates (Forrest–Tomlin or eta
+	// append), FTRAN/BTRAN counts, peak U fill, solves that fell back to the
+	// dense tableau, and bounds tightened by per-node presolve propagation.
+	Refactorizations    int
+	BasisUpdates        int
+	FTRANCount          int
+	BTRANCount          int
+	PeakUFill           int
+	DenseFallbacks      int
+	NodePresolveFixings int
 }
 
 // NewSolveStats copies the search statistics out of a solver Solution.
@@ -37,6 +49,10 @@ func NewSolveStats(sol solver.Solution) *SolveStats {
 		SimplexIters: sol.SimplexIters, WarmStartHits: sol.WarmStartHits,
 		Branching:    sol.Branching,
 		PresolveRows: sol.PresolveRows, PresolveCols: sol.PresolveCols,
+		Refactorizations: sol.Refactorizations, BasisUpdates: sol.BasisUpdates,
+		FTRANCount: sol.FTRANCount, BTRANCount: sol.BTRANCount,
+		PeakUFill: sol.PeakUFill, DenseFallbacks: sol.DenseFallbacks,
+		NodePresolveFixings: sol.NodePresolveFixings,
 	}
 }
 

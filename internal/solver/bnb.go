@@ -281,8 +281,10 @@ type bbSearch struct {
 
 	incumbent *Solution // best integral solution; Values owned (copied)
 
-	simplexIters int // total pivots across all workers (incl. root solve)
-	warmHits     int // nodes resolved by a dual-simplex warm start
+	simplexIters int     // total pivots across all workers (incl. root solve)
+	warmHits     int     // nodes resolved by a dual-simplex warm start
+	lu           lpStats // basis health summed over root + worker engines
+	npFixings    int     // node-presolve bound tightenings across all nodes
 
 	// Pseudocost bookkeeping (nil slices unless Branching is pseudocost).
 	// Guarded by mu like everything else: updates happen in processLocked
@@ -327,6 +329,14 @@ func (m *Model) branchAndBound(opts Options) Solution {
 		// there is someone to share the frontier with.
 		ramped:       workers <= 1,
 		simplexIters: root.SimplexIters,
+		lu: lpStats{
+			factorizations: root.Refactorizations,
+			updates:        root.BasisUpdates,
+			ftrans:         root.FTRANCount,
+			btrans:         root.BTRANCount,
+			peakFill:       root.PeakUFill,
+			denseFallbacks: root.DenseFallbacks,
+		},
 	}
 	if opts.Branching == BranchPseudocost {
 		nv := len(m.vars)
@@ -400,6 +410,11 @@ func (s *bbSearch) worker(id int) {
 	var tabOwner any
 	var tabBounds *boundChange
 	var diveChanges []*boundChange
+	var np *npState
+	if !s.opts.NoNodePresolve {
+		np = newNpState(s.m)
+	}
+	fellBack := 0 // dense fallbacks already logged for this worker
 	s.mu.Lock()
 	for {
 		if s.stop {
@@ -465,6 +480,27 @@ func (s *bbSearch) worker(id int) {
 		s.active[id] = node.bound
 		s.mu.Unlock()
 
+		// Node presolve: push the node's branching decisions (and inherited
+		// fixings) through the constraint activity bounds before solving.
+		// Propagated tightenings extend the node's chain — the LP, the dive
+		// path, and reduced-cost fixing all see them — and a chain proven
+		// infeasible by propagation prunes the node with no LP solve at all.
+		nFix := 0
+		if np != nil && node.bounds != nil {
+			extra, n, infeas := np.run(node.bounds)
+			nFix = n
+			if infeas {
+				s.mu.Lock()
+				s.inFlight--
+				s.active[id] = math.NaN()
+				s.npFixings += nFix
+				s.processLocked(node, Solution{Status: Infeasible}, nil, node.bounds)
+				s.cond.Broadcast()
+				continue
+			}
+			node.bounds = extra
+		}
+
 		var sol Solution
 		warm, dove := false, false
 		iters := 0
@@ -522,14 +558,22 @@ func (s *bbSearch) worker(id int) {
 		s.inFlight--
 		s.active[id] = math.NaN()
 		s.simplexIters += iters
+		s.npFixings += nFix
 		if warm {
 			s.warmHits++
+		}
+		if fb := eng.stats().denseFallbacks; fb > fellBack {
+			fellBack = fb
+			if s.opts.Logf != nil {
+				s.opts.Logf("solver: node LP fell back to the dense engine (%d on this worker)", fb)
+			}
 		}
 		s.processLocked(node, sol, snap, fixBase)
 		// Wake idle siblings: children may have been pushed, or this was
 		// the last in-flight node and the frontier is now empty.
 		s.cond.Broadcast()
 	}
+	s.lu.merge(eng.stats())
 	s.mu.Unlock()
 }
 
@@ -873,6 +917,8 @@ func (s *bbSearch) finish(workers int) Solution {
 	out.SimplexIters = s.simplexIters
 	out.WarmStartHits = s.warmHits
 	out.Branching = s.opts.Branching
+	s.lu.addTo(&out)
+	out.NodePresolveFixings = s.npFixings
 	return out
 }
 

@@ -32,6 +32,44 @@ type lpEngine interface {
 	fixings(obj, inc float64, chain *boundChange) *boundChange
 	// pivots reports the simplex pivots of the most recent solve call.
 	pivots() int
+	// stats reports cumulative basis-maintenance health counters for this
+	// engine's lifetime (zero for the dense engine, which keeps no LU).
+	stats() lpStats
+}
+
+// lpStats aggregates LU/basis health over an engine's lifetime: full
+// refactorizations, in-place basis updates (Forrest–Tomlin or eta append),
+// FTRAN/BTRAN solve counts, the peak U-plus-eta fill, and how many solves
+// the revised engine handed to the dense fallback.
+type lpStats struct {
+	factorizations int
+	updates        int
+	ftrans         int
+	btrans         int
+	peakFill       int
+	denseFallbacks int
+}
+
+// merge folds o into s (sums, except peak fill which takes the max).
+func (s *lpStats) merge(o lpStats) {
+	s.factorizations += o.factorizations
+	s.updates += o.updates
+	s.ftrans += o.ftrans
+	s.btrans += o.btrans
+	if o.peakFill > s.peakFill {
+		s.peakFill = o.peakFill
+	}
+	s.denseFallbacks += o.denseFallbacks
+}
+
+// addTo copies the counters into a Solution's exported stats fields.
+func (s lpStats) addTo(sol *Solution) {
+	sol.Refactorizations = s.factorizations
+	sol.BasisUpdates = s.updates
+	sol.FTRANCount = s.ftrans
+	sol.BTRANCount = s.btrans
+	sol.PeakUFill = s.peakFill
+	sol.DenseFallbacks = s.denseFallbacks
 }
 
 // newLPEngine builds the per-worker engine these options select.
@@ -39,7 +77,7 @@ func newLPEngine(m *Model, opts Options) lpEngine {
 	if opts.DenseSimplex {
 		return newDenseEngine(m, opts.MaxLPIter)
 	}
-	return newRevisedEngine(m, opts.MaxLPIter)
+	return newRevisedEngine(m, opts)
 }
 
 // solveRelaxation solves the LP relaxation (integrality dropped) with a
@@ -49,6 +87,11 @@ func (m *Model) solveRelaxation(opts Options) Solution {
 	eng.applyBounds(nil)
 	sol := eng.solveCold()
 	sol.SimplexIters = eng.pivots()
+	st := eng.stats()
+	st.addTo(&sol)
+	if st.denseFallbacks > 0 && opts.Logf != nil {
+		opts.Logf("solver: root LP fell back to the dense engine")
+	}
 	if sol.Values != nil {
 		sol.Values = append([]float64(nil), sol.Values...)
 	}
@@ -90,6 +133,8 @@ func (e *denseEngine) fixings(obj, inc float64, chain *boundChange) *boundChange
 
 func (e *denseEngine) pivots() int { return e.sc.lastPivots }
 
+func (e *denseEngine) stats() lpStats { return lpStats{} }
+
 // revisedEngine drives the revised simplex, falling back to a lazily
 // built dense engine on the rare solves the revised path cannot certify
 // (singular basis, numerical trouble, a binding artificial box). The
@@ -104,11 +149,12 @@ type revisedEngine struct {
 	chain     *boundChange // bounds of the current node (for the fallback)
 	lastDense bool
 	last      int // pivots of the most recent solve (both engines)
+	fallbacks int // solves handed to the dense engine (see solveCold)
 }
 
-func newRevisedEngine(m *Model, maxIter int) *revisedEngine {
-	rx := newRxScratch(m)
-	rx.maxIter = maxIter
+func newRevisedEngine(m *Model, opts Options) *revisedEngine {
+	rx := newRxScratch(m, opts.EtaFileUpdates)
+	rx.maxIter = opts.MaxLPIter
 	return &revisedEngine{m: m, rx: rx}
 }
 
@@ -131,6 +177,10 @@ func (e *revisedEngine) solveCold() Solution {
 	if ok {
 		return sol
 	}
+	// The revised path could not certify this solve (singular basis,
+	// numerical giveup, or an artificial box that kept binding): count the
+	// handoff so it shows up in SolveStats instead of vanishing silently.
+	e.fallbacks++
 	e.lastDense = true
 	d := e.dense()
 	d.applyBounds(e.chain)
@@ -191,3 +241,15 @@ func (e *revisedEngine) fixings(obj, inc float64, chain *boundChange) *boundChan
 }
 
 func (e *revisedEngine) pivots() int { return e.last }
+
+func (e *revisedEngine) stats() lpStats {
+	lu := &e.rx.lu
+	return lpStats{
+		factorizations: lu.nFactor,
+		updates:        lu.nUpdate,
+		ftrans:         lu.nFtran,
+		btrans:         lu.nBtran,
+		peakFill:       lu.peakFill,
+		denseFallbacks: e.fallbacks,
+	}
+}

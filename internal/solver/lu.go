@@ -8,30 +8,173 @@ const (
 	// declared singular and factorization fails (the caller falls back).
 	luSingTol = 1e-11
 	// luEtaTol is the spike-pivot magnitude below which a pivot triggers a
-	// fresh factorization instead of an eta update: dividing by a tiny
+	// fresh factorization instead of a basis update: dividing by a tiny
 	// w_p amplifies error through every later FTRAN/BTRAN.
 	luEtaTol = 1e-7
-	// luMaxEtas bounds the eta file before a periodic refactorization:
-	// each eta adds O(nnz(w)) work to every solve, so past this point
-	// refactorizing is both cheaper and more accurate.
+	// luMaxEtas bounds the legacy product-form eta file before a periodic
+	// refactorization: each eta adds O(nnz(w)) work to every solve, so past
+	// this point refactorizing is both cheaper and more accurate. Only the
+	// eta-file mode (Options.EtaFileUpdates) uses it; Forrest–Tomlin mode
+	// refactorizes on measured fill growth instead.
 	luMaxEtas = 64
+	// luDriftTol is the relative disagreement allowed between the
+	// Forrest–Tomlin diagonal identity d_new = w_p·d_old and the value the
+	// row elimination actually produces before the factorization is declared
+	// numerically degraded and rebuilt.
+	luDriftTol = 1e-6
 )
 
+// uStore holds the Forrest–Tomlin-maintained U factor as 2m sparse lines —
+// one per column (above-diagonal entries, keyed by row) and one per row
+// (off-diagonal entries, keyed by column) — packed into one index/value
+// pool. Lines get slack room on placement; an append past a line's room
+// relocates the line to the pool tail (marking the old span dead), and the
+// pool compacts itself when growth would otherwise reallocate over mostly
+// dead space. Everything is retained across factorizations, so steady-state
+// updates allocate nothing.
+type uStore struct {
+	idx   []int32
+	val   []float64
+	start []int32
+	count []int32
+	room  []int32
+	used  int
+	dead  int
+}
+
+// reset prepares the store for lines sparse lines totalling about nnz live
+// entries, reusing the pool when it is big enough.
+func (s *uStore) reset(lines, nnz int) {
+	s.start = growInt32(s.start, lines)
+	s.count = growInt32(s.count, lines)
+	s.room = growInt32(s.room, lines)
+	if need := nnz + 4*lines; len(s.idx) < need {
+		s.idx = make([]int32, need+need/2)
+		s.val = make([]float64, len(s.idx))
+	}
+	s.used, s.dead = 0, 0
+}
+
+// place opens line with room for n entries at the pool tail. Only valid
+// during the post-factorization load, where total room is pre-counted.
+func (s *uStore) place(line, n int) {
+	s.start[line] = int32(s.used)
+	s.count[line] = 0
+	s.room[line] = int32(n)
+	s.used += n
+}
+
+// push appends (i, v) to a line that is known to have room.
+func (s *uStore) push(line int, i int32, v float64) {
+	at := int(s.start[line] + s.count[line])
+	s.idx[at], s.val[at] = i, v
+	s.count[line]++
+}
+
+// entries returns line's live index and value slices.
+func (s *uStore) entries(line int) ([]int32, []float64) {
+	lo, n := int(s.start[line]), int(s.count[line])
+	return s.idx[lo : lo+n], s.val[lo : lo+n]
+}
+
+// append adds (i, v) to line, relocating the line to the pool tail when it
+// is out of room.
+func (s *uStore) append(line int, i int32, v float64) {
+	if s.count[line] == s.room[line] {
+		s.relocate(line)
+	}
+	s.push(line, i, v)
+}
+
+// relocate moves line to the pool tail with doubled room, growing (and
+// compacting) the pool if the tail is exhausted.
+func (s *uStore) relocate(line int) {
+	n := int(s.count[line])
+	room := 2*n + 4
+	if s.used+room > len(s.idx) {
+		s.grow(room)
+	}
+	lo, at := int(s.start[line]), s.used
+	copy(s.idx[at:at+n], s.idx[lo:lo+n])
+	copy(s.val[at:at+n], s.val[lo:lo+n])
+	s.dead += int(s.room[line])
+	s.start[line] = int32(at)
+	s.room[line] = int32(room)
+	s.used += room
+}
+
+// grow compacts every line into a fresh pool with at least need free
+// entries at the tail. Dead space is dropped and each line gets modest
+// fresh slack, so repeated relocation of a hot line stays amortized O(1).
+func (s *uStore) grow(need int) {
+	total := need
+	for l := range s.start {
+		total += int(s.count[l]) + 2
+	}
+	size := total + total/2
+	if size < len(s.idx) {
+		size = len(s.idx) // never shrink: the pool is retained scratch
+	}
+	idx := make([]int32, size)
+	val := make([]float64, size)
+	used := 0
+	for l := range s.start {
+		n := int(s.count[l])
+		lo := int(s.start[l])
+		copy(idx[used:used+n], s.idx[lo:lo+n])
+		copy(val[used:used+n], s.val[lo:lo+n])
+		s.start[l] = int32(used)
+		s.room[l] = int32(n + 2)
+		used += n + 2
+	}
+	s.idx, s.val = idx, val
+	s.used, s.dead = used, 0
+}
+
+// removeWhere deletes the entry with index i from line (swap-remove; line
+// order is not meaningful). Missing entries are ignored — the caller may
+// have dropped an exact-zero value on insert.
+func (s *uStore) removeWhere(line int, i int32) {
+	lo, n := int(s.start[line]), int(s.count[line])
+	for t := lo; t < lo+n; t++ {
+		if s.idx[t] == i {
+			last := lo + n - 1
+			s.idx[t], s.val[t] = s.idx[last], s.val[last]
+			s.count[line]--
+			return
+		}
+	}
+}
+
+// clear empties line, keeping its room.
+func (s *uStore) clear(line int) { s.count[line] = 0 }
+
 // luFactor is an LU factorization of the simplex basis B (the constraint
-// columns of the basic variables) with partial pivoting, plus a
-// product-form eta file appended per pivot:
+// columns of the basic variables) with partial pivoting,
 //
 //	P·B₀ = L·U        (left-looking sparse LU, unit-diagonal L)
-//	B_k  = B₀·E₁⋯E_k  (E_i = I + (w−e_p)e_pᵀ, w the FTRAN'd entering column)
 //
-// FTRAN solves B_k·w = a (apply L,U solves then the etas in creation
-// order); BTRAN solves B_kᵀ·v = c (etas transposed in reverse, then
-// Uᵀ,Lᵀ). L rows are indexed in original constraint-row space, U in pivot
-// order, etas in basis-position space. All buffers are retained across
+// maintained across pivots in one of two modes:
+//
+//   - Forrest–Tomlin (ft=true, the default): U is kept as a dynamic sparse
+//     permuted-triangular factor (uStore rows+columns plus a sequence
+//     order). Each pivot replaces one U column with the partially
+//     transformed spike and restores triangularity with a single row
+//     elimination recorded as a row eta R = I − e_p·rᵀ sitting between L
+//     and U. Refactorization is adaptive: measured fill growth or numerical
+//     drift against the determinant identity d_new = w_p·d_old.
+//   - product-form eta file (ft=false, Options.EtaFileUpdates): each pivot
+//     appends E = I + (w−e_p)e_pᵀ after U, with a fixed refactorization
+//     cap of luMaxEtas.
+//
+// FTRAN solves B·w = a; BTRAN solves Bᵀ·v = c. L rows are indexed in
+// original constraint-row space, U in pivot order (which equals basis
+// position), etas in basis-position space. All buffers are retained across
 // factorizations, so a branch-and-bound worker refactorizing thousands of
 // times allocates only on growth.
 type luFactor struct {
 	m    int
+	ft   bool    // Forrest–Tomlin mode (vs legacy product-form eta file)
 	perm []int32 // pivot order k → original row
 	pinv []int32 // original row → pivot order
 
@@ -39,19 +182,43 @@ type luFactor struct {
 	lIdx []int32 // original-row index of each below-diagonal L entry
 	lVal []float64
 
-	uPtr  []int32 // len m+1; U column j (above-diagonal) entries
+	uPtr  []int32 // len m+1; static U column j (above-diagonal) entries
 	uIdx  []int32 // pivot-order index k < j
 	uVal  []float64
-	udiag []float64 // U diagonal per column
+	udiag []float64 // U diagonal per column (live in both modes)
 
-	etaPos []int32   // pivot basis-position per eta
-	etaPiv []float64 // spike value at the pivot position
-	etaPtr []int32   // len nEtas+1; offsets into etaIdx/etaVal
-	etaIdx []int32   // basis positions i ≠ p with nonzero spike value
+	// Eta storage. In ft mode these are the row etas R_e = I − e_p·rᵀ
+	// applied between L and U (etaPiv unused); in eta-file mode the
+	// product-form etas applied after U, with etaPiv the spike pivot.
+	etaPos []int32
+	etaPiv []float64
+	etaPtr []int32 // len nEtas+1; offsets into etaIdx/etaVal
+	etaIdx []int32
 	etaVal []float64
+
+	// Forrest–Tomlin state: the dynamic U store, the triangularity
+	// sequence (order[t] = basis position at sequence slot t), the spike
+	// captured by the most recent ftran, and the row-elimination scratch.
+	us       uStore
+	order    []int32
+	seqPos   []int32
+	vbuf     []float64 // pre-U-solve spike from the last ftran
+	work     []float64 // row-elimination accumulator (zero between updates)
+	wmark    []bool
+	rowCnt   []int32 // loadFT scratch: row populations of the static U
+	uLive    int     // live off-diagonal entries in the dynamic U
+	baseFill int     // uLive + m right after the last factorization
 
 	mark  []bool  // factorization scratch: row touched this column
 	touch []int32 // factorization scratch: touched-row list
+
+	// Health counters, cumulative over the factor's lifetime (one factor
+	// per branch-and-bound worker engine).
+	nFactor  int // full factorizations
+	nUpdate  int // in-place basis updates (FT or eta append)
+	nFtran   int
+	nBtran   int
+	peakFill int // peak of U nnz (diag included) + eta nnz
 }
 
 func growInt32(s []int32, n int) []int32 {
@@ -65,7 +232,8 @@ func (f *luFactor) nEtas() int { return len(f.etaPos) }
 
 // factorize computes P·B = L·U for the basis given as one column index
 // per row position (structural column, or cols+r for row r's slack), and
-// clears the eta file. Returns false when the basis is numerically
+// clears the eta file. In Forrest–Tomlin mode the fresh U is then loaded
+// into the dynamic store. Returns false when the basis is numerically
 // singular. The caller's dense work vectors must be zero on entry; x is
 // used as the dense accumulation column and is zero again on return.
 func (f *luFactor) factorize(basis []int32, csc *cscMatrix, x []float64) bool {
@@ -163,12 +331,77 @@ func (f *luFactor) factorize(basis []int32, csc *cscMatrix, x []float64) bool {
 		f.lPtr[j+1] = int32(len(f.lIdx))
 		f.touch = touch[:0]
 	}
+	f.nFactor++
+	if f.ft {
+		f.loadFT()
+	}
+	if fill := len(f.uIdx) + m; fill > f.peakFill {
+		f.peakFill = fill
+	}
 	return true
+}
+
+// loadFT converts the freshly factorized static U into the dynamic
+// row+column store and resets the update sequence to the identity.
+func (f *luFactor) loadFT() {
+	m := f.m
+	nnz := len(f.uIdx)
+	f.rowCnt = growInt32(f.rowCnt, m)
+	for k := 0; k < m; k++ {
+		f.rowCnt[k] = 0
+	}
+	for _, k := range f.uIdx {
+		f.rowCnt[k]++
+	}
+	st := &f.us
+	st.reset(2*m, 2*nnz+4*m)
+	for j := 0; j < m; j++ {
+		st.place(j, int(f.uPtr[j+1]-f.uPtr[j])+2)
+	}
+	for k := 0; k < m; k++ {
+		st.place(m+k, int(f.rowCnt[k])+2)
+	}
+	for j := 0; j < m; j++ {
+		for t := f.uPtr[j]; t < f.uPtr[j+1]; t++ {
+			k, v := f.uIdx[t], f.uVal[t]
+			st.push(j, k, v)
+			st.push(m+int(k), int32(j), v)
+		}
+	}
+	f.uLive = nnz
+	f.baseFill = nnz + m
+	f.order = growInt32(f.order, m)
+	f.seqPos = growInt32(f.seqPos, m)
+	for t := 0; t < m; t++ {
+		f.order[t], f.seqPos[t] = int32(t), int32(t)
+	}
+	f.vbuf = growFloats(f.vbuf, m)
+	f.work = growFloats(f.work, m)
+	f.wmark = growBools(f.wmark, m)
+	for i := 0; i < m; i++ {
+		f.work[i] = 0
+		f.wmark[i] = false
+	}
+}
+
+// needRefactor reports whether the accumulated update fill has outgrown
+// the factorization: live U entries plus eta entries past twice the
+// post-factorization baseline (plus slack), or an eta count far beyond
+// anything useful (garbage backstop). Only meaningful in ft mode; the
+// eta-file mode uses the fixed luMaxEtas cap instead.
+func (f *luFactor) needRefactor() bool {
+	if len(f.etaPos) >= 2*f.m+64 {
+		return true
+	}
+	return f.uLive+f.m+len(f.etaIdx) > 2*f.baseFill+64
 }
 
 // ftran solves B·out = x. x is dense in original-row space and is zeroed
 // on return; out is dense in basis-position space and fully overwritten.
+// In ft mode the pre-U-solve vector (the Forrest–Tomlin spike) is captured
+// in vbuf for a possible ftUpdate of this column.
 func (f *luFactor) ftran(x, out []float64) {
+	f.nFtran++
 	// L solve in place (original-row space, pivot order).
 	for k := 0; k < f.m; k++ {
 		xk := x[f.perm[k]]
@@ -182,6 +415,32 @@ func (f *luFactor) ftran(x, out []float64) {
 	for k := 0; k < f.m; k++ {
 		out[k] = x[f.perm[k]]
 		x[f.perm[k]] = 0
+	}
+	if f.ft {
+		// Row etas in creation order: (R·z)[p] = z[p] − rᵀz.
+		for e := 0; e < len(f.etaPos); e++ {
+			p := f.etaPos[e]
+			dot := 0.0
+			for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
+				dot += f.etaVal[t] * out[f.etaIdx[t]]
+			}
+			out[p] -= dot
+		}
+		copy(f.vbuf[:f.m], out[:f.m])
+		// Permuted U solve, backward in sequence order: every column entry
+		// sits at an earlier sequence position than its column.
+		for t := f.m - 1; t >= 0; t-- {
+			j := int(f.order[t])
+			v := out[j] / f.udiag[j]
+			out[j] = v
+			if v != 0 {
+				ci, cv := f.us.entries(j)
+				for q, k := range ci {
+					out[k] -= v * cv[q]
+				}
+			}
+		}
+		return
 	}
 	// U solve (backward; pivot order equals basis position for columns).
 	for j := f.m - 1; j >= 0; j-- {
@@ -211,22 +470,46 @@ func (f *luFactor) ftran(x, out []float64) {
 // zeroed on return; out is dense in original-row space and fully
 // overwritten.
 func (f *luFactor) btran(c, out []float64) {
-	// Eta transposes in reverse creation order: only position p changes.
-	for e := len(f.etaPos) - 1; e >= 0; e-- {
-		p := f.etaPos[e]
-		dot := 0.0
-		for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
-			dot += f.etaVal[t] * c[f.etaIdx[t]]
+	f.nBtran++
+	if f.ft {
+		// Permuted Uᵀ solve, forward in sequence order (in place).
+		for t := 0; t < f.m; t++ {
+			j := int(f.order[t])
+			s := c[j]
+			ci, cv := f.us.entries(j)
+			for q, k := range ci {
+				s -= cv[q] * c[k]
+			}
+			c[j] = s / f.udiag[j]
 		}
-		c[p] = (c[p] - dot) / f.etaPiv[e]
-	}
-	// Uᵀ solve (forward, in place): t_j = (c_j − Σ_{k<j} U[k,j]·t_k)/U[j,j].
-	for j := 0; j < f.m; j++ {
-		s := c[j]
-		for t := f.uPtr[j]; t < f.uPtr[j+1]; t++ {
-			s -= f.uVal[t] * c[f.uIdx[t]]
+		// Row-eta transposes in reverse creation order: Rᵀ = I − r·e_pᵀ
+		// scatters −r·c[p] into the eliminated columns.
+		for e := len(f.etaPos) - 1; e >= 0; e-- {
+			cp := c[f.etaPos[e]]
+			if cp != 0 {
+				for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
+					c[f.etaIdx[t]] -= f.etaVal[t] * cp
+				}
+			}
 		}
-		c[j] = s / f.udiag[j]
+	} else {
+		// Eta transposes in reverse creation order: only position p changes.
+		for e := len(f.etaPos) - 1; e >= 0; e-- {
+			p := f.etaPos[e]
+			dot := 0.0
+			for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
+				dot += f.etaVal[t] * c[f.etaIdx[t]]
+			}
+			c[p] = (c[p] - dot) / f.etaPiv[e]
+		}
+		// Uᵀ solve (forward, in place): t_j = (c_j − Σ_{k<j} U[k,j]·t_k)/U[j,j].
+		for j := 0; j < f.m; j++ {
+			s := c[j]
+			for t := f.uPtr[j]; t < f.uPtr[j+1]; t++ {
+				s -= f.uVal[t] * c[f.uIdx[t]]
+			}
+			c[j] = s / f.udiag[j]
+		}
 	}
 	// Lᵀ solve (backward, in place): s_k = t_k − Σ_{i} L[i,k]·s_{pinv[i]}.
 	for k := f.m - 1; k >= 0; k-- {
@@ -244,7 +527,7 @@ func (f *luFactor) btran(c, out []float64) {
 }
 
 // appendEta records the pivot at basis position p with spike w (the
-// FTRAN'd entering column) as a product-form eta.
+// FTRAN'd entering column) as a product-form eta. Eta-file mode only.
 func (f *luFactor) appendEta(p int, w []float64) {
 	f.etaPos = append(f.etaPos, int32(p))
 	f.etaPiv = append(f.etaPiv, w[p])
@@ -255,4 +538,114 @@ func (f *luFactor) appendEta(p int, w []float64) {
 		}
 	}
 	f.etaPtr = append(f.etaPtr, int32(len(f.etaIdx)))
+	f.nUpdate++
+	if fill := len(f.uIdx) + f.m + len(f.etaIdx); fill > f.peakFill {
+		f.peakFill = fill
+	}
+}
+
+// ftUpdate replaces basis position p's column of U with the spike captured
+// by the most recent ftran (the entering column, partially transformed
+// through L and the prior row etas) and restores permuted triangularity
+// the Forrest–Tomlin way: position p moves to the end of the sequence and
+// its U row is eliminated against the rows now sequenced before it,
+// recording the multipliers as one row eta R = I − e_p·rᵀ. alphaP is the
+// fully transformed spike's pivot entry w_p, giving the exact-arithmetic
+// prediction d_new = w_p·d_old for the new diagonal; disagreement beyond
+// luDriftTol means the factorization has degraded. Returns false when the
+// update is unsafe — the caller must refactorize (the store may be
+// half-mutated then, which the rebuild discards).
+func (f *luFactor) ftUpdate(p int, alphaP float64) bool {
+	m := f.m
+	dPred := alphaP * f.udiag[p]
+	if math.Abs(dPred) < luSingTol {
+		return false // pre-mutation: the factorization is still intact
+	}
+	st := &f.us
+	// Drop column p: its entries also live in the row lines.
+	ci, _ := st.entries(p)
+	for _, k := range ci {
+		st.removeWhere(m+int(k), int32(p))
+	}
+	f.uLive -= int(st.count[p])
+	st.clear(p)
+	// Scatter row p's off-diagonals into the elimination accumulator and
+	// drop them from the column lines.
+	ri, rv := st.entries(m + p)
+	for q, j := range ri {
+		f.work[j] = rv[q]
+		f.wmark[j] = true
+		st.removeWhere(int(j), int32(p))
+	}
+	f.uLive -= int(st.count[m+p])
+	st.clear(m + p)
+	// Insert the spike as the new column p. In the updated sequence p is
+	// last, so every off-diagonal spike entry is above-diagonal.
+	d := f.vbuf[p]
+	for k := 0; k < m; k++ {
+		v := f.vbuf[k]
+		if k == p || v == 0 {
+			continue
+		}
+		st.append(p, int32(k), v)
+		st.append(m+k, int32(p), v)
+		f.uLive++
+	}
+	// Move p to the end of the sequence, shifting the tail down one slot.
+	t0 := int(f.seqPos[p])
+	for t := t0; t < m-1; t++ {
+		f.order[t] = f.order[t+1]
+		f.seqPos[f.order[t]] = int32(t)
+	}
+	f.order[m-1] = int32(p)
+	f.seqPos[p] = int32(m - 1)
+	// Eliminate row p over the sequence positions ahead of it. Fill-in from
+	// row j lands only at positions after j (triangularity), so one forward
+	// scan visits every entry — including the spike's column-p entries,
+	// which fold into the new diagonal d.
+	etaStart := len(f.etaIdx)
+	for t := t0; t < m-1; t++ {
+		j := int(f.order[t])
+		if !f.wmark[j] {
+			continue
+		}
+		cj := f.work[j]
+		f.work[j] = 0
+		f.wmark[j] = false
+		if cj == 0 {
+			continue
+		}
+		r := cj / f.udiag[j]
+		f.etaIdx = append(f.etaIdx, int32(j))
+		f.etaVal = append(f.etaVal, r)
+		rj, rjv := st.entries(m + j)
+		for q, k := range rj {
+			if int(k) == p {
+				d -= r * rjv[q]
+			} else if f.wmark[k] {
+				f.work[k] -= r * rjv[q]
+			} else {
+				f.wmark[k] = true
+				f.work[k] = -r * rjv[q]
+			}
+		}
+	}
+	if math.Abs(d) < luSingTol ||
+		math.Abs(d-dPred) > luDriftTol*math.Max(1, math.Max(math.Abs(d), math.Abs(dPred))) {
+		// Numerical drift: orphan the multipliers and have the caller
+		// rebuild from the (already updated) basis.
+		f.etaIdx = f.etaIdx[:etaStart]
+		f.etaVal = f.etaVal[:etaStart]
+		return false
+	}
+	f.udiag[p] = d
+	if len(f.etaIdx) > etaStart {
+		f.etaPos = append(f.etaPos, int32(p))
+		f.etaPtr = append(f.etaPtr, int32(len(f.etaIdx)))
+	}
+	f.nUpdate++
+	if fill := f.uLive + m + len(f.etaIdx); fill > f.peakFill {
+		f.peakFill = fill
+	}
+	return true
 }

@@ -268,6 +268,26 @@ type Solution struct {
 	// (postsolve rehydrates eliminated columns).
 	PresolveRows int
 	PresolveCols int
+	// LU/basis health, summed over the root solve and every worker engine
+	// (all zero under Options.DenseSimplex, which keeps no factorization):
+	// Refactorizations counts full basis factorizations, BasisUpdates the
+	// in-place pivot updates (Forrest–Tomlin, or eta appends under
+	// Options.EtaFileUpdates), FTRANCount/BTRANCount the triangular solves
+	// against the factorization, and PeakUFill the largest U-plus-eta
+	// nonzero count any worker's factor reached.
+	Refactorizations int
+	BasisUpdates     int
+	FTRANCount       int
+	BTRANCount       int
+	PeakUFill        int
+	// DenseFallbacks counts LP solves the revised engine could not certify
+	// (singular basis, numerical giveup, or a binding artificial box) and
+	// handed to the dense two-phase engine mid-search.
+	DenseFallbacks int
+	// NodePresolveFixings counts the bound tightenings node presolve
+	// propagated from branching decisions before node LP solves (0 when
+	// Options.NoNodePresolve is set or for pure LPs).
+	NodePresolveFixings int
 }
 
 // Value returns the solution value of v.
@@ -339,6 +359,17 @@ type Options struct {
 	// scales to a few thousand columns; kept as an escape hatch and for
 	// differential testing against the revised path.
 	DenseSimplex bool
+	// EtaFileUpdates switches the revised engine's basis maintenance back
+	// to the product-form eta file (one eta per pivot, refactorization
+	// every 64 etas) instead of the default Forrest–Tomlin updates. For
+	// ablation and differential testing; ignored under DenseSimplex.
+	EtaFileUpdates bool
+	// NoNodePresolve disables per-node presolve: the bound-propagation pass
+	// that pushes each node's branching decisions through the constraint
+	// activity bounds before its LP solve, fixing or tightening additional
+	// integer variables and pruning propagation-infeasible nodes without a
+	// solve. For ablation and debugging; mirrors NoWarmStart/NoPresolve.
+	NoNodePresolve bool
 	// MaxLPIter caps simplex pivots per LP solve call (each phase of the
 	// dense two-phase counts separately). 0 means the size-derived default.
 	// A solve that exhausts the cap returns IterLimit instead of claiming

@@ -130,6 +130,9 @@ func (m *Model) presolve(logf func(format string, args ...interface{})) *presolv
 			case preChanged:
 				changed = true
 			}
+			if row.live && p.tightenCoefs(row) {
+				changed = true
+			}
 		}
 		if !p.roundIntegerBounds() {
 			p.infeasible = true
@@ -359,8 +362,14 @@ func (p *presolved) foldSingleton(row *preRow) preOutcome {
 // activity returns the row's minimum and maximum activity over the
 // current bounds, with the count of infinite contributions to each side.
 func (p *presolved) activity(terms []Term) (minAct, maxAct float64, minInf, maxInf int) {
+	return rowActivity(terms, p.lb, p.ub)
+}
+
+// rowActivity computes a row's activity bounds over arbitrary bound
+// vectors. Shared by the global presolve and the per-node presolve pass.
+func rowActivity(terms []Term, lb, ub []float64) (minAct, maxAct float64, minInf, maxInf int) {
 	for _, t := range terms {
-		l, u := p.lb[t.Var], p.ub[t.Var]
+		l, u := lb[t.Var], ub[t.Var]
 		if t.Coef > 0 {
 			if math.IsInf(l, -1) {
 				minInf++
@@ -453,6 +462,83 @@ func (p *presolved) propagate(terms []Term, rhs, sign, minAct float64, minInf in
 		}
 	}
 	return out
+}
+
+// tightenCoefs strengthens binary-variable coefficients against the row's
+// activity bounds (classic MIP coefficient tightening). In ≤-normalized
+// form Σc·x ≤ B, consider a binary x_j and the maximum activity M of the
+// other terms: with x_j = 1 the row demands rest ≤ B − c_j, so whenever
+// c_j < B − M that demand is weaker than what the box already guarantees
+// (rest ≤ M) — raising c_j to B − M cuts no feasible point with
+// x_j ∈ {0, 1} (the x_j = 0 side is untouched; the x_j = 1 side still
+// admits every rest ≤ M) but strictly tightens the LP relaxation. The
+// continuous/general-integer terms sit in "rest", so their feasible set
+// is preserved exactly for either binary value.
+//
+// This is what makes the full-T-backbone exact MIP tractable: its
+// capacity rows Σ rate·γ ≥ demand admit LP points that cover a demand
+// with a tiny fraction of one high-rate channel, putting the LP bound
+// near zero transponders per link. Capping each rate at the demand (the
+// GE image of the rule) makes the LP count one transponder per link — the
+// integer optimum — so branch-and-bound prunes instead of enumerating
+// start-pixel symmetries. A welcome side effect: RADWAN's equal-spacing
+// modes then produce bitwise-identical columns at each (path, pixel),
+// which mergeDuplicates collapses.
+func (p *presolved) tightenCoefs(row *preRow) bool {
+	if row.rel == EQ || len(row.terms) < 2 {
+		return false
+	}
+	sign := 1.0
+	if row.rel == GE {
+		sign = -1
+	}
+	B := sign * row.rhs
+	// Signed maximum activity over the whole row; any infinite bound on a
+	// participating variable makes every binary's "rest" unbounded too
+	// (binaries themselves always contribute finitely).
+	maxAct := 0.0
+	for _, t := range row.terms {
+		c := sign * t.Coef
+		if c > 0 {
+			if math.IsInf(p.ub[t.Var], 1) {
+				return false
+			}
+			maxAct += c * p.ub[t.Var]
+		} else {
+			if math.IsInf(p.lb[t.Var], -1) {
+				return false
+			}
+			maxAct += c * p.lb[t.Var]
+		}
+	}
+	tol := preFeasTol * math.Max(1, math.Abs(B))
+	changed := false
+	for i := range row.terms {
+		t := &row.terms[i]
+		v := t.Var
+		if !p.orig.vars[v].integer || p.lb[v] != 0 || p.ub[v] != 1 {
+			continue
+		}
+		c := sign * t.Coef
+		contrib := 0.0 // c·lb = 0 for c < 0; c·ub = c for c > 0
+		if c > 0 {
+			contrib = c
+		}
+		target := B - (maxAct - contrib)
+		if target <= c+tol || math.Abs(target) <= tol {
+			continue
+		}
+		t.Coef = sign * target
+		// The tightened coefficient's max contribution is target·1 when
+		// positive, 0 when negative; keep maxAct consistent for later terms.
+		newContrib := 0.0
+		if target > 0 {
+			newContrib = target
+		}
+		maxAct += newContrib - contrib
+		changed = true
+	}
+	return changed
 }
 
 // dualFix fixes variables whose objective and column signs make one bound
@@ -582,8 +668,8 @@ func (p *presolved) removeDominated(rows []preRow) {
 		}
 		return 0, true
 	}
-	as := make([]float64, nv)  // candidate row s scattered dense (normalized)
-	csv := make([]float64, nv) // per-var contribution of s alone
+	as := make([]float64, nv)         // candidate row s scattered dense (normalized)
+	csv := make([]float64, nv)        // per-var contribution of s alone
 	norm := func(r *preRow) float64 { // sign normalizing the row to ≤
 		if r.rel == GE {
 			return -1

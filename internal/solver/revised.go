@@ -13,6 +13,18 @@ const (
 	rxBigGrow  = 1e4
 )
 
+// rxPivotSafety is the minimum spike-pivot magnitude accepted for a basis
+// change. A column can price as eligible (|ρ·a_j| > pivotTol) while the
+// FTRAN'd value of the same quantity lands orders of magnitude smaller on
+// highly degenerate models; pivoting on such a value produces a
+// near-singular next basis whose refactorization then fails. Columns under
+// this threshold are numerically ineligible for the current leaving row
+// and are excluded from the ratio test instead of pivoted on. Skipping a
+// column with |α| < rxPivotSafety perturbs its reduced cost by at most
+// θ·|α| per pivot, well inside feasTol for the step sizes these models
+// produce.
+const rxPivotSafety = 1e-7
+
 // rxStatus is a column's role relative to the current basis.
 type rxStatus int8
 
@@ -74,6 +86,11 @@ type rxScratch struct {
 	xB     []float64 // basic variable values, by row position
 
 	lu     luFactor
+	excl   []uint64 // per-column exclusion epoch for the tiny-pivot retry
+	exclEp uint64
+	alphaC []float64 // cached ρ·a_j per admissible column for the ratio test
+	dC     []float64 // cached reduced cost per admissible column
+	admis  []int32   // admissible columns of the current ratio test
 	colBuf []float64 // dense original-row scratch (FTRAN input; zero between uses)
 	w      []float64 // FTRAN output: the spike B⁻¹a_enter
 	rho    []float64 // BTRAN(e_p), original-row space
@@ -90,7 +107,11 @@ type rxScratch struct {
 	usedArt    bool // solve placed artificial boxes: no snapshot, no fixings
 }
 
-func newRxScratch(m *Model) *rxScratch {
+// newRxScratch builds a revised-simplex scratch for m. etaFile selects the
+// legacy product-form eta file for basis maintenance instead of the default
+// Forrest–Tomlin updates (Options.EtaFileUpdates; kept for ablation and
+// differential testing).
+func newRxScratch(m *Model, etaFile bool) *rxScratch {
 	csc := m.cscMatrixOf()
 	rx := &rxScratch{
 		m:     m,
@@ -100,6 +121,7 @@ func newRxScratch(m *Model) *rxScratch {
 		nTot:  csc.cols + csc.rows,
 		sign:  1,
 	}
+	rx.lu.ft = !etaFile
 	if m.sense == Maximize {
 		rx.sign = -1
 	}
@@ -112,6 +134,10 @@ func newRxScratch(m *Model) *rxScratch {
 	rx.status = make([]rxStatus, rx.nTot)
 	rx.basis = make([]int32, rx.nRows)
 	rx.xB = make([]float64, rx.nRows)
+	rx.excl = make([]uint64, rx.nTot)
+	rx.alphaC = make([]float64, rx.nTot)
+	rx.dC = make([]float64, rx.nTot)
+	rx.admis = make([]int32, 0, rx.nTot)
 	rx.colBuf = make([]float64, rx.nRows)
 	rx.w = make([]float64, rx.nRows)
 	rx.rho = make([]float64, rx.nRows)
@@ -274,9 +300,18 @@ func (rx *rxScratch) dualIterate() rxResult {
 		rx.lu.btran(rx.posBuf, rx.y)
 
 		// Dual ratio test: among nonbasic columns whose movement pushes
-		// xB[p] toward its violated bound, pick the one whose reduced cost
-		// hits zero first, keeping every other column dual feasible.
-		enter := -1
+		// xB[p] toward its violated bound, the entering column must be one
+		// whose reduced cost hits zero first. One pricing pass caches every
+		// admissible column's (α, d); the winner is then chosen among the
+		// columns whose ratio ties the minimum within feasTol as the one
+		// with the LARGEST |α|. The tie-break is the load-bearing part: on
+		// massively degenerate models (near-parallel columns after
+		// coefficient tightening) most ratios are exactly zero, and always
+		// taking the smallest index walks into a sequence of tiny pivots
+		// whose huge steps blow up the basic values until the basis goes
+		// numerically singular. Preferring the biggest pivot keeps steps —
+		// and the basis condition number — bounded.
+		rx.admis = rx.admis[:0]
 		bestRatio := math.Inf(1)
 		for j := 0; j < rx.nTot; j++ {
 			st := rx.status[j]
@@ -302,25 +337,57 @@ func (rx *rxScratch) dualIterate() rxResult {
 			if ratio < 0 {
 				ratio = 0 // roundoff pushed d marginally past its bound
 			}
-			if ratio < bestRatio-feasTol {
-				bestRatio = ratio
-				enter = j
+			rx.admis = append(rx.admis, int32(j))
+			rx.alphaC[j], rx.dC[j] = alpha, ratio
+		}
+		// The cached pass retries with the chosen column excluded whenever
+		// its FTRAN'd spike pivot comes out below rxPivotSafety — pivoting
+		// on a tiny α would hand the next refactorization a near-singular
+		// basis (see the constant's comment).
+		rx.exclEp++
+		excluded := 0
+		enter := -1
+		var alphaP float64
+		for {
+			bestRatio = math.Inf(1)
+			for _, j32 := range rx.admis {
+				if j := int(j32); rx.excl[j] != rx.exclEp && rx.dC[j] < bestRatio {
+					bestRatio = rx.dC[j]
+				}
 			}
-		}
-		if enter < 0 {
-			// The violated row prices every admissible movement the wrong
-			// way: no feasible point exists under the current bounds.
-			return rxInfeasible
-		}
+			enter = -1
+			bestAbs := 0.0
+			for _, j32 := range rx.admis {
+				j := int(j32)
+				if rx.excl[j] == rx.exclEp {
+					continue
+				}
+				if a := math.Abs(rx.alphaC[j]); rx.dC[j] <= bestRatio+feasTol && a > bestAbs {
+					bestAbs = a
+					enter = j
+				}
+			}
+			if enter < 0 {
+				if excluded > 0 {
+					// Every tied column FTRANs to α ≈ 0: too
+					// ill-conditioned to certify infeasibility here. The
+					// dense two-phase decides.
+					return rxGiveUp
+				}
+				// The violated row prices every admissible movement the
+				// wrong way: no feasible point exists under these bounds.
+				return rxInfeasible
+			}
 
-		// Spike: w = B⁻¹a_enter.
-		rx.scatterCol(enter, rx.colBuf)
-		rx.lu.ftran(rx.colBuf, rx.w)
-		alphaP := rx.w[p]
-		if math.Abs(alphaP) <= pivotTol {
-			// FTRAN disagrees with the priced α beyond tolerance: the
-			// factorization has degraded. Fall back rather than divide.
-			return rxGiveUp
+			// Spike: w = B⁻¹a_enter.
+			rx.scatterCol(enter, rx.colBuf)
+			rx.lu.ftran(rx.colBuf, rx.w)
+			alphaP = rx.w[p]
+			if math.Abs(alphaP) > rxPivotSafety {
+				break
+			}
+			rx.excl[enter] = rx.exclEp
+			excluded++
 		}
 
 		// Primal step: the leaving variable lands exactly on its violated
@@ -336,6 +403,7 @@ func (rx *rxScratch) dualIterate() rxResult {
 				rx.xB[i] -= step * rx.w[i]
 			}
 		}
+		enterPrev := rx.status[enter]
 		rx.xB[p] = enterVal
 		if sigma > 0 {
 			rx.status[leave] = rxAtUpper
@@ -346,14 +414,31 @@ func (rx *rxScratch) dualIterate() rxResult {
 		rx.basis[p] = int32(enter)
 		rx.lastPivots++
 
-		// Factor update: append a product-form eta, or refactorize when the
-		// eta file is long or the spike pivot is small.
-		if rx.lu.nEtas() >= luMaxEtas || math.Abs(alphaP) < luEtaTol {
+		// Factor update. Forrest–Tomlin mode updates U in place unless the
+		// spike pivot is tiny, fill has outgrown the factorization, or the
+		// update itself detects numerical drift — all of which refactorize
+		// instead. Eta-file mode appends a product-form eta with the fixed
+		// luMaxEtas refactorization cap.
+		var updated bool
+		if rx.lu.ft {
+			updated = math.Abs(alphaP) >= luEtaTol && !rx.lu.needRefactor() && rx.lu.ftUpdate(p, alphaP)
+		} else if rx.lu.nEtas() < luMaxEtas && math.Abs(alphaP) >= luEtaTol {
+			rx.lu.appendEta(p, rx.w)
+			updated = true
+		}
+		if !updated && !rx.refactor() {
+			// The factorization had drifted far enough that the pivot we
+			// just made was priced from bad numbers and produced a
+			// numerically dependent basis. Undo the pivot, rebuild fresh
+			// factors for the previous basis (which was valid), and redo
+			// the iteration with accurate pricing.
+			rx.basis[p] = int32(leave)
+			rx.status[leave] = rxBasic
+			rx.status[enter] = enterPrev
+			rx.lastPivots--
 			if !rx.refactor() {
 				return rxGiveUp
 			}
-		} else {
-			rx.lu.appendEta(p, rx.w)
 		}
 	}
 	return rxIterLimit

@@ -414,10 +414,10 @@ type tableau struct {
 	cost    []float64   // reduced-cost row (length n)
 	obj     float64     // negative of current objective value offset
 	basis   []int
-	barred  []bool      // columns that may never enter (phase-2 artificials)
-	nz      *tabSparse  // build-time row sparsity (nil: always scan dense)
-	maxIter int         // per-call pivot cap (0 = size-derived default)
-	pivots  int         // Gauss-Jordan pivots performed (all phases)
+	barred  []bool     // columns that may never enter (phase-2 artificials)
+	nz      *tabSparse // build-time row sparsity (nil: always scan dense)
+	maxIter int        // per-call pivot cap (0 = size-derived default)
+	pivots  int        // Gauss-Jordan pivots performed (all phases)
 }
 
 // setCosts installs a cost vector (copied into the working row) and

@@ -11,6 +11,14 @@
 //	flexwanctl -scheme radwan -cut f-direct       # watch rigid hardware degrade
 //	flexwanctl -drill ring -drill-seed 7          # seeded recovery drill
 //	flexwanctl -drill all                         # full ladder → BENCH_recovery.json
+//
+// Against a running flexwand service (see cmd/flexwand):
+//
+//	flexwanctl submit -type plan -network cernet -wait 2m
+//	flexwanctl submit -type restore -network cernet -cut cfib000
+//	flexwanctl status                             # scheduler counters
+//	flexwanctl devices                            # fleet health
+//	flexwanctl load -jobs 1000 -tenants 4         # → BENCH_service.json
 package main
 
 import (
@@ -27,6 +35,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && serviceCommands[os.Args[1]] {
+		if err := runService(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	demand := flag.Int("demand", 400, "IP link demand in Gbps (A–B)")
 	scheme := flag.String("scheme", "flexwan", "transponders: flexwan | radwan | 100g")
 	cut := flag.String("cut", "f-direct", "fiber to cut after startup ('' to skip)")
@@ -263,7 +278,28 @@ func runDrills(which string, seed int64, out string, pushWorkers int, pushBudget
 	if len(overruns) > 0 {
 		return fmt.Errorf("flexwanctl: push-time budget exceeded:\n  %s", strings.Join(overruns, "\n  "))
 	}
+	// A drill that diverged from the offline oracle or left the fleet
+	// config inconsistent is a failure — the exit code must say so even
+	// though the scorecards were written.
+	if failures := drillFailures(reports); len(failures) > 0 {
+		return fmt.Errorf("flexwanctl: %d drill(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
 	return nil
+}
+
+// drillFailures lists the drill records that failed their closed-loop
+// checks: restoration diverging from the offline oracle, or a
+// post-recovery audit finding the fleet out of sync with intent.
+func drillFailures(reports []*eval.RecoveryBenchRecord) []string {
+	var failures []string
+	for _, r := range reports {
+		if !r.OracleMatch || !r.AuditClean {
+			failures = append(failures,
+				fmt.Sprintf("%s on %s (workers=%d): oracle_match=%v audit_clean=%v",
+					r.Name, r.Network, r.PushWorkers, r.OracleMatch, r.AuditClean))
+		}
+	}
+	return failures
 }
 
 // parsePushBudgets parses "network=ms,network=ms" into a lower-cased

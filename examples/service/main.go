@@ -1,0 +1,147 @@
+// Command service embeds the FlexWAN controller service in-process: the
+// same multi-tenant job API the flexwand daemon serves, here started on
+// a loopback listener and driven end to end — submit a planning job and
+// a restoration job as two different tenants, follow the event stream,
+// and read the audit trail the scheduler leaves behind.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"flexwan"
+)
+
+func main() {
+	// 1. The service: scheduler + plan cache + config store behind one
+	// HTTP handler. Workers and queue depth bound the whole machine —
+	// no tenant can starve another past them.
+	srv := flexwan.NewAPIServer(flexwan.APIServerOptions{
+		QueueDepth: 64,
+		Workers:    2,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service up on %s\n", base)
+
+	// 2. Tenant A plans the CERNET backbone.
+	plan := submit(base, "tenant-a", flexwan.JobSpec{
+		Type: "plan", Network: "cernet", Seed: 1,
+	})
+	fmt.Printf("tenant-a submitted %s (plan cernet)\n", plan.ID)
+
+	// 3. Tenant B restores a fiber cut on the same backbone — the cached
+	// base plan is shared, the worker pool is shared, the tenants are
+	// scheduled fairly.
+	restore := submit(base, "tenant-b", flexwan.JobSpec{
+		Type: "restore", Network: "cernet", Seed: 1, CutFibers: []string{"cfib010"},
+	})
+	fmt.Printf("tenant-b submitted %s (restore after cfib010 cut)\n", restore.ID)
+
+	// 4. Long-poll both to their terminal states. ?wait holds the reply
+	// until the job finishes — no polling loop needed.
+	for _, j := range []flexwan.JobView{plan, restore} {
+		v := wait(base, j.ID)
+		fmt.Printf("%s (%s): %s\n", v.ID, v.Tenant, v.State)
+		if v.State != flexwan.JobOptimal {
+			log.Fatalf("job %s failed: %s", v.ID, v.Error)
+		}
+	}
+
+	// 5. The restoration result, exactly what batch restore.Solve would
+	// have produced for the same scenario.
+	v := wait(base, restore.ID)
+	var res struct {
+		RestoredGbps int     `json:"restored_gbps"`
+		AffectedGbps int     `json:"affected_gbps"`
+		Capability   float64 `json:"capability"`
+		Channels     int     `json:"channels"`
+	}
+	if err := json.Unmarshal(v.Result, &res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restoration: revived %d of %d Gbps over %d channels (capability %.2f)\n",
+		res.RestoredGbps, res.AffectedGbps, res.Channels, res.Capability)
+
+	// 6. The job event streams double as an execution narrative.
+	var events []struct {
+		Seq   int    `json:"seq"`
+		Kind  string `json:"kind"`
+		State string `json:"state"`
+		Msg   string `json:"msg"`
+	}
+	getJSON(base+"/v1/jobs/"+restore.ID+"/events", &events)
+	for _, ev := range events {
+		if ev.Kind == "state" {
+			fmt.Printf("  event %d: → %s\n", ev.Seq, ev.State)
+		} else {
+			fmt.Printf("  event %d: %s\n", ev.Seq, ev.Msg)
+		}
+	}
+
+	// 7. Scheduler counters: per-tenant accounting, queue high-water.
+	var stats flexwan.SchedStats
+	getJSON(base+"/v1/stats", &stats)
+	fmt.Printf("scheduler: %d submitted, %d optimal, max queue depth %d\n",
+		stats.Submitted, stats.Optimal, stats.MaxQueueDepth)
+
+	// 8. Graceful stop: queued jobs drain Canceled, in-flight finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	_ = hs.Shutdown(ctx)
+	fmt.Println("service drained and stopped")
+}
+
+func submit(base, tenant string, spec flexwan.JobSpec) flexwan.JobView {
+	body, _ := json.Marshal(spec)
+	req, _ := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var v flexwan.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func wait(base, id string) flexwan.JobView {
+	for {
+		var v flexwan.JobView
+		getJSON(base+"/v1/jobs/"+id+"?wait=10s", &v)
+		if v.State.Terminal() {
+			return v
+		}
+	}
+}
+
+func getJSON(url string, v interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+
+	"flexwan/internal/chaos"
+	"flexwan/internal/plan"
+	"flexwan/internal/spectrum"
+	"flexwan/internal/transponder"
+	"flexwan/internal/workload"
+)
+
+// ResolveCatalog maps a scheme name to its transponder catalog.
+func ResolveCatalog(scheme string) (transponder.Catalog, error) {
+	switch scheme {
+	case "", "flexwan", "svt":
+		return transponder.SVT(), nil
+	case "radwan", "bvt":
+		return transponder.RADWAN(), nil
+	case "100g", "fixed":
+		return transponder.Fixed100G(), nil
+	}
+	return transponder.Catalog{}, fmt.Errorf("unknown scheme %q (want flexwan, radwan, or 100g)", scheme)
+}
+
+// ResolveNetwork maps a network name (+ demand scale and seed) to a
+// topology. The ring sizes mirror the chaos drill networks.
+func ResolveNetwork(name string, scale float64, seed int64) (workload.Network, error) {
+	var n workload.Network
+	switch name {
+	case "ring4":
+		n = chaos.RingNetwork(4, 500, 400)
+	case "ring6":
+		n = chaos.RingNetwork(6, 400, 400)
+	case "cernet":
+		n = workload.Cernet(seed)
+	case "tbackbone":
+		n = workload.TBackbone(seed)
+	default:
+		return workload.Network{}, fmt.Errorf("unknown network %q (want ring4, ring6, cernet, or tbackbone)", name)
+	}
+	if scale > 0 && scale != 1 {
+		n = n.Scale(scale)
+	}
+	return n, nil
+}
+
+// planKey identifies one cached base plan. Everything that feeds
+// plan.Solve is in the key, so equal keys mean byte-identical plans —
+// which is what makes a thousand restoration jobs against the same
+// backbone bit-identical to their batch equivalents.
+type planKey struct {
+	network string
+	scale   float64
+	scheme  string
+	k       int
+	seed    int64
+}
+
+// planEntry is one cache slot; once guards the single solve.
+type planEntry struct {
+	once    sync.Once
+	net     workload.Network
+	catalog transponder.Catalog
+	grid    spectrum.Grid
+	res     *plan.Result
+	err     error
+}
+
+// planCache memoizes heuristic base plans per (network, scale, scheme,
+// k, seed). plan.Solve is deterministic, so the cache only saves time,
+// never changes results.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[planKey]*planEntry)}
+}
+
+// base returns the cached plan for the key, solving on first use. The
+// per-entry sync.Once keeps concurrent first requests from racing N
+// identical solves.
+func (c *planCache) base(key planKey) (*planEntry, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &planEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.net, e.err = ResolveNetwork(key.network, key.scale, key.seed)
+		if e.err != nil {
+			return
+		}
+		e.catalog, e.err = ResolveCatalog(key.scheme)
+		if e.err != nil {
+			return
+		}
+		e.grid = spectrum.DefaultGrid()
+		e.res, e.err = plan.Solve(plan.Problem{
+			Optical: e.net.Optical, IP: e.net.IP,
+			Catalog: e.catalog, Grid: e.grid, K: key.k,
+		})
+	})
+	return e, e.err
+}
+
+func specKey(spec JobSpec) planKey {
+	return planKey{network: spec.Network, scale: spec.Scale, scheme: spec.Scheme, k: spec.K, seed: spec.Seed}
+}

@@ -1,0 +1,349 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexwan/internal/parallel"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull: the fixed admission queue is at capacity → 429.
+	ErrQueueFull = errors.New("api: admission queue full")
+	// ErrShuttingDown: the scheduler is draining → 503.
+	ErrShuttingDown = errors.New("api: scheduler shutting down")
+)
+
+// Executor runs one job and returns its result payload. The contract:
+// observe ctx (it carries the job's deadline) and return ctx.Err() when
+// aborted by it — the scheduler maps context errors to Canceled, other
+// errors to Failed, nil to Optimal.
+type Executor func(ctx context.Context, job *Job) (json.RawMessage, error)
+
+// SchedOptions configures the scheduler.
+type SchedOptions struct {
+	// QueueDepth bounds the jobs waiting for a worker, across all
+	// tenants (default 256). Submissions past it get ErrQueueFull — the
+	// explicit 429 that tells a load generator to back off.
+	QueueDepth int
+	// Workers bounds concurrently running jobs (default GOMAXPROCS):
+	// one shared parallel.Pool across every tenant, so solver work is
+	// CPU-bounded no matter how many tenants are pushing.
+	Workers int
+	// Executor runs each job.
+	Executor Executor
+	// Logf receives scheduler log lines (nil silences them).
+	Logf func(format string, args ...interface{})
+}
+
+// TenantStats counts one tenant's traffic.
+type TenantStats struct {
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+}
+
+// SchedStats is the /v1/stats payload.
+type SchedStats struct {
+	Workers       int                     `json:"workers"`
+	QueueDepth    int                     `json:"queue_depth"`
+	Queued        int                     `json:"queued"`
+	Running       int                     `json:"running"`
+	Submitted     int                     `json:"submitted"`
+	Rejected      int                     `json:"rejected"`
+	Optimal       int                     `json:"optimal"`
+	Failed        int                     `json:"failed"`
+	Canceled      int                     `json:"canceled"`
+	MaxQueueDepth int                     `json:"max_queue_depth"`
+	PerTenant     map[string]*TenantStats `json:"per_tenant"`
+}
+
+// Scheduler is the bounded multi-tenant job scheduler: a fixed admission
+// queue split per tenant, a round-robin fair dequeue over tenants with
+// waiting work, and one shared worker pool executing the dequeued jobs.
+// Fairness is at dequeue: a tenant that floods the queue only ever gets
+// one job picked per rotation, so a second tenant's first job never waits
+// behind the flood.
+type Scheduler struct {
+	opts SchedOptions
+	pool *parallel.Pool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][]*Job // per-tenant FIFO of queued jobs
+	ring   []string          // tenants with non-empty queues, rotation order
+	next   int               // ring position of the next dequeue
+	queued int
+	jobs   map[string]*Job
+	order  []string // job IDs in admission order
+	nextID int
+
+	draining bool
+	stats    SchedStats
+
+	dispatcherDone chan struct{}
+}
+
+// NewScheduler builds and starts a scheduler.
+func NewScheduler(opts SchedOptions) *Scheduler {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	if opts.Executor == nil {
+		panic("api: NewScheduler without Executor")
+	}
+	s := &Scheduler{
+		opts:           opts,
+		pool:           parallel.NewPool(opts.Workers),
+		queues:         make(map[string][]*Job),
+		jobs:           make(map[string]*Job),
+		dispatcherDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.stats.Workers = s.pool.Cap()
+	s.stats.QueueDepth = opts.QueueDepth
+	s.stats.PerTenant = make(map[string]*TenantStats)
+	go s.dispatch()
+	return s
+}
+
+func (s *Scheduler) logf(format string, args ...interface{}) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Scheduler) tenantStats(tenant string) *TenantStats {
+	ts := s.stats.PerTenant[tenant]
+	if ts == nil {
+		ts = &TenantStats{}
+		s.stats.PerTenant[tenant] = ts
+	}
+	return ts
+}
+
+// Submit admits one job for tenant, or refuses with ErrQueueFull /
+// ErrShuttingDown. The job's deadline clock starts now — queueing time
+// counts against it.
+func (s *Scheduler) Submit(tenant string, spec JobSpec) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrShuttingDown
+	}
+	if s.queued >= s.opts.QueueDepth {
+		s.stats.Rejected++
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), tenant, spec, time.Now())
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if len(s.queues[tenant]) == 0 {
+		s.ring = append(s.ring, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], j)
+	s.queued++
+	if s.queued > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = s.queued
+	}
+	s.stats.Submitted++
+	s.tenantStats(tenant).Submitted++
+	s.cond.Signal()
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in admission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = s.queued
+	st.PerTenant = make(map[string]*TenantStats, len(s.stats.PerTenant))
+	for t, ts := range s.stats.PerTenant {
+		c := *ts
+		st.PerTenant[t] = &c
+	}
+	return st
+}
+
+// dequeue blocks until a job is available (returned) or the scheduler is
+// draining with an empty queue (nil). Tenant rotation: one job from the
+// ring tenant at next, then advance.
+func (s *Scheduler) dequeue() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.queued > 0 {
+			if s.next >= len(s.ring) {
+				s.next = 0
+			}
+			tenant := s.ring[s.next]
+			q := s.queues[tenant]
+			j := q[0]
+			s.queues[tenant] = q[1:]
+			s.queued--
+			if len(s.queues[tenant]) == 0 {
+				delete(s.queues, tenant)
+				s.ring = append(s.ring[:s.next], s.ring[s.next+1:]...)
+				// next now points at the following tenant already.
+			} else {
+				s.next++
+			}
+			if len(s.ring) > 0 {
+				s.next %= len(s.ring)
+			} else {
+				s.next = 0
+			}
+			return j
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// dispatch feeds dequeued jobs into the shared pool. pool.Run blocks
+// while all workers are busy — that is the concurrency bound, and the
+// queue keeps filling (up to QueueDepth) behind it.
+func (s *Scheduler) dispatch() {
+	defer close(s.dispatcherDone)
+	for {
+		j := s.dequeue()
+		if j == nil {
+			return
+		}
+		job := j
+		if err := s.pool.Run(func() { s.execute(job) }); err != nil {
+			s.finishJob(job, StateCanceled, nil, "scheduler stopped")
+		}
+	}
+}
+
+// execute runs one job on a pool worker. A job whose deadline already
+// expired while queued is reported Canceled without running — never a
+// stale Optimal.
+func (s *Scheduler) execute(j *Job) {
+	defer j.cancel()
+	if err := j.ctx.Err(); err != nil {
+		s.finishJob(j, StateCanceled, nil, "deadline expired while queued: "+err.Error())
+		return
+	}
+	j.setRunning(time.Now())
+	s.mu.Lock()
+	s.stats.Running++
+	s.mu.Unlock()
+	result, err := s.opts.Executor(j.ctx, j)
+	s.mu.Lock()
+	s.stats.Running--
+	s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.finishJob(j, StateOptimal, result, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.finishJob(j, StateCanceled, result, err.Error())
+	default:
+		s.finishJob(j, StateFailed, result, err.Error())
+	}
+}
+
+func (s *Scheduler) finishJob(j *Job, state JobState, result json.RawMessage, errMsg string) {
+	j.finish(state, result, errMsg, time.Now())
+	s.mu.Lock()
+	switch state {
+	case StateOptimal:
+		s.stats.Optimal++
+	case StateFailed:
+		s.stats.Failed++
+	case StateCanceled:
+		s.stats.Canceled++
+	}
+	s.tenantStats(j.Tenant).Completed++
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: admission stops (ErrShuttingDown), every
+// still-queued job is finished Canceled with an explicit reason, and
+// in-flight jobs run to completion. If ctx expires first, in-flight job
+// contexts are canceled and Shutdown returns ctx.Err() — the jobs then
+// finish Canceled through the executor contract.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		var drained []*Job
+		for _, q := range s.queues {
+			drained = append(drained, q...)
+		}
+		s.queues = make(map[string][]*Job)
+		s.ring = nil
+		s.queued = 0
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		for _, j := range drained {
+			j.cancel()
+			s.finishJob(j, StateCanceled, nil, "server shutting down before start")
+		}
+	} else {
+		s.mu.Unlock()
+	}
+
+	// Dispatcher exits once the queue is empty; only then is it safe to
+	// close the pool (Run on a closed pool would cancel a job).
+	select {
+	case <-s.dispatcherDone:
+	case <-ctx.Done():
+		s.cancelRunning()
+		<-s.dispatcherDone
+	}
+	s.pool.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.pool.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRunning()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// cancelRunning force-cancels every non-terminal job's context.
+func (s *Scheduler) cancelRunning() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if !j.State().Terminal() {
+			j.cancel()
+		}
+	}
+}

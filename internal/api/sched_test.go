@@ -1,0 +1,384 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateExec is a stub executor whose jobs block until release is closed,
+// recording execution order — the scheduler harness for the fairness,
+// queue-bound, and shutdown tests.
+type gateExec struct {
+	mu      sync.Mutex
+	order   []string // job IDs in execution-start order
+	started map[string]chan struct{}
+	release chan struct{}
+}
+
+func newGateExec() *gateExec {
+	return &gateExec{
+		started: make(map[string]chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gateExec) run(ctx context.Context, j *Job) (json.RawMessage, error) {
+	g.mu.Lock()
+	g.order = append(g.order, j.ID)
+	if ch, ok := g.started[j.ID]; ok {
+		close(ch)
+	}
+	g.mu.Unlock()
+	select {
+	case <-g.release:
+		return json.RawMessage(`{"ok":true}`), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// expectStart registers a channel closed when the job starts executing.
+func (g *gateExec) expectStart(id string) chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch := make(chan struct{})
+	g.started[id] = ch
+	return ch
+}
+
+func (g *gateExec) execOrder() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		_, state, change := j.watch(1)
+		if state == want {
+			return
+		}
+		if state.Terminal() {
+			t.Fatalf("job %s: state %s, want %s", j.ID, state, want)
+		}
+		select {
+		case <-change:
+		case <-deadline:
+			t.Fatalf("job %s: timed out waiting for %s (at %s)", j.ID, want, j.State())
+		}
+	}
+}
+
+func waitTerminal(t *testing.T, j *Job) JobState {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		_, state, change := j.watch(1)
+		if state.Terminal() {
+			return state
+		}
+		select {
+		case <-change:
+		case <-deadline:
+			t.Fatalf("job %s: timed out waiting for terminal state (at %s)", j.ID, j.State())
+		}
+	}
+}
+
+// TestSchedulerQueueFull: the admission queue is a hard bound — past it,
+// Submit refuses with ErrQueueFull and counts the rejection.
+func TestSchedulerQueueFull(t *testing.T) {
+	g := newGateExec()
+	s := NewScheduler(SchedOptions{QueueDepth: 2, Workers: 1, Executor: g.run})
+	started := make(chan struct{})
+	g.mu.Lock()
+	g.started["j-000001"] = started
+	g.mu.Unlock()
+
+	var accepted []*Job
+	j1, err := s.Submit("a", JobSpec{})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	accepted = append(accepted, j1)
+	<-started // worker occupied; dispatcher may park one more in pool.Run
+
+	var full bool
+	for i := 0; i < 20 && !full; i++ {
+		j, err := s.Submit("a", JobSpec{})
+		switch {
+		case err == nil:
+			accepted = append(accepted, j)
+		case errors.Is(err, ErrQueueFull):
+			full = true
+		default:
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if !full {
+		t.Fatalf("never hit ErrQueueFull after 20 submissions past a depth-2 queue")
+	}
+	// Depth 2 plus the running job and at most one parked in dispatch.
+	if len(accepted) > 4 {
+		t.Fatalf("accepted %d jobs with queue depth 2, want <= 4", len(accepted))
+	}
+	if st := s.Stats(); st.Rejected < 1 {
+		t.Fatalf("stats.Rejected = %d, want >= 1", st.Rejected)
+	}
+
+	close(g.release)
+	for _, j := range accepted {
+		if got := waitTerminal(t, j); got != StateOptimal {
+			t.Fatalf("job %s finished %s, want Optimal", j.ID, got)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestSchedulerFairness: tenant B's two jobs must not wait behind tenant
+// A's flood. With round-robin dequeue they land in the first six
+// executions; FIFO would run them last.
+func TestSchedulerFairness(t *testing.T) {
+	g := newGateExec()
+	s := NewScheduler(SchedOptions{QueueDepth: 64, Workers: 1, Executor: g.run})
+	started := g.expectStart("j-000001")
+
+	blocker, err := s.Submit("tenant-a", JobSpec{})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started // the single worker is now held
+
+	var aJobs, bJobs []*Job
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit("tenant-a", JobSpec{})
+		if err != nil {
+			t.Fatalf("submit a#%d: %v", i, err)
+		}
+		aJobs = append(aJobs, j)
+	}
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit("tenant-b", JobSpec{})
+		if err != nil {
+			t.Fatalf("submit b#%d: %v", i, err)
+		}
+		bJobs = append(bJobs, j)
+	}
+
+	close(g.release)
+	for _, j := range append(append([]*Job{blocker}, aJobs...), bJobs...) {
+		if got := waitTerminal(t, j); got != StateOptimal {
+			t.Fatalf("job %s finished %s, want Optimal", j.ID, got)
+		}
+	}
+
+	pos := map[string]int{}
+	for i, id := range g.execOrder() {
+		pos[id] = i + 1
+	}
+	// 11 jobs total; under FIFO tenant B would execute 10th and 11th.
+	// Round-robin interleaves them right after the jobs the dispatcher
+	// had already committed, so both land in the first six.
+	for _, j := range bJobs {
+		if pos[j.ID] > 6 {
+			t.Fatalf("tenant-b job %s executed %dth of %d — starved behind tenant-a's flood (order %v)",
+				j.ID, pos[j.ID], len(pos), g.execOrder())
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestSchedulerDeadlineWhileQueued: a job whose deadline expires before
+// a worker picks it up is reported Canceled — never run, never Optimal.
+func TestSchedulerDeadlineWhileQueued(t *testing.T) {
+	g := newGateExec()
+	s := NewScheduler(SchedOptions{QueueDepth: 8, Workers: 1, Executor: g.run})
+	started := g.expectStart("j-000001")
+	blocker, err := s.Submit("a", JobSpec{})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started
+	// Sacrificial second submit: the dispatcher parks it in pool.Run so
+	// the deadline job genuinely sits in the queue.
+	parked, err := s.Submit("a", JobSpec{})
+	if err != nil {
+		t.Fatalf("submit parked: %v", err)
+	}
+	doomed, err := s.Submit("a", JobSpec{DeadlineMs: 30})
+	if err != nil {
+		t.Fatalf("submit doomed: %v", err)
+	}
+	<-doomed.Context().Done() // deadline fires while queued
+	close(g.release)
+
+	if got := waitTerminal(t, doomed); got != StateCanceled {
+		t.Fatalf("deadline-expired job finished %s, want Canceled", got)
+	}
+	v := doomed.View(true)
+	if v.Error == "" {
+		t.Fatalf("canceled job has no error message")
+	}
+	for _, id := range g.execOrder() {
+		if id == doomed.ID {
+			t.Fatalf("deadline-expired job %s was executed", id)
+		}
+	}
+	for _, j := range []*Job{blocker, parked} {
+		if got := waitTerminal(t, j); got != StateOptimal {
+			t.Fatalf("job %s finished %s, want Optimal", j.ID, got)
+		}
+	}
+	st := s.Stats()
+	if st.Canceled != 1 || st.Optimal != 2 {
+		t.Fatalf("stats optimal=%d canceled=%d, want 2/1", st.Optimal, st.Canceled)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestSchedulerGracefulShutdown: in-flight jobs run to completion,
+// queued jobs drain with an explicit Canceled status, and submission
+// after shutdown refuses with ErrShuttingDown.
+func TestSchedulerGracefulShutdown(t *testing.T) {
+	g := newGateExec()
+	s := NewScheduler(SchedOptions{QueueDepth: 16, Workers: 1, Executor: g.run})
+	started := g.expectStart("j-000001")
+	inflight, err := s.Submit("a", JobSpec{})
+	if err != nil {
+		t.Fatalf("submit inflight: %v", err)
+	}
+	<-started
+	var queued []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit("b", JobSpec{})
+		if err != nil {
+			t.Fatalf("submit queued#%d: %v", i, err)
+		}
+		queued = append(queued, j)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- s.Shutdown(context.Background()) }()
+
+	// Queued jobs drain Canceled without waiting for the in-flight job.
+	// The dispatcher may have already committed one of them to the pool
+	// (parked waiting for a worker) — that one runs to completion instead.
+	deadline := time.After(10 * time.Second)
+	var parked *Job
+	for {
+		drained := 0
+		parked = nil
+		for _, j := range queued {
+			if j.State() == StateCanceled {
+				drained++
+			} else {
+				parked = j
+			}
+		}
+		if drained >= len(queued)-1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d queued jobs drained Canceled", drained, len(queued))
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	for _, j := range queued {
+		if j.State() != StateCanceled {
+			continue
+		}
+		if v := j.View(true); v.Error != "server shutting down before start" {
+			t.Fatalf("drained job %s error = %q", j.ID, v.Error)
+		}
+	}
+
+	close(g.release) // let the in-flight (and any parked) job finish
+	if got := waitTerminal(t, inflight); got != StateOptimal {
+		t.Fatalf("in-flight job finished %s, want Optimal — shutdown killed it", got)
+	}
+	if parked != nil {
+		if got := waitTerminal(t, parked); got != StateOptimal {
+			t.Fatalf("parked job %s finished %s, want Optimal", parked.ID, got)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := s.Submit("a", JobSpec{}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after shutdown: err = %v, want ErrShuttingDown", err)
+	}
+	for _, j := range append([]*Job{inflight}, queued...) {
+		if !j.State().Terminal() {
+			t.Fatalf("job %s left non-terminal after shutdown: %s", j.ID, j.State())
+		}
+	}
+}
+
+// TestSchedulerManyTenantsNoLoss: saturate with hundreds of fast jobs
+// from several tenants; every accepted job must reach a terminal state
+// (the zero-lost-jobs invariant the load generator also checks).
+func TestSchedulerManyTenantsNoLoss(t *testing.T) {
+	exec := func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	}
+	s := NewScheduler(SchedOptions{QueueDepth: 512, Workers: 4, Executor: exec})
+	var jobs []*Job
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for tnum := 0; tnum < 4; tnum++ {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for {
+					j, err := s.Submit(tenant, JobSpec{})
+					if errors.Is(err, ErrQueueFull) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					mu.Lock()
+					jobs = append(jobs, j)
+					mu.Unlock()
+					break
+				}
+			}
+		}(fmt.Sprintf("tenant-%d", tnum))
+	}
+	wg.Wait()
+	for _, j := range jobs {
+		if got := waitTerminal(t, j); got != StateOptimal {
+			t.Fatalf("job %s finished %s, want Optimal", j.ID, got)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := s.Stats()
+	if st.Optimal != 400 {
+		t.Fatalf("stats.Optimal = %d, want 400", st.Optimal)
+	}
+	for tnum := 0; tnum < 4; tnum++ {
+		ts := st.PerTenant[fmt.Sprintf("tenant-%d", tnum)]
+		if ts == nil || ts.Completed != 100 {
+			t.Fatalf("tenant-%d stats = %+v, want 100 completed", tnum, ts)
+		}
+	}
+}

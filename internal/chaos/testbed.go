@@ -41,6 +41,14 @@ type Options struct {
 	// Worker count never changes a drill's event log — each device sees
 	// one batched RPC per push phase regardless of scheduling.
 	PushWorkers int
+	// ConfigStore, when non-nil, is attached to the controller before
+	// the plan is applied, so the testbed's Apply and every drill
+	// restoration leave audit versions in it — the service wires one
+	// shared store across drill testbeds this way.
+	ConfigStore controller.ConfigStore
+	// Actor names the audit identity recorded on config versions (only
+	// meaningful with ConfigStore; default "controller").
+	Actor string
 	// Logf receives controller log lines (nil silences them).
 	Logf func(format string, args ...interface{})
 }
@@ -99,6 +107,12 @@ func NewTestbed(n workload.Network, opts Options) (*Testbed, error) {
 		ctrl.DevMgr().SetRetryPolicy(*opts.Retry)
 	}
 	ctrl.SetPushWorkers(opts.PushWorkers)
+	if opts.ConfigStore != nil {
+		ctrl.SetConfigStore(opts.ConfigStore)
+	}
+	if opts.Actor != "" {
+		ctrl.SetActor(opts.Actor)
+	}
 
 	tb := &Testbed{
 		Net: n, Grid: grid, K: k, Fabric: fabric, Ctrl: ctrl,

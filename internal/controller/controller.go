@@ -63,6 +63,10 @@ type Controller struct {
 	seq map[string]int
 	// playbook holds precomputed restoration plans per fiber (§4.4).
 	playbook map[string]*restore.Result
+	// store, when non-nil, receives one immutable ConfigVersion per
+	// state-changing action (see store.go); actor names who drove it.
+	store ConfigStore
+	actor string
 }
 
 // New builds a controller. Devices are added via DevMgr().Register.
@@ -219,6 +223,8 @@ func (c *Controller) Apply(res *plan.Result) error {
 	c.basePlan = res
 	c.logf("controller: applied plan with %d wavelengths over %d links",
 		len(res.Wavelengths), len(res.PerLink))
+	c.recordLocked("apply", fmt.Sprintf("applied plan: %d wavelengths over %d links",
+		len(res.Wavelengths), len(res.PerLink)))
 	return nil
 }
 
@@ -719,6 +725,8 @@ func (c *Controller) HandleFiberCutReport(fiber string) (*RestoreReport, error) 
 	sort.Strings(rep.SkippedDevices)
 	c.logf("controller: fiber %s cut — restored %d/%d Gbps over %d channels (%d devices skipped)",
 		fiber, res.RestoredGbps, res.AffectedGbps, len(res.Restored), len(rep.SkippedDevices))
+	c.recordLocked("restore", fmt.Sprintf("fiber %s cut: restored %d/%d Gbps over %d channels",
+		fiber, res.RestoredGbps, res.AffectedGbps, len(res.Restored)))
 	return rep, nil
 }
 
@@ -736,6 +744,7 @@ func (c *Controller) HandleFiberRestored(fiber string) bool {
 	}
 	delete(c.downFibers, fiber)
 	c.logf("controller: fiber %s back in service", fiber)
+	c.recordLocked("fiber-restored", fmt.Sprintf("fiber %s back in service", fiber))
 	return true
 }
 

@@ -169,6 +169,34 @@ func (d *DevMgr) Devices() []devmodel.Descriptor {
 	return out
 }
 
+// DeviceHealth is one device's fleet-health view: its descriptor, the
+// channel assignment (transponders only), and whether the manager holds a
+// live NETCONF session right now. SessionUp false does not mean the
+// device is down — sessions are dialed lazily and redialed on demand — it
+// means the next Call pays a dial.
+type DeviceHealth struct {
+	devmodel.Descriptor
+	Assignment string `json:"assignment,omitempty"`
+	SessionUp  bool   `json:"session_up"`
+}
+
+// Health reports the fleet's registration and session state, sorted by
+// device ID — the backing for the service's /v1/devices endpoint.
+func (d *DevMgr) Health() []DeviceHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DeviceHealth, 0, len(d.devices))
+	for id, desc := range d.devices {
+		out = append(out, DeviceHealth{
+			Descriptor: desc,
+			Assignment: d.assignment[id],
+			SessionUp:  d.clients[id] != nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // WSSForFiber returns the WSS device controlling the fiber's spectrum.
 func (d *DevMgr) WSSForFiber(fiber string) (string, bool) {
 	d.mu.Lock()

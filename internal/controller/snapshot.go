@@ -31,6 +31,10 @@ type ChannelSnapshot struct {
 func (c *Controller) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Controller) snapshotLocked() Snapshot {
 	s := Snapshot{
 		Channels:  make(map[string]ChannelSnapshot, len(c.channels)),
 		WSSConfig: make(map[string]devmodel.WSSConfig, len(c.wssConfig)),
@@ -100,6 +104,8 @@ func (c *Controller) LoadSnapshot(s Snapshot) error {
 	for link, n := range s.Seq {
 		c.seq[link] = n
 	}
+	c.recordLocked("load", fmt.Sprintf("adopted snapshot: %d channels, %d down fibers",
+		len(c.channels), len(c.downFibers)))
 	return nil
 }
 
@@ -154,5 +160,6 @@ func (c *Controller) Repair() ([]string, error) {
 		return before.Inconsistencies, fmt.Errorf("controller: repair did not converge: %+v", after)
 	}
 	c.logf("controller: repaired %d inconsistent channels", len(before.Inconsistencies))
+	c.record("repair", fmt.Sprintf("repaired %d inconsistent channels", len(before.Inconsistencies)))
 	return before.Inconsistencies, nil
 }

@@ -1,0 +1,161 @@
+package controller
+
+import (
+	"sync"
+	"time"
+)
+
+// ConfigVersion is one immutable entry in the controller's audit
+// history: who changed the network intent, when, through which action,
+// and the full state snapshot after the change. Versions are assigned by
+// the store, monotonically from 1. The paper's controller keeps "one
+// source of configuration for all devices" (§4.3); the version log is
+// that source made auditable — every Apply, restoration, and Repair
+// leaves a record an operator (or the /v1/configs API) can replay.
+type ConfigVersion struct {
+	Version int       `json:"version"`
+	Time    time.Time `json:"time"`
+	// Actor names who drove the change: "controller" by default, a
+	// tenant/job identity when driven through the service API.
+	Actor string `json:"actor"`
+	// Action is the mutation kind: "apply", "restore", "fiber-restored",
+	// "repair", or "load".
+	Action  string `json:"action"`
+	Summary string `json:"summary"`
+	// Channels and DownFibers summarize the post-change state without
+	// forcing clients to decode the full snapshot.
+	Channels   int      `json:"channels"`
+	DownFibers []string `json:"down_fibers,omitempty"`
+	// Snapshot is the marshaled controller Snapshot after the change —
+	// the replication payload, so any version can seed a standby via
+	// UnmarshalSnapshot + LoadSnapshot.
+	Snapshot []byte `json:"snapshot,omitempty"`
+}
+
+// ConfigStore is the pluggable audit-history backend. The in-memory
+// MemStore is the default; a durable implementation (file, kv) plugs in
+// behind the same interface. Implementations must be safe for concurrent
+// use and must treat appended versions as immutable.
+type ConfigStore interface {
+	// Append stamps v with the next version number (and the current time
+	// if v.Time is zero) and stores it, returning the assigned version.
+	Append(v ConfigVersion) (int, error)
+	// Version returns entry n (1-based), ok=false when out of range.
+	Version(n int) (ConfigVersion, bool)
+	// List returns the newest limit entries in ascending version order
+	// (limit ≤ 0: all).
+	List(limit int) []ConfigVersion
+	// Len reports the number of stored versions.
+	Len() int
+}
+
+// MemStore is the in-memory ConfigStore: an append-only slice under an
+// RWMutex. It is the swappable default backend for the service.
+type MemStore struct {
+	mu       sync.RWMutex
+	versions []ConfigVersion
+	now      func() time.Time // injectable for deterministic tests
+}
+
+// NewMemStore builds an empty in-memory config store.
+func NewMemStore() *MemStore { return &MemStore{now: time.Now} }
+
+// SetClock replaces the timestamp source (tests only).
+func (s *MemStore) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Append implements ConfigStore.
+func (s *MemStore) Append(v ConfigVersion) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v.Version = len(s.versions) + 1
+	if v.Time.IsZero() {
+		v.Time = s.now()
+	}
+	s.versions = append(s.versions, v)
+	return v.Version, nil
+}
+
+// Version implements ConfigStore.
+func (s *MemStore) Version(n int) (ConfigVersion, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n < 1 || n > len(s.versions) {
+		return ConfigVersion{}, false
+	}
+	return s.versions[n-1], true
+}
+
+// List implements ConfigStore.
+func (s *MemStore) List(limit int) []ConfigVersion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	start := 0
+	if limit > 0 && limit < len(s.versions) {
+		start = len(s.versions) - limit
+	}
+	return append([]ConfigVersion(nil), s.versions[start:]...)
+}
+
+// Len implements ConfigStore.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.versions)
+}
+
+// SetConfigStore attaches an audit store; every subsequent state-changing
+// action (Apply, HandleFiberCutReport, HandleFiberRestored, Repair,
+// LoadSnapshot) appends a ConfigVersion. nil detaches.
+func (c *Controller) SetConfigStore(s ConfigStore) {
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
+// SetActor names the identity recorded on subsequent versions (default
+// "controller"); the service API sets it to the driving tenant/job.
+func (c *Controller) SetActor(actor string) {
+	c.mu.Lock()
+	c.actor = actor
+	c.mu.Unlock()
+}
+
+// recordLocked appends one audit entry for the action just performed.
+// Callers hold c.mu. A store failure is logged, never fatal: the network
+// change has already happened, and audit must not unwind it.
+func (c *Controller) recordLocked(action, summary string) {
+	if c.store == nil {
+		return
+	}
+	snap := c.snapshotLocked()
+	data, err := MarshalSnapshot(snap)
+	if err != nil {
+		c.logf("controller: audit: marshal snapshot: %v", err)
+		data = nil
+	}
+	actor := c.actor
+	if actor == "" {
+		actor = "controller"
+	}
+	if _, err := c.store.Append(ConfigVersion{
+		Actor:      actor,
+		Action:     action,
+		Summary:    summary,
+		Channels:   len(snap.Channels),
+		DownFibers: snap.DownFibers,
+		Snapshot:   data,
+	}); err != nil {
+		c.logf("controller: audit: append: %v", err)
+	}
+}
+
+// record is recordLocked for callers that do not hold c.mu.
+func (c *Controller) record(action, summary string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(action, summary)
+}

@@ -1,0 +1,146 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"flexwan/internal/devmodel"
+	"flexwan/internal/topology"
+)
+
+// TestMemStoreVersioning: Append assigns monotonic versions and stamps
+// time, Version/List/Len read back immutably.
+func TestMemStoreVersioning(t *testing.T) {
+	s := NewMemStore()
+	t0 := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	s.SetClock(func() time.Time {
+		tick++
+		return t0.Add(time.Duration(tick) * time.Second)
+	})
+	for i, action := range []string{"apply", "restore", "repair"} {
+		v, err := s.Append(ConfigVersion{Actor: "tester", Action: action})
+		if err != nil {
+			t.Fatalf("Append(%s): %v", action, err)
+		}
+		if v != i+1 {
+			t.Errorf("Append(%s) version = %d, want %d", action, v, i+1)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	v2, ok := s.Version(2)
+	if !ok || v2.Action != "restore" || v2.Version != 2 {
+		t.Errorf("Version(2) = %+v ok=%v, want restore/2", v2, ok)
+	}
+	if v2.Time != t0.Add(2*time.Second) {
+		t.Errorf("Version(2) time = %v, want clock tick 2", v2.Time)
+	}
+	if _, ok := s.Version(0); ok {
+		t.Error("Version(0) ok, want out of range")
+	}
+	if _, ok := s.Version(4); ok {
+		t.Error("Version(4) ok, want out of range")
+	}
+	all := s.List(0)
+	if len(all) != 3 || all[0].Action != "apply" || all[2].Action != "repair" {
+		t.Errorf("List(0) = %+v, want 3 ascending entries", all)
+	}
+	last := s.List(2)
+	if len(last) != 2 || last[0].Version != 2 || last[1].Version != 3 {
+		t.Errorf("List(2) = %+v, want versions [2 3]", last)
+	}
+}
+
+// TestControllerAuditTrail: every state-changing controller action leaves
+// one immutable ConfigVersion carrying actor, action, summary, and a
+// loadable snapshot of the post-change state.
+func TestControllerAuditTrail(t *testing.T) {
+	h := newHarness(t, 3, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 600})
+	store := NewMemStore()
+	h.ctrl.SetConfigStore(store)
+	h.ctrl.SetActor("tenant-a/job-1")
+
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.Apply(res); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("after Apply: %d versions, want 1", store.Len())
+	}
+	v1, _ := store.Version(1)
+	if v1.Action != "apply" || v1.Actor != "tenant-a/job-1" {
+		t.Errorf("v1 = %s by %s, want apply by tenant-a/job-1", v1.Action, v1.Actor)
+	}
+	if v1.Channels != len(res.Wavelengths) {
+		t.Errorf("v1 channels = %d, want %d", v1.Channels, len(res.Wavelengths))
+	}
+	snap, err := UnmarshalSnapshot(v1.Snapshot)
+	if err != nil {
+		t.Fatalf("v1 snapshot does not decode: %v", err)
+	}
+	if len(snap.Channels) != len(res.Wavelengths) {
+		t.Errorf("v1 snapshot has %d channels, want %d", len(snap.Channels), len(res.Wavelengths))
+	}
+
+	if _, err := h.ctrl.HandleFiberCutReport("f1"); err != nil {
+		t.Fatal(err)
+	}
+	v2, ok := store.Version(2)
+	if !ok || v2.Action != "restore" {
+		t.Fatalf("after cut: version 2 = %+v ok=%v, want restore", v2, ok)
+	}
+	if len(v2.DownFibers) != 1 || v2.DownFibers[0] != "f1" {
+		t.Errorf("v2 down fibers = %v, want [f1]", v2.DownFibers)
+	}
+
+	if !h.ctrl.HandleFiberRestored("f1") {
+		t.Fatal("HandleFiberRestored(f1) = false")
+	}
+	v3, ok := store.Version(3)
+	if !ok || v3.Action != "fiber-restored" || len(v3.DownFibers) != 0 {
+		t.Errorf("version 3 = %+v ok=%v, want fiber-restored with no down fibers", v3, ok)
+	}
+}
+
+// TestDevMgrHealth: Health reports every registered device sorted by ID
+// with its class, assignment, and session state.
+func TestDevMgrHealth(t *testing.T) {
+	h := newHarness(t, 2, topology.IPLink{ID: "e1", A: "A", B: "B", DemandGbps: 600})
+	res, err := h.ctrl.PlanNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctrl.Apply(res); err != nil {
+		t.Fatal(err)
+	}
+	health := h.ctrl.DevMgr().Health()
+	if len(health) != len(h.ctrl.DevMgr().Devices()) {
+		t.Fatalf("health has %d entries, fleet has %d", len(health), len(h.ctrl.DevMgr().Devices()))
+	}
+	assigned, sessions := 0, 0
+	for i, dh := range health {
+		if i > 0 && health[i-1].ID >= dh.ID {
+			t.Errorf("health not sorted: %s after %s", dh.ID, health[i-1].ID)
+		}
+		if dh.Assignment != "" {
+			if dh.Class != devmodel.ClassTransponder {
+				t.Errorf("%s: assignment on class %s", dh.ID, dh.Class)
+			}
+			assigned++
+		}
+		if dh.SessionUp {
+			sessions++
+		}
+	}
+	if want := 2 * len(res.Wavelengths); assigned != want {
+		t.Errorf("%d assigned transponders, want %d", assigned, want)
+	}
+	if sessions == 0 {
+		t.Error("no live sessions after Apply")
+	}
+}

@@ -1,0 +1,289 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"flexwan/internal/api"
+)
+
+// ServiceLoadOptions configures the controller-service load generator.
+type ServiceLoadOptions struct {
+	// Addr is the service base URL, e.g. "http://127.0.0.1:8422".
+	Addr string
+	// Tenants is the number of concurrent tenants (default 4).
+	Tenants int
+	// Jobs is the total job count across all tenants (default 1000).
+	Jobs int
+	// Concurrency is the in-flight submissions per tenant (default 16) —
+	// enough to keep the admission queue under pressure so the 429
+	// backpressure path actually exercises.
+	Concurrency int
+	// Network is the backbone the restoration jobs target (default
+	// "cernet"); each job cuts one fiber, rotating through the topology.
+	Network string
+	// K is the candidate-path count (0: planner default).
+	K int
+	// Logf receives progress lines (nil silences them).
+	Logf func(format string, args ...interface{})
+}
+
+// ServiceLoadRecord is one BENCH_service.json entry: throughput and
+// latency of the controller service under concurrent multi-tenant
+// restoration load, plus the fairness and zero-loss checks.
+type ServiceLoadRecord struct {
+	Network     string `json:"network"`
+	Tenants     int    `json:"tenants"`
+	Jobs        int    `json:"jobs"`
+	Concurrency int    `json:"concurrency"`
+
+	// Lost counts accepted jobs that never reached a terminal state —
+	// the invariant is zero.
+	Lost int `json:"lost"`
+	// Rejected429 counts submissions the admission queue refused; each
+	// was retried until accepted, so it measures backpressure, not loss.
+	Rejected429 int `json:"rejected_429"`
+	Optimal     int `json:"optimal"`
+	Failed      int `json:"failed"`
+	Canceled    int `json:"canceled"`
+
+	WallSec              float64 `json:"wall_sec"`
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	// Latency is submission-accepted → terminal-observed, queueing
+	// included.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+
+	// PerTenantMeanMs is each tenant's mean latency; FairnessRatio is
+	// max/min of those means — near 1.0 means round-robin dequeue gave
+	// every tenant the same service.
+	PerTenantMeanMs map[string]float64 `json:"per_tenant_mean_ms"`
+	FairnessRatio   float64            `json:"fairness_ratio"`
+	MaxQueueDepth   int                `json:"max_queue_depth"`
+}
+
+// RunServiceLoad drives a live flexwand service with Jobs restoration
+// submissions from Tenants concurrent tenants and reports latency,
+// throughput, and fairness. 429 responses are retried with backoff —
+// accepted-but-unfinished jobs are the only thing counted as lost.
+func RunServiceLoad(opts ServiceLoadOptions) (*ServiceLoadRecord, error) {
+	if opts.Tenants <= 0 {
+		opts.Tenants = 4
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 1000
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 16
+	}
+	if opts.Network == "" {
+		opts.Network = "cernet"
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	n, err := api.ResolveNetwork(opts.Network, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	fibers := n.Optical.Fibers()
+	if len(fibers) == 0 {
+		return nil, fmt.Errorf("eval: network %s has no fibers to cut", opts.Network)
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	type sample struct {
+		tenant string
+		ms     float64
+		state  api.JobState
+	}
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		rejected int
+		lost     int
+	)
+
+	perTenant := opts.Jobs / opts.Tenants
+	extra := opts.Jobs % opts.Tenants
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < opts.Tenants; t++ {
+		tenant := fmt.Sprintf("tenant-%d", t)
+		jobs := perTenant
+		if t < extra {
+			jobs++
+		}
+		work := make(chan int)
+		for c := 0; c < opts.Concurrency; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					fiber := fibers[i%len(fibers)].ID
+					ms, state, rej, err := submitAndWait(client, opts, tenant, fiber)
+					mu.Lock()
+					rejected += rej
+					if err != nil {
+						lost++
+					} else {
+						samples = append(samples, sample{tenant, ms, state})
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Add(1)
+		go func(jobs, offset int) {
+			defer wg.Done()
+			for i := 0; i < jobs; i++ {
+				work <- offset + i
+			}
+			close(work)
+		}(jobs, t*perTenant)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rec := &ServiceLoadRecord{
+		Network: opts.Network, Tenants: opts.Tenants, Jobs: opts.Jobs,
+		Concurrency: opts.Concurrency,
+		Lost:        lost, Rejected429: rejected,
+		WallSec:              wall.Seconds(),
+		ThroughputJobsPerSec: float64(len(samples)) / wall.Seconds(),
+		PerTenantMeanMs:      make(map[string]float64),
+	}
+	var all []float64
+	perTenantLat := make(map[string][]float64)
+	for _, s := range samples {
+		all = append(all, s.ms)
+		perTenantLat[s.tenant] = append(perTenantLat[s.tenant], s.ms)
+		switch s.state {
+		case api.StateOptimal:
+			rec.Optimal++
+		case api.StateFailed:
+			rec.Failed++
+		case api.StateCanceled:
+			rec.Canceled++
+		}
+	}
+	sort.Float64s(all)
+	rec.MeanMs = mean(all)
+	rec.P50Ms = quantileSorted(all, 0.50)
+	rec.P95Ms = quantileSorted(all, 0.95)
+	rec.P99Ms = quantileSorted(all, 0.99)
+	minMean, maxMean := math.Inf(1), 0.0
+	for tenant, lats := range perTenantLat {
+		m := mean(lats)
+		rec.PerTenantMeanMs[tenant] = m
+		if m < minMean {
+			minMean = m
+		}
+		if m > maxMean {
+			maxMean = m
+		}
+	}
+	if minMean > 0 && !math.IsInf(minMean, 1) {
+		rec.FairnessRatio = maxMean / minMean
+	}
+
+	// The service's own high-water mark for the admission queue.
+	if resp, err := client.Get(opts.Addr + "/v1/stats"); err == nil {
+		var st api.SchedStats
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			rec.MaxQueueDepth = st.MaxQueueDepth
+		}
+		resp.Body.Close()
+	}
+	logf("service load: %d jobs in %.1fs (%.1f/s), p50 %.1fms p99 %.1fms, lost %d, 429s %d",
+		len(samples), rec.WallSec, rec.ThroughputJobsPerSec, rec.P50Ms, rec.P99Ms, lost, rejected)
+	return rec, nil
+}
+
+// submitAndWait pushes one restoration job and long-polls it to a
+// terminal state. 429s are retried with linear backoff and counted.
+func submitAndWait(client *http.Client, opts ServiceLoadOptions, tenant, fiber string) (ms float64, state api.JobState, rejected int, err error) {
+	spec := api.JobSpec{Type: "restore", Network: opts.Network, K: opts.K, CutFibers: []string{fiber}}
+	body, _ := json.Marshal(spec)
+	start := time.Now()
+	var view api.JobView
+	for attempt := 0; ; attempt++ {
+		req, rerr := http.NewRequest("POST", opts.Addr+"/v1/jobs", bytes.NewReader(body))
+		if rerr != nil {
+			return 0, "", rejected, rerr
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, rerr := client.Do(req)
+		if rerr != nil {
+			return 0, "", rejected, rerr
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			rejected++
+			time.Sleep(time.Duration(2+attempt%8) * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			resp.Body.Close()
+			return 0, "", rejected, fmt.Errorf("submit: status %d", resp.StatusCode)
+		}
+		rerr = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if rerr != nil {
+			return 0, "", rejected, rerr
+		}
+		break
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, rerr := client.Get(opts.Addr + "/v1/jobs/" + view.ID + "?wait=10s")
+		if rerr != nil {
+			return 0, "", rejected, rerr
+		}
+		var v api.JobView
+		rerr = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if rerr != nil {
+			return 0, "", rejected, rerr
+		}
+		if v.State.Terminal() {
+			return float64(time.Since(start)) / float64(time.Millisecond), v.State, rejected, nil
+		}
+	}
+	return 0, "", rejected, fmt.Errorf("job %s never reached a terminal state", view.ID)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// quantileSorted reads the q-quantile from an ascending slice.
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

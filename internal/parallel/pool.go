@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Run after Close: the pool no longer
+// admits work.
+var ErrPoolClosed = errors.New("parallel: pool closed")
+
+// Pool is a persistent bounded worker pool for long-running services.
+// Map and friends are batch-shaped — they fan one slice out and join —
+// whereas a service admits independent tasks over its whole lifetime and
+// needs one shared concurrency bound across all of them (e.g. every
+// tenant's solver jobs drawing from the same CPU budget). Run blocks
+// until a worker slot is free, which gives callers natural backpressure
+// to build admission control on.
+//
+// The zero Pool is not usable; construct with NewPool. Close-then-Wait
+// is the shutdown sequence: Close stops admission, Wait returns once
+// every admitted task has finished.
+type Pool struct {
+	slots chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool builds a pool running at most workers tasks concurrently
+// (workers ≤ 0 defaults to GOMAXPROCS, as everywhere in this package).
+func NewPool(workers int) *Pool {
+	return &Pool{slots: make(chan struct{}, Workers(workers))}
+}
+
+// Cap reports the pool's concurrency bound.
+func (p *Pool) Cap() int { return cap(p.slots) }
+
+// Run blocks until a worker slot is free, then executes fn on a new
+// goroutine and returns nil. A panic in fn is recovered and swallowed —
+// fn must report its own failures through its own channels — so one bad
+// task cannot leak the slot or crash the process. After Close, Run
+// returns ErrPoolClosed without executing fn.
+func (p *Pool) Run(fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	// Reserve before releasing the lock so Close/Wait observe the task.
+	p.wg.Add(1)
+	p.mu.Unlock()
+
+	p.slots <- struct{}{}
+	go func() {
+		defer func() {
+			recover()
+			<-p.slots
+			p.wg.Done()
+		}()
+		fn()
+	}()
+	return nil
+}
+
+// Close stops admission: subsequent Run calls fail with ErrPoolClosed.
+// Tasks already admitted keep running; use Wait to join them. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}
+
+// Wait blocks until every admitted task has finished. Callers must
+// Close first if they need the count to stop growing.
+func (p *Pool) Wait() { p.wg.Wait() }

@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolBound: at most Cap tasks run concurrently, and Run gives
+// backpressure (blocks) rather than queueing unboundedly.
+func TestPoolBound(t *testing.T) {
+	p := NewPool(3)
+	if p.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", p.Cap())
+	}
+	var cur, peak, done atomic.Int64
+	release := make(chan struct{})
+	// Run blocks once the slots fill, so submission must come from its
+	// own goroutine — that blocking is exactly the backpressure under
+	// test.
+	submitted := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if err := p.Run(func() {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				<-release
+				cur.Add(-1)
+				done.Add(1)
+			}); err != nil {
+				submitted <- err
+				return
+			}
+		}
+		submitted <- nil
+	}()
+	// Let the pool saturate before opening the gate.
+	for cur.Load() < 3 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-submitted; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	p.Close()
+	p.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Errorf("peak concurrency %d exceeds pool bound 3", got)
+	}
+	if got := done.Load(); got != 20 {
+		t.Errorf("completed %d tasks, want 20", got)
+	}
+}
+
+// TestPoolCloseStopsAdmission: Run after Close fails without executing,
+// and Wait joins the tasks admitted before Close.
+func TestPoolCloseStopsAdmission(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Run(func() { defer wg.Done(); ran.Add(1) }); err != nil {
+		t.Fatalf("Run before Close: %v", err)
+	}
+	wg.Wait()
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Run(func() { ran.Add(1) }); err != ErrPoolClosed {
+		t.Fatalf("Run after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Wait()
+	if got := ran.Load(); got != 1 {
+		t.Errorf("ran %d tasks, want 1 (post-Close task must not execute)", got)
+	}
+}
+
+// TestPoolPanicReleasesSlot: a panicking task neither crashes the
+// process nor leaks its slot — the pool keeps serving at full capacity.
+func TestPoolPanicReleasesSlot(t *testing.T) {
+	p := NewPool(1)
+	for i := 0; i < 3; i++ {
+		if err := p.Run(func() { panic("boom") }); err != nil {
+			t.Fatalf("Run(%d): %v", i, err)
+		}
+	}
+	var ok atomic.Bool
+	if err := p.Run(func() { ok.Store(true) }); err != nil {
+		t.Fatalf("Run after panics: %v", err)
+	}
+	p.Close()
+	p.Wait()
+	if !ok.Load() {
+		t.Error("task after panicking tasks did not run")
+	}
+}

@@ -312,6 +312,12 @@ func (m *Model) branchAndBound(opts Options) Solution {
 
 	root := m.solveRelaxation(opts)
 	if root.Status != Optimal {
+		if root.Status == IterLimit && opts.Context != nil && opts.Context.Err() != nil {
+			// The root LP was aborted by the caller's context, not a pivot
+			// budget: report the same LimitReached a between-node
+			// cancellation does, so MIP callers see one cancel status.
+			root.Status = LimitReached
+		}
 		root.Workers = workers
 		root.Branching = opts.Branching
 		return root

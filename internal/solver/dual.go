@@ -123,7 +123,7 @@ func (m *Model) solveLPWarm(sc *lpScratch, snap *basisSnap) (Solution, bool) {
 	}
 	m.fillTableau(sc, n, mRows, total, nArt)
 
-	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz, maxIter: sc.maxIter}
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz, maxIter: sc.maxIter, ctx: sc.ctx}
 	sc.inst = growBools(sc.inst, mRows)
 	if !t.installBasis(snap.basis, sc.inst) {
 		sc.lastPivots = t.pivots
@@ -242,7 +242,7 @@ func (m *Model) solveLPDive(sc *lpScratch, changes []*boundChange) (Solution, bo
 		}
 	}
 
-	t := &tableau{a: sc.a, b: sc.b[:rows], cost: sc.cost, basis: sc.basis, barred: sc.barred, nz: &sc.nz, maxIter: sc.maxIter}
+	t := &tableau{a: sc.a, b: sc.b[:rows], cost: sc.cost, basis: sc.basis, barred: sc.barred, nz: &sc.nz, maxIter: sc.maxIter, ctx: sc.ctx}
 	status, done := t.dualIterate()
 	sc.lastPivots = t.pivots
 	if !done {
@@ -314,6 +314,9 @@ func (t *tableau) dualIterate() (Status, bool) {
 	}
 	blandAfter := 20 * (mRows + nCols)
 	for iter := 0; iter < maxIter; iter++ {
+		if iter&ctxCheckMask == 0 && t.ctx != nil && t.ctx.Err() != nil {
+			return IterLimit, false
+		}
 		leave := -1
 		if iter < blandAfter {
 			worst := -feasTol

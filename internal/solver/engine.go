@@ -1,5 +1,7 @@
 package solver
 
+import "context"
+
 // lpEngine is the per-worker LP interface branch-and-bound drives: load a
 // node's bounds, solve (cold, warm from a parent snapshot, or diving on
 // the engine's retained parent state), snapshot the optimal basis for the
@@ -75,7 +77,7 @@ func (s lpStats) addTo(sol *Solution) {
 // newLPEngine builds the per-worker engine these options select.
 func newLPEngine(m *Model, opts Options) lpEngine {
 	if opts.DenseSimplex {
-		return newDenseEngine(m, opts.MaxLPIter)
+		return newDenseEngine(m, opts.MaxLPIter, opts.Context)
 	}
 	return newRevisedEngine(m, opts)
 }
@@ -105,8 +107,8 @@ type denseEngine struct {
 	sc *lpScratch
 }
 
-func newDenseEngine(m *Model, maxIter int) *denseEngine {
-	return &denseEngine{m: m, sc: &lpScratch{maxIter: maxIter}}
+func newDenseEngine(m *Model, maxIter int, ctx context.Context) *denseEngine {
+	return &denseEngine{m: m, sc: &lpScratch{maxIter: maxIter, ctx: ctx}}
 }
 
 func (e *denseEngine) applyBounds(chain *boundChange) { applyBounds(e.m, chain, e.sc) }
@@ -155,12 +157,13 @@ type revisedEngine struct {
 func newRevisedEngine(m *Model, opts Options) *revisedEngine {
 	rx := newRxScratch(m, opts.EtaFileUpdates)
 	rx.maxIter = opts.MaxLPIter
+	rx.ctx = opts.Context
 	return &revisedEngine{m: m, rx: rx}
 }
 
 func (e *revisedEngine) dense() *denseEngine {
 	if e.fall == nil {
-		e.fall = newDenseEngine(e.m, e.rx.maxIter)
+		e.fall = newDenseEngine(e.m, e.rx.maxIter, e.rx.ctx)
 	}
 	return e.fall
 }

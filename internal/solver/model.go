@@ -335,9 +335,11 @@ type Options struct {
 	// timing, so use Workers: 1 where exact reproducibility of early
 	// stops matters.
 	Workers int
-	// Context, when non-nil, cancels the search early: workers stop at
-	// the next node boundary and the solve returns LimitReached with the
-	// best incumbent so far.
+	// Context, when non-nil, cancels the search early. The simplex
+	// engines poll it at pivot intervals, so cancellation aborts even in
+	// the middle of one long LP: a MIP solve returns LimitReached with
+	// the best incumbent so far, and a pure-LP solve returns IterLimit
+	// (the point is phase-feasible but carries no certificate).
 	Context context.Context
 	// Branching selects the branch-variable rule (default
 	// BranchPseudocost). Objective and Status at proven optimality are

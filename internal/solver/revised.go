@@ -1,6 +1,9 @@
 package solver
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Artificial-box policy for dual-infeasible columns at cold start (see
 // placeNonbasic): a column whose cost sign demands a bound the model does
@@ -102,7 +105,8 @@ type rxScratch struct {
 	artLBCols []int32 // columns whose lb is currently an artificial box
 	artUBCols []int32 // columns whose ub is currently an artificial box
 
-	maxIter    int // per-solve pivot cap (0 = size-derived default)
+	maxIter    int             // per-solve pivot cap (0 = size-derived default)
+	ctx        context.Context // cancellation observed every ctxCheckMask+1 pivots (nil = never)
 	lastPivots int
 	usedArt    bool // solve placed artificial boxes: no snapshot, no fixings
 }
@@ -266,6 +270,9 @@ func (rx *rxScratch) dualIterate() rxResult {
 	}
 	blandAfter := 20 * (rx.nRows + rx.nTot)
 	for iter := 0; iter < maxIter; iter++ {
+		if iter&ctxCheckMask == 0 && rx.ctx != nil && rx.ctx.Err() != nil {
+			return rxIterLimit
+		}
 		// Leaving row: largest bound violation among the basic values;
 		// sigma is the violation direction (+1 above ub, −1 below lb).
 		p, sigma, worst := -1, 1.0, feasTol
@@ -621,13 +628,20 @@ func (rx *rxScratch) dualFeasible() bool {
 }
 
 // finishDual runs the dual simplex and converts the outcome. ok=false
-// sends the caller down the fallback ladder (warm → cold → dense).
+// sends the caller down the fallback ladder (warm → cold → dense) —
+// except on cancellation, where re-solving would only re-abort after
+// redundant factorization work, so IterLimit surfaces directly.
 func (rx *rxScratch) finishDual() (Solution, bool) {
 	switch rx.dualIterate() {
 	case rxOptimal:
 		return rx.extract(), true
 	case rxInfeasible:
 		return Solution{Status: Infeasible}, true
+	case rxIterLimit:
+		if rx.ctx != nil && rx.ctx.Err() != nil {
+			return Solution{Status: IterLimit}, true
+		}
+		return Solution{}, false
 	default:
 		return Solution{}, false
 	}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 )
 
@@ -9,6 +10,14 @@ const (
 	pivotTol = 1e-9 // minimum magnitude of a usable pivot element
 	feasTol  = 1e-7 // feasibility / optimality tolerance
 )
+
+// ctxCheckMask gates how often the pivot loops poll Options.Context:
+// every ctxCheckMask+1 iterations, including iteration 0 (a power-of-two
+// mask so the test is one AND). Cancellation surfaces as IterLimit — the
+// current point is feasible for the phase being solved but carries no
+// certificate, exactly as if the pivot budget had run out — so one long
+// LP can no longer overrun a caller's deadline.
+const ctxCheckMask = 63
 
 // SolveLP solves the linear relaxation of the model (integrality
 // dropped) with the default engine: the LU-factorized revised simplex,
@@ -51,11 +60,12 @@ type lpScratch struct {
 
 	nz tabSparse // compressed sparse row structure of the fresh tableau
 
-	maxIter    int // per-call pivot cap (0 = size-derived default)
-	lastRows   int // rows of the most recent tableau build
-	lastTotal  int // columns of the most recent tableau build
-	lastArt    int // first artificial column of the most recent build
-	lastPivots int // simplex pivots performed by the most recent solve
+	maxIter    int             // per-call pivot cap (0 = size-derived default)
+	ctx        context.Context // cancellation observed at pivot intervals (nil = never)
+	lastRows   int             // rows of the most recent tableau build
+	lastTotal  int             // columns of the most recent tableau build
+	lastArt    int             // first artificial column of the most recent build
+	lastPivots int             // simplex pivots performed by the most recent solve
 }
 
 // tabSparse is the compressed-sparse-row companion of the dense tableau:
@@ -344,7 +354,7 @@ func (m *Model) solveLPBounds(sc *lpScratch) Solution {
 	m.fillTableau(sc, n, mRows, total, nArt)
 	m.buildCosts(sc, total)
 
-	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz, maxIter: sc.maxIter}
+	t := &tableau{a: sc.a, b: sc.b[:mRows], cost: sc.cost, basis: sc.basis, nz: &sc.nz, maxIter: sc.maxIter, ctx: sc.ctx}
 
 	// Phase 1: minimize the sum of artificials.
 	artStart := total - nArt
@@ -414,10 +424,11 @@ type tableau struct {
 	cost    []float64   // reduced-cost row (length n)
 	obj     float64     // negative of current objective value offset
 	basis   []int
-	barred  []bool     // columns that may never enter (phase-2 artificials)
-	nz      *tabSparse // build-time row sparsity (nil: always scan dense)
-	maxIter int        // per-call pivot cap (0 = size-derived default)
-	pivots  int        // Gauss-Jordan pivots performed (all phases)
+	barred  []bool          // columns that may never enter (phase-2 artificials)
+	nz      *tabSparse      // build-time row sparsity (nil: always scan dense)
+	maxIter int             // per-call pivot cap (0 = size-derived default)
+	ctx     context.Context // cancellation observed every ctxCheckMask+1 pivots
+	pivots  int             // Gauss-Jordan pivots performed (all phases)
 }
 
 // setCosts installs a cost vector (copied into the working row) and
@@ -461,6 +472,9 @@ func (t *tableau) iterate() Status {
 	}
 	blandAfter := 20 * (mRows + nCols)
 	for iter := 0; iter < maxIter; iter++ {
+		if iter&ctxCheckMask == 0 && t.ctx != nil && t.ctx.Err() != nil {
+			return IterLimit
+		}
 		// Entering column.
 		enter := -1
 		if iter < blandAfter {

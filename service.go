@@ -1,6 +1,7 @@
 package flexwan
 
 import (
+	"flexwan/internal/api"
 	"flexwan/internal/controller"
 	"flexwan/internal/core"
 	"flexwan/internal/devmodel"
@@ -73,3 +74,43 @@ type (
 
 // StandardDeviceModel returns the vendor-neutral model per device class.
 var StandardDeviceModel = devmodel.StandardModel
+
+// Controller-as-a-service (internal/api): the persistent multi-tenant
+// HTTP/JSON layer over the planner, restorer, drills, and device fleet.
+// See cmd/flexwand for the daemon and examples/service for in-process
+// embedding.
+type (
+	// APIServer hosts the v1 job/device/config API.
+	APIServer = api.Server
+	// APIServerOptions configures an APIServer.
+	APIServerOptions = api.Options
+	// JobSpec describes one submitted job (type, network, deadline).
+	JobSpec = api.JobSpec
+	// JobView is a job's JSON representation.
+	JobView = api.JobView
+	// JobState is a job's lifecycle position (Queued → ... → Optimal).
+	JobState = api.JobState
+	// SchedStats is the /v1/stats payload.
+	SchedStats = api.SchedStats
+	// ConfigStore is the pluggable versioned-config backend.
+	ConfigStore = controller.ConfigStore
+	// ConfigVersion is one immutable audited config version.
+	ConfigVersion = controller.ConfigVersion
+	// DeviceHealth is one device's registration + session status.
+	DeviceHealth = controller.DeviceHealth
+)
+
+// NewAPIServer builds and starts the controller service.
+var NewAPIServer = api.New
+
+// NewConfigStore returns the in-memory append-only config store.
+var NewConfigStore = controller.NewMemStore
+
+// Job lifecycle states.
+const (
+	JobQueued   = api.StateQueued
+	JobRunning  = api.StateRunning
+	JobOptimal  = api.StateOptimal
+	JobFailed   = api.StateFailed
+	JobCanceled = api.StateCanceled
+)

@@ -669,6 +669,43 @@ func BenchmarkPresolveAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkPricingAblation runs the exact planning MIP under each
+// dual-simplex pricing rule on the same instances and cross-checks that
+// the objectives are identical — the pricing correctness contract CI's
+// bench smoke enforces — while the simplex-iters contrast shows what the
+// weighted rules buy over the Dantzig baseline.
+func BenchmarkPricingAblation(b *testing.B) {
+	for _, pixels := range []int{16, 24} {
+		p, err := eval.ExactScalingProblem(pixels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refObjective, haveRef := 0.0, false
+		for _, pricing := range []solver.PricingRule{solver.PricingDevex, solver.PricingSteepestEdge, solver.PricingDantzig} {
+			b.Run("exact/pixels="+itoa(pixels)+"/pricing="+string(pricing), func(b *testing.B) {
+				var last *plan.Result
+				for i := 0; i < b.N; i++ {
+					last, err = plan.SolveExact(p, solver.Options{
+						MaxNodes: 100000, Workers: 1, Pricing: pricing,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if !haveRef {
+					refObjective, haveRef = last.Solver.Objective, true
+				} else if last.Solver.Objective != refObjective {
+					b.Fatalf("objective %v under pricing=%s differs from reference %v",
+						last.Solver.Objective, pricing, refObjective)
+				}
+				b.ReportMetric(float64(last.Solver.SimplexIters), "simplex-iters")
+				b.ReportMetric(float64(last.Solver.BoundFlips), "bound-flips")
+				b.ReportMetric(float64(last.Solver.WeightResets), "weight-resets")
+			})
+		}
+	}
+}
+
 // BenchmarkSolverMemoryBudget enforces a per-instance bytes/op budget on
 // the default (revised simplex) exact solve — the memory regression
 // guard CI's bench smoke runs. The budgets sit roughly 2x above the
@@ -732,8 +769,12 @@ func BenchmarkExactRegressionGuard(b *testing.B) {
 	}
 	find := func(instance string) *eval.SolverBenchPoint {
 		for i, pt := range baseline.Points {
+			// The pricing predicate keeps the dantzig ablation points out
+			// of the match; "" tolerates baselines recorded before the
+			// pricing field existed.
 			if pt.Instance == instance && pt.Engine == "revised" && pt.Workers == 1 &&
-				pt.Branching == string(solver.BranchPseudocost) && pt.Presolve && pt.NodePresolve {
+				pt.Branching == string(solver.BranchPseudocost) && pt.Presolve && pt.NodePresolve &&
+				(pt.Pricing == "" || pt.Pricing == string(solver.PricingDevex)) {
 				return &baseline.Points[i]
 			}
 		}
@@ -785,6 +826,63 @@ func BenchmarkExactRegressionGuard(b *testing.B) {
 	if got > budget {
 		b.Fatalf("exact solve at pixels=64 took %.0f ns, budget %.0f ns (baseline %.0f x machine scale %.2f x 1.25)",
 			got, budget, base64.NsPerOp, scale)
+	}
+}
+
+// BenchmarkDegeneracyWallGuard re-solves the degeneracy-wall instance —
+// the full T-backbone at 32 pixels with three candidate paths per link,
+// the instance Dantzig pricing stalls on outright — and fails if the
+// default devex-priced solve regresses past a pivot-count budget of 1.5x
+// the committed BENCH_solver.json baseline, or stops proving optimality,
+// or lands on a different objective. Pivot counts (unlike wall-clock) are
+// deterministic at one worker, so the budget needs no machine
+// calibration; the 1.5x slack absorbs legitimate future pivot-path
+// changes without letting the instance drift back toward the wall. Skips
+// when the committed baseline predates the wall instance.
+func BenchmarkDegeneracyWallGuard(b *testing.B) {
+	const instance = "exact-tbackbone/pixels=32,scale=0.02,k=3"
+	raw, err := os.ReadFile("BENCH_solver.json")
+	if err != nil {
+		b.Skipf("no committed baseline: %v", err)
+	}
+	var baseline eval.SolverBench
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		b.Fatalf("BENCH_solver.json: %v", err)
+	}
+	var base *eval.SolverBenchPoint
+	for i, pt := range baseline.Points {
+		if pt.Instance == instance && pt.Engine == "revised" && pt.Workers == 1 &&
+			pt.Branching == string(solver.BranchPseudocost) && pt.Presolve && pt.NodePresolve &&
+			(pt.Pricing == "" || pt.Pricing == string(solver.PricingDevex)) {
+			base = &baseline.Points[i]
+			break
+		}
+	}
+	if base == nil {
+		b.Skipf("committed BENCH_solver.json has no %s point", instance)
+	}
+	p, err := eval.ExactTBackboneProblem(1, 0.02, 32, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := plan.SolveExact(p, solver.Options{
+		MaxNodes: 100000, Workers: 1, Branching: solver.BranchPseudocost,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Solver.Status != solver.Optimal {
+		b.Fatalf("wall instance no longer proves optimality: status %v", res.Solver.Status)
+	}
+	if res.Solver.Objective != base.Objective {
+		b.Fatalf("wall instance objective %v differs from baseline %v", res.Solver.Objective, base.Objective)
+	}
+	budget := base.SimplexIters * 3 / 2
+	b.ReportMetric(float64(res.Solver.SimplexIters), "pivots")
+	b.ReportMetric(float64(res.Solver.SimplexIters)/float64(base.SimplexIters), "x-vs-baseline")
+	if res.Solver.SimplexIters > budget {
+		b.Fatalf("wall instance took %d pivots, budget %d (baseline %d x 1.5)",
+			res.Solver.SimplexIters, budget, base.SimplexIters)
 	}
 }
 

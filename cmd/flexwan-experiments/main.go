@@ -14,6 +14,8 @@
 //	                                    # exact cross-check, parallel B&B
 //	flexwan-experiments -fig exact -branching most-fractional
 //	                                    # branching-rule ablation
+//	flexwan-experiments -fig exact -pricing steepest-edge
+//	                                    # dual-simplex pricing ablation
 //	flexwan-experiments -fig bench      # solver benchmarks → BENCH_solver.json
 //	flexwan-experiments -fig bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                                    # profile any mode with pprof
@@ -43,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent scenario/plan solves per sweep (0 = all cores, 1 = sequential)")
 	solverWorkers := flag.Int("solver-workers", 0, "branch-and-bound workers per exact MIP solve (0 = all cores)")
 	branching := flag.String("branching", string(solver.BranchPseudocost), "branch-and-bound variable selection for the 'exact' mode: pseudocost or most-fractional ('bench' always records both)")
+	pricing := flag.String("pricing", string(solver.PricingDevex), "dual-simplex pricing rule for the 'exact' mode: dantzig, devex, or steepest-edge ('bench' records the dantzig ablation alongside the devex default)")
 	noPresolve := flag.Bool("no-presolve", false, "disable the presolve reductions in the 'exact' mode ('bench' always records both)")
 	benchOut := flag.String("bench-out", "BENCH_solver.json", "output path for the 'bench' mode record")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -53,6 +56,12 @@ func main() {
 	if rule != solver.BranchPseudocost && rule != solver.BranchMostFractional {
 		fmt.Fprintf(os.Stderr, "flexwan-experiments: unknown -branching %q (want %q or %q)\n",
 			*branching, solver.BranchPseudocost, solver.BranchMostFractional)
+		os.Exit(1)
+	}
+	priceRule := solver.PricingRule(*pricing)
+	if priceRule != solver.PricingDantzig && priceRule != solver.PricingDevex && priceRule != solver.PricingSteepestEdge {
+		fmt.Fprintf(os.Stderr, "flexwan-experiments: unknown -pricing %q (want %q, %q, or %q)\n",
+			*pricing, solver.PricingDantzig, solver.PricingDevex, solver.PricingSteepestEdge)
 		os.Exit(1)
 	}
 
@@ -194,7 +203,7 @@ func main() {
 		fmt.Println(f)
 	}
 	if run("exact") {
-		rows, err := eval.ExactCrossCheck([]int{16, 20, 24}, *solverWorkers, rule, *noPresolve)
+		rows, err := eval.ExactCrossCheck([]int{16, 20, 24}, *solverWorkers, rule, priceRule, *noPresolve)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package main
+
+const raceDetectorOn = false

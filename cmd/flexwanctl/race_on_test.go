@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceDetectorOn reports whether this test binary was built with -race,
+// so tests can skip work the detector makes an order of magnitude
+// slower (exact MIP solves) without hiding their fast assertions.
+const raceDetectorOn = true

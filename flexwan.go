@@ -210,6 +210,9 @@ type (
 	// BranchRule selects the branch-and-bound variable-selection rule
 	// (SolverOptions.Branching).
 	BranchRule = solver.BranchRule
+	// PricingRule selects the dual-simplex leaving-row pricing rule
+	// (SolverOptions.Pricing).
+	PricingRule = solver.PricingRule
 )
 
 // NewMIPModel starts an empty optimization model.
@@ -227,4 +230,11 @@ const (
 	// variable closest to half-integral.
 	BranchPseudocost     = solver.BranchPseudocost
 	BranchMostFractional = solver.BranchMostFractional
+	// Dual-simplex pricing rules: PricingDevex (the default) maintains
+	// cheap approximate reference weights, PricingSteepestEdge exact
+	// ‖B⁻ᵀe_i‖² weights (one extra FTRAN per pivot), PricingDantzig
+	// prices by raw violation only.
+	PricingDantzig      = solver.PricingDantzig
+	PricingDevex        = solver.PricingDevex
+	PricingSteepestEdge = solver.PricingSteepestEdge
 )

@@ -80,6 +80,11 @@ type SolverBenchInstance struct {
 	SkipDense           bool
 	SkipPresolveOff     bool
 	SkipNodePresolveOff bool
+	// SkipDantzig skips the Dantzig pricing ablation point: set on
+	// instances whose degeneracy stalls unweighted pricing for the whole
+	// node budget — the wall instance is IN the ladder precisely because
+	// only the weighted rules get through it.
+	SkipDantzig bool
 }
 
 // Problem builds the instance.
@@ -114,6 +119,13 @@ func DefaultSolverBenchInstances() []SolverBenchInstance {
 		// presolve on: without it the 100000-node budget finds no
 		// incumbent at all, so that ablation is skipped here.
 		{Pixels: 24, Scale: 0.02, K: 3, SkipNodePresolveOff: true},
+		// The degeneracy wall: 32 pixels and three candidate paths per
+		// link. The start-pixel symmetries at this width stall the
+		// Dantzig-priced dual simplex (hence SkipDantzig — that ablation
+		// would never finish); the weighted pricing rules walk through
+		// it (see DESIGN.md), which is why this instance is in the
+		// ladder at all.
+		{Pixels: 32, Scale: 0.02, K: 3, SkipNodePresolveOff: true, SkipDantzig: true},
 	} {
 		ti.Name = fmt.Sprintf("exact-tbackbone/pixels=%d,scale=%g,k=%d", ti.Pixels, ti.Scale, ti.K)
 		ti.TBackbone = true
@@ -143,42 +155,50 @@ func SolverBenchBranchings() []solver.BranchRule {
 	return []solver.BranchRule{solver.BranchPseudocost, solver.BranchMostFractional}
 }
 
-// SolverBenchPoint is one (instance, engine, branching-rule,
+// SolverBenchPoint is one (instance, engine, pricing, branching-rule,
 // worker-count, presolve, node-presolve) measurement. GoMaxProcs is the
 // effective GOMAXPROCS the sub-run executed under — pinned to at least
 // Workers so worker-scaling points are honest measurements rather than
 // time-sliced onto fewer threads than the sweep claims. Engine is
 // "revised" (the default revised simplex with Forrest–Tomlin basis
 // updates), "revised-eta" (the Options.EtaFileUpdates product-form
-// ablation), or "dense" (the Options.DenseSimplex tableau ablation). The
-// LU-health block (refactorizations through np_fixings) comes from the
-// solver's SolveStats and is zero for the dense engine.
+// ablation), or "dense" (the Options.DenseSimplex tableau ablation).
+// Pricing is the dual-simplex pricing rule the point ran under (always
+// "dantzig" for the dense engine). WarmStartRate is nil — not a
+// misleading 0 — when the search never left the root node (Nodes <= 1:
+// there are no dives whose warm starts could hit or miss). The LU-health
+// block (refactorizations through np_fixings) comes from the solver's
+// SolveStats and is zero for the dense engine.
 type SolverBenchPoint struct {
-	Instance         string  `json:"instance"`
-	Pixels           int     `json:"pixels"`
-	Engine           string  `json:"engine"`
-	Branching        string  `json:"branching"`
-	Workers          int     `json:"workers"`
-	GoMaxProcs       int     `json:"gomaxprocs"`
-	Presolve         bool    `json:"presolve"`
-	NodePresolve     bool    `json:"node_presolve"`
-	PresolveRows     int     `json:"presolve_rows"`
-	PresolveCols     int     `json:"presolve_cols"`
-	Iterations       int     `json:"iterations"`
-	NsPerOp          float64 `json:"ns_per_op"`
-	AllocsPerOp      float64 `json:"allocs_per_op"`
-	BytesPerOp       float64 `json:"bytes_per_op"`
-	Objective        float64 `json:"objective"`
-	Nodes            int     `json:"nodes"`
-	SimplexIters     int     `json:"simplex_iters"`
-	WarmStartHits    int     `json:"warm_start_hits"`
-	WarmStartRate    float64 `json:"warm_start_rate"`
-	Refactorizations int     `json:"refactorizations"`
-	BasisUpdates     int     `json:"basis_updates"`
-	PeakUFill        int     `json:"peak_u_fill"`
-	DenseFallbacks   int     `json:"dense_fallbacks"`
-	NPFixings        int     `json:"np_fixings"`
-	SpeedupVs1       float64 `json:"speedup_vs_1"`
+	Instance         string   `json:"instance"`
+	Pixels           int      `json:"pixels"`
+	Engine           string   `json:"engine"`
+	Pricing          string   `json:"pricing"`
+	Branching        string   `json:"branching"`
+	Workers          int      `json:"workers"`
+	GoMaxProcs       int      `json:"gomaxprocs"`
+	Presolve         bool     `json:"presolve"`
+	NodePresolve     bool     `json:"node_presolve"`
+	PresolveRows     int      `json:"presolve_rows"`
+	PresolveCols     int      `json:"presolve_cols"`
+	Iterations       int      `json:"iterations"`
+	NsPerOp          float64  `json:"ns_per_op"`
+	AllocsPerOp      float64  `json:"allocs_per_op"`
+	BytesPerOp       float64  `json:"bytes_per_op"`
+	Objective        float64  `json:"objective"`
+	Nodes            int      `json:"nodes"`
+	SimplexIters     int      `json:"simplex_iters"`
+	PivotsPerSec     float64  `json:"pivots_per_sec"`
+	BoundFlips       int      `json:"bound_flips"`
+	WeightResets     int      `json:"weight_resets"`
+	WarmStartHits    int      `json:"warm_start_hits"`
+	WarmStartRate    *float64 `json:"warm_start_rate,omitempty"`
+	Refactorizations int      `json:"refactorizations"`
+	BasisUpdates     int      `json:"basis_updates"`
+	PeakUFill        int      `json:"peak_u_fill"`
+	DenseFallbacks   int      `json:"dense_fallbacks"`
+	NPFixings        int      `json:"np_fixings"`
+	SpeedupVs1       float64  `json:"speedup_vs_1"`
 }
 
 // SolverBench is the headline solver benchmark record, serialized to
@@ -227,11 +247,12 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 		pixels := inst.Pixels
 		refObjective, haveRef := 0.0, false
 
-		measure := func(rule solver.BranchRule, workers int, noPresolve, noNodePresolve, etaFile, dense bool) (SolverBenchPoint, error) {
+		measure := func(rule solver.BranchRule, workers int, noPresolve, noNodePresolve, etaFile, dense bool, pricing solver.PricingRule) (SolverBenchPoint, error) {
 			opts := solver.Options{
 				MaxNodes: 100000, Workers: workers, Branching: rule,
 				NoPresolve: noPresolve, NoNodePresolve: noNodePresolve,
 				EtaFileUpdates: etaFile, DenseSimplex: dense,
+				Pricing: pricing,
 			}
 			engine := "revised"
 			if etaFile {
@@ -240,7 +261,7 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 			if dense {
 				engine = "dense"
 			}
-			label := fmt.Sprintf("%s engine=%s branching=%s workers=%d presolve=%v node-presolve=%v", instance, engine, rule, workers, !noPresolve, !noNodePresolve)
+			label := fmt.Sprintf("%s engine=%s pricing=%s branching=%s workers=%d presolve=%v node-presolve=%v", instance, engine, opts.EffectivePricing(), rule, workers, !noPresolve, !noNodePresolve)
 			eff := base
 			if workers > eff {
 				runtime.GOMAXPROCS(workers)
@@ -280,6 +301,7 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 				Instance:         instance,
 				Pixels:           pixels,
 				Engine:           engine,
+				Pricing:          string(opts.EffectivePricing()),
 				Branching:        string(rule),
 				Workers:          workers,
 				GoMaxProcs:       eff,
@@ -294,6 +316,8 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 				Objective:        last.Solver.Objective,
 				Nodes:            last.Solver.Nodes,
 				SimplexIters:     last.Solver.SimplexIters,
+				BoundFlips:       last.Solver.BoundFlips,
+				WeightResets:     last.Solver.WeightResets,
 				WarmStartHits:    last.Solver.WarmStartHits,
 				Refactorizations: last.Solver.Refactorizations,
 				BasisUpdates:     last.Solver.BasisUpdates,
@@ -301,8 +325,14 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 				DenseFallbacks:   last.Solver.DenseFallbacks,
 				NPFixings:        last.Solver.NodePresolveFixings,
 			}
-			if pt.Nodes > 0 {
-				pt.WarmStartRate = float64(pt.WarmStartHits) / float64(pt.Nodes)
+			if pt.NsPerOp > 0 {
+				pt.PivotsPerSec = float64(pt.SimplexIters) / (pt.NsPerOp / 1e9)
+			}
+			// A single-node search never dives, so a warm-start rate is
+			// undefined there — omitted rather than recorded as 0.
+			if pt.Nodes > 1 {
+				rate := float64(pt.WarmStartHits) / float64(pt.Nodes)
+				pt.WarmStartRate = &rate
 			}
 			return pt, nil
 		}
@@ -310,7 +340,7 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 		for _, rule := range rules {
 			var nsAt1 float64
 			for _, workers := range workerCounts {
-				pt, err := measure(rule, workers, false, false, false, false)
+				pt, err := measure(rule, workers, false, false, false, false, "")
 				if err != nil {
 					return SolverBench{}, err
 				}
@@ -328,6 +358,7 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 		// Objective identity across all of them is enforced by measure.
 		for _, abl := range []struct {
 			noPresolve, noNodePresolve, etaFile, dense bool
+			pricing                                    solver.PricingRule
 			skip                                       bool
 		}{
 			// Presolve off. Skipped where the untightened LP bound is so
@@ -341,11 +372,17 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 			// Dense tableau: the memory baseline the revised simplex is
 			// measured against; meaningless past a few thousand columns.
 			{dense: true, skip: inst.SkipDense},
+			// Dantzig pricing: the unweighted baseline the devex default
+			// is measured against — the pivot-count delta against the
+			// matching revised point is the pricing result, and measure's
+			// objective check is the cross-pricing identity contract.
+			// Skipped where degeneracy stalls unweighted pricing outright.
+			{pricing: solver.PricingDantzig, skip: inst.SkipDantzig},
 		} {
 			if abl.skip {
 				continue
 			}
-			pt, err := measure(rules[0], 1, abl.noPresolve, abl.noNodePresolve, abl.etaFile, abl.dense)
+			pt, err := measure(rules[0], 1, abl.noPresolve, abl.noNodePresolve, abl.etaFile, abl.dense, abl.pricing)
 			if err != nil {
 				return SolverBench{}, err
 			}
@@ -357,7 +394,7 @@ func SolverBenchmarks(instances []SolverBenchInstance, workerCounts []int, minIt
 }
 
 func (s SolverBench) String() string {
-	header := []string{"instance", "engine", "branching", "workers", "gmp", "presolve", "np", "rows-/cols-", "iters", "ns/op", "nodes", "pivots", "refac", "updates", "fill", "fb", "npfix", "warm%", "speedup"}
+	header := []string{"instance", "engine", "pricing", "branching", "workers", "gmp", "presolve", "np", "rows-/cols-", "iters", "ns/op", "nodes", "pivots", "pivots/s", "flips", "wreset", "refac", "updates", "fill", "fb", "npfix", "warm%", "speedup"}
 	rows := make([][]string, len(s.Points))
 	onOff := func(b bool) string {
 		if b {
@@ -366,9 +403,14 @@ func (s SolverBench) String() string {
 		return "off"
 	}
 	for i, pt := range s.Points {
+		warm := "n/a"
+		if pt.WarmStartRate != nil {
+			warm = fmt.Sprintf("%.0f%%", 100**pt.WarmStartRate)
+		}
 		rows[i] = []string{
 			pt.Instance,
 			pt.Engine,
+			pt.Pricing,
 			pt.Branching,
 			fmt.Sprintf("%d", pt.Workers),
 			fmt.Sprintf("%d", pt.GoMaxProcs),
@@ -379,12 +421,15 @@ func (s SolverBench) String() string {
 			fmt.Sprintf("%.0f", pt.NsPerOp),
 			fmt.Sprintf("%d", pt.Nodes),
 			fmt.Sprintf("%d", pt.SimplexIters),
+			fmt.Sprintf("%.0f", pt.PivotsPerSec),
+			fmt.Sprintf("%d", pt.BoundFlips),
+			fmt.Sprintf("%d", pt.WeightResets),
 			fmt.Sprintf("%d", pt.Refactorizations),
 			fmt.Sprintf("%d", pt.BasisUpdates),
 			fmt.Sprintf("%d", pt.PeakUFill),
 			fmt.Sprintf("%d", pt.DenseFallbacks),
 			fmt.Sprintf("%d", pt.NPFixings),
-			fmt.Sprintf("%.0f%%", 100*pt.WarmStartRate),
+			warm,
 			fmt.Sprintf("%.2fx", pt.SpeedupVs1),
 		}
 	}
@@ -410,11 +455,11 @@ type ExactCheck struct {
 }
 
 // ExactCrossCheck solves the scaling instances both heuristically and
-// exactly (with the given solver worker count, branching rule, and
-// presolve setting) and reports transponder counts side by side — the
-// planning-quality check behind Fig 12's claim that the heuristic
-// tracks the optimum.
-func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.BranchRule, noPresolve bool) ([]ExactCheck, error) {
+// exactly (with the given solver worker count, branching rule, pricing
+// rule, and presolve setting) and reports transponder counts side by
+// side — the planning-quality check behind Fig 12's claim that the
+// heuristic tracks the optimum.
+func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.BranchRule, pricing solver.PricingRule, noPresolve bool) ([]ExactCheck, error) {
 	var out []ExactCheck
 	for _, pixels := range pixelSizes {
 		p, err := ExactScalingProblem(pixels)
@@ -425,7 +470,7 @@ func ExactCrossCheck(pixelSizes []int, solverWorkers int, branching solver.Branc
 		if err != nil {
 			return nil, err
 		}
-		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: solverWorkers, Branching: branching, NoPresolve: noPresolve})
+		e, err := plan.SolveExact(p, solver.Options{MaxNodes: 100000, Workers: solverWorkers, Branching: branching, Pricing: pricing, NoPresolve: noPresolve})
 		if err != nil {
 			return nil, err
 		}

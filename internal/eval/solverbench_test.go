@@ -26,15 +26,18 @@ func TestEngineDifferentialLadder(t *testing.T) {
 	}
 	type cfg struct {
 		dense, etaFile, noPresolve, noNodePresolve bool
+		pricing                                    solver.PricingRule
 	}
 	cfgs := []cfg{
-		{},                     // default: revised + Forrest–Tomlin, all passes on
+		{},                     // default: revised + Forrest–Tomlin, devex, all passes on
 		{etaFile: true},        // product-form eta file
 		{dense: true},          // dense tableau
 		{noPresolve: true},     // global presolve off
 		{noNodePresolve: true}, // node presolve off
 		{etaFile: true, noPresolve: true},
 		{dense: true, noPresolve: true},
+		{pricing: solver.PricingDantzig},      // pricing must not change the answer
+		{pricing: solver.PricingSteepestEdge}, // (devex is the default cfg above)
 	}
 	for _, pixels := range ladder {
 		p, err := ExactScalingProblem(pixels)
@@ -44,18 +47,23 @@ func TestEngineDifferentialLadder(t *testing.T) {
 		var ref float64
 		haveRef := false
 		for _, c := range cfgs {
-			label := fmt.Sprintf("pixels=%d dense=%v eta=%v presolve=%v np=%v",
-				pixels, c.dense, c.etaFile, !c.noPresolve, !c.noNodePresolve)
+			label := fmt.Sprintf("pixels=%d dense=%v eta=%v presolve=%v np=%v pricing=%s",
+				pixels, c.dense, c.etaFile, !c.noPresolve, !c.noNodePresolve, c.pricing)
 			res, err := plan.SolveExact(p, solver.Options{
 				MaxNodes: 100000, Workers: 1,
 				DenseSimplex: c.dense, EtaFileUpdates: c.etaFile,
 				NoPresolve: c.noPresolve, NoNodePresolve: c.noNodePresolve,
+				Pricing: c.pricing,
 			})
 			if err != nil {
 				t.Fatalf("%s: %v", label, err)
 			}
 			if res.Solver.Status != solver.Optimal {
 				t.Fatalf("%s: status %v", label, res.Solver.Status)
+			}
+			wantPricing := solver.Options{DenseSimplex: c.dense, Pricing: c.pricing}.EffectivePricing()
+			if res.Solver.PricingMode != wantPricing {
+				t.Fatalf("%s: stats report pricing %q, want %q", label, res.Solver.PricingMode, wantPricing)
 			}
 			if !haveRef {
 				ref, haveRef = res.Solver.Objective, true
@@ -119,17 +127,26 @@ func TestSolverBenchmarksSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var denseN, etaN, revisedN, npOffN int
+	var denseN, etaN, revisedN, npOffN, dantzigN int
 	for _, pt := range bench.Points {
 		switch pt.Engine {
 		case "dense":
 			denseN++
+			if pt.Pricing != string(solver.PricingDantzig) {
+				t.Fatalf("dense point %s: pricing %q, want %q (the tableau knows only Dantzig)", pt.Instance, pt.Pricing, solver.PricingDantzig)
+			}
 		case "revised-eta":
 			etaN++
 		case "revised":
 			revisedN++
+			if pt.Pricing == string(solver.PricingDantzig) {
+				dantzigN++
+			}
 		default:
 			t.Fatalf("point %s has unknown engine %q", pt.Instance, pt.Engine)
+		}
+		if pt.Pricing == "" {
+			t.Fatalf("point %s engine=%s: pricing not recorded", pt.Instance, pt.Engine)
 		}
 		if !pt.NodePresolve {
 			npOffN++
@@ -139,6 +156,14 @@ func TestSolverBenchmarksSmoke(t *testing.T) {
 		}
 		if pt.Engine != "dense" && pt.Refactorizations == 0 {
 			t.Fatalf("point %s engine=%s: Refactorizations = 0", pt.Instance, pt.Engine)
+		}
+		// A single-node solve has no dives to warm-start: the rate must
+		// be omitted (nil), not recorded as a misleading zero.
+		if pt.Nodes <= 1 && pt.WarmStartRate != nil {
+			t.Fatalf("point %s engine=%s: nodes=%d but warm_start_rate=%v, want omitted", pt.Instance, pt.Engine, pt.Nodes, *pt.WarmStartRate)
+		}
+		if pt.Nodes > 1 && pt.WarmStartRate == nil {
+			t.Fatalf("point %s engine=%s: nodes=%d but warm_start_rate omitted", pt.Instance, pt.Engine, pt.Nodes)
 		}
 	}
 	if denseN != 1 {
@@ -150,8 +175,11 @@ func TestSolverBenchmarksSmoke(t *testing.T) {
 	if npOffN != 1 {
 		t.Fatalf("node-presolve-off ablation points = %d, want 1 per instance", npOffN)
 	}
-	if revisedN < 3 {
-		t.Fatalf("revised points = %d, want >= 3 (sweep + presolve + node-presolve ablations)", revisedN)
+	if dantzigN != 1 {
+		t.Fatalf("dantzig pricing ablation points = %d, want 1 per instance", dantzigN)
+	}
+	if revisedN < 4 {
+		t.Fatalf("revised points = %d, want >= 4 (sweep + presolve + node-presolve + pricing ablations)", revisedN)
 	}
 	if !strings.Contains(bench.String(), "dense") {
 		t.Fatal("rendered table missing the engine column")
@@ -169,6 +197,46 @@ func TestSolverBenchSkipDense(t *testing.T) {
 	for _, pt := range bench.Points {
 		if pt.Engine == "dense" {
 			t.Fatalf("SkipDense instance produced a dense point: %+v", pt)
+		}
+	}
+}
+
+// TestExactCrossCheckPricing drives the backend of `flexwan-experiments
+// -fig exact -pricing <rule>`: every rule must reach the same exact
+// transponder count (matching the heuristic on these instances), so the
+// CLI's pricing switch can never change reported planning quality.
+func TestExactCrossCheckPricing(t *testing.T) {
+	var refTx int
+	for i, rule := range []solver.PricingRule{solver.PricingDantzig, solver.PricingDevex, solver.PricingSteepestEdge} {
+		rows, err := ExactCrossCheck([]int{16}, 1, solver.BranchPseudocost, rule, false)
+		if err != nil {
+			t.Fatalf("pricing=%s: %v", rule, err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("pricing=%s: %d rows, want 1", rule, len(rows))
+		}
+		if rows[0].HeuristicTx != rows[0].ExactTx {
+			t.Fatalf("pricing=%s: heuristic %d vs exact %d transponders", rule, rows[0].HeuristicTx, rows[0].ExactTx)
+		}
+		if i == 0 {
+			refTx = rows[0].ExactTx
+		} else if rows[0].ExactTx != refTx {
+			t.Fatalf("pricing=%s: exact tx %d, want %d (pricing changed the answer)", rule, rows[0].ExactTx, refTx)
+		}
+	}
+}
+
+// TestSolverBenchSkipDantzig checks the Dantzig pricing ablation is
+// skipped on instances whose degeneracy stalls unweighted pricing.
+func TestSolverBenchSkipDantzig(t *testing.T) {
+	instances := []SolverBenchInstance{{Name: "exact-planning/pixels=12", Pixels: 12, SkipDense: true, SkipDantzig: true}}
+	bench, err := SolverBenchmarks(instances, []int{1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range bench.Points {
+		if pt.Pricing == string(solver.PricingDantzig) {
+			t.Fatalf("SkipDantzig instance produced a dantzig point: %+v", pt)
 		}
 	}
 }

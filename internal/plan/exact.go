@@ -28,6 +28,14 @@ type SolveStats struct {
 	PresolveRows  int
 	PresolveCols  int
 
+	// PricingMode is the dual-simplex pricing rule the LP engines ran
+	// under; BoundFlips and WeightResets are its companion counters (boxed
+	// nonbasic variables the long-step ratio test flipped bound-to-bound,
+	// and pricing-weight reference resets).
+	PricingMode  solver.PricingRule
+	BoundFlips   int
+	WeightResets int
+
 	// LU/basis health of the revised-simplex engines underneath the search:
 	// full refactorizations, in-place basis updates (Forrest–Tomlin or eta
 	// append), FTRAN/BTRAN counts, peak U fill, solves that fell back to the
@@ -48,6 +56,7 @@ func NewSolveStats(sol solver.Solution) *SolveStats {
 		Nodes: sol.Nodes, Workers: sol.Workers, Gap: sol.Gap,
 		SimplexIters: sol.SimplexIters, WarmStartHits: sol.WarmStartHits,
 		Branching:    sol.Branching,
+		PricingMode:  sol.Pricing, BoundFlips: sol.BoundFlips, WeightResets: sol.WeightResets,
 		PresolveRows: sol.PresolveRows, PresolveCols: sol.PresolveCols,
 		Refactorizations: sol.Refactorizations, BasisUpdates: sol.BasisUpdates,
 		FTRANCount: sol.FTRANCount, BTRANCount: sol.BTRANCount,

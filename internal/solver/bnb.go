@@ -40,6 +40,7 @@ func (m *Model) SolveWithOptions(opts Options) (Solution, error) {
 		return Solution{
 			Status:       Infeasible,
 			Branching:    opts.Branching,
+			Pricing:      opts.EffectivePricing(),
 			PresolveRows: p.rowsRemoved,
 			PresolveCols: p.colsRemoved,
 		}, nil
@@ -342,6 +343,8 @@ func (m *Model) branchAndBound(opts Options) Solution {
 			btrans:         root.BTRANCount,
 			peakFill:       root.PeakUFill,
 			denseFallbacks: root.DenseFallbacks,
+			boundFlips:     root.BoundFlips,
+			weightResets:   root.WeightResets,
 		},
 	}
 	if opts.Branching == BranchPseudocost {
@@ -923,6 +926,7 @@ func (s *bbSearch) finish(workers int) Solution {
 	out.SimplexIters = s.simplexIters
 	out.WarmStartHits = s.warmHits
 	out.Branching = s.opts.Branching
+	out.Pricing = s.opts.EffectivePricing()
 	s.lu.addTo(&out)
 	out.NodePresolveFixings = s.npFixings
 	return out

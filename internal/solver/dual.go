@@ -303,8 +303,10 @@ func (t *tableau) installBasis(target []int32, inst []bool) bool {
 // negative entries of the leaving row), and pivot, until the rhs is
 // nonnegative (Optimal) or some negative row has no negative entry
 // (Infeasible). Switches to first-index row selection after a Bland-style
-// threshold. Returns (IterLimit, false) if the pivot budget runs out, in
-// which case the caller must fall back to a cold solve.
+// threshold. The budget counts cumulative tableau pivots (t.pivots), so
+// warm-start basis re-installation pivots draw from the same cap. Returns
+// (IterLimit, false) if the pivot budget runs out, in which case the
+// caller must fall back to a cold solve.
 func (t *tableau) dualIterate() (Status, bool) {
 	mRows := len(t.a)
 	nCols := len(t.cost)
@@ -313,7 +315,7 @@ func (t *tableau) dualIterate() (Status, bool) {
 		maxIter = 100*(mRows+nCols) + 2000
 	}
 	blandAfter := 20 * (mRows + nCols)
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := 0; t.pivots < maxIter; iter++ {
 		if iter&ctxCheckMask == 0 && t.ctx != nil && t.ctx.Err() != nil {
 			return IterLimit, false
 		}

@@ -50,6 +50,8 @@ type lpStats struct {
 	btrans         int
 	peakFill       int
 	denseFallbacks int
+	boundFlips     int
+	weightResets   int
 }
 
 // merge folds o into s (sums, except peak fill which takes the max).
@@ -62,6 +64,8 @@ func (s *lpStats) merge(o lpStats) {
 		s.peakFill = o.peakFill
 	}
 	s.denseFallbacks += o.denseFallbacks
+	s.boundFlips += o.boundFlips
+	s.weightResets += o.weightResets
 }
 
 // addTo copies the counters into a Solution's exported stats fields.
@@ -72,6 +76,8 @@ func (s lpStats) addTo(sol *Solution) {
 	sol.BTRANCount = s.btrans
 	sol.PeakUFill = s.peakFill
 	sol.DenseFallbacks = s.denseFallbacks
+	sol.BoundFlips = s.boundFlips
+	sol.WeightResets = s.weightResets
 }
 
 // newLPEngine builds the per-worker engine these options select.
@@ -89,6 +95,7 @@ func (m *Model) solveRelaxation(opts Options) Solution {
 	eng.applyBounds(nil)
 	sol := eng.solveCold()
 	sol.SimplexIters = eng.pivots()
+	sol.Pricing = opts.EffectivePricing()
 	st := eng.stats()
 	st.addTo(&sol)
 	if st.denseFallbacks > 0 && opts.Logf != nil {
@@ -156,9 +163,23 @@ type revisedEngine struct {
 
 func newRevisedEngine(m *Model, opts Options) *revisedEngine {
 	rx := newRxScratch(m, opts.EtaFileUpdates)
+	rx.setPricing(opts.Pricing)
 	rx.maxIter = opts.MaxLPIter
 	rx.ctx = opts.Context
 	return &revisedEngine{m: m, rx: rx}
+}
+
+// EffectivePricing is the pricing rule these options actually run: the
+// dense tableau knows only Dantzig-style selection, and an unset rule
+// normalizes to the devex default.
+func (o Options) EffectivePricing() PricingRule {
+	if o.DenseSimplex {
+		return PricingDantzig
+	}
+	if o.Pricing == "" {
+		return PricingDevex
+	}
+	return o.Pricing
 }
 
 func (e *revisedEngine) dense() *denseEngine {
@@ -183,9 +204,21 @@ func (e *revisedEngine) solveCold() Solution {
 	// The revised path could not certify this solve (singular basis,
 	// numerical giveup, or an artificial box that kept binding): count the
 	// handoff so it shows up in SolveStats instead of vanishing silently.
+	// The dense engine only gets the pivot budget the revised attempt left
+	// unspent — MaxLPIter caps the solve call, not each engine it visits —
+	// and if nothing remains the call reports IterLimit without a dense
+	// solve at all.
 	e.fallbacks++
 	e.lastDense = true
 	d := e.dense()
+	if e.rx.maxIter > 0 {
+		rem := e.rx.maxIter - e.rx.lastPivots
+		if rem <= 0 {
+			e.fall.sc.lastPivots = 0
+			return Solution{Status: IterLimit}
+		}
+		d.sc.maxIter = rem
+	}
 	d.applyBounds(e.chain)
 	sol = d.solveCold()
 	e.last += d.sc.lastPivots
@@ -202,9 +235,12 @@ func (e *revisedEngine) solveWarm(snap any) (Solution, bool) {
 	case *basisSnap:
 		// A dense-fallback parent's snapshot: warm-start its children on
 		// the dense engine too, preserving the basis-reuse rate across the
-		// engine boundary.
+		// engine boundary. This is a fresh solve call, so the dense scratch
+		// gets the full configured budget back (a prior fallback may have
+		// left it shrunk to that call's remainder).
 		e.lastDense = true
 		d := e.dense()
+		d.sc.maxIter = e.rx.maxIter
 		d.applyBounds(e.chain)
 		sol, ok := d.solveWarm(s)
 		e.last = d.sc.lastPivots
@@ -217,7 +253,9 @@ func (e *revisedEngine) solveDive(changes []*boundChange) (Solution, bool) {
 	// The caller dives only when the engine still holds the parent's
 	// optimal state; lastDense records which scratch that is.
 	if e.lastDense {
-		sol, ok := e.dense().solveDive(changes)
+		d := e.dense()
+		d.sc.maxIter = e.rx.maxIter // fresh solve call: full budget
+		sol, ok := d.solveDive(changes)
 		e.last = e.fall.sc.lastPivots
 		return sol, ok
 	}
@@ -254,5 +292,7 @@ func (e *revisedEngine) stats() lpStats {
 		btrans:         lu.nBtran,
 		peakFill:       lu.peakFill,
 		denseFallbacks: e.fallbacks,
+		boundFlips:     e.rx.nBoundFlips,
+		weightResets:   e.rx.nWeightResets,
 	}
 }

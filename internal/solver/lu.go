@@ -466,6 +466,17 @@ func (f *luFactor) ftran(x, out []float64) {
 	}
 }
 
+// saveSpike copies the pending Forrest–Tomlin spike — the pre-U-solve
+// vector the most recent ftran captured for ftUpdate — into dst, so a
+// caller can run another ftran against the factor (which overwrites the
+// capture) and then restoreSpike before the update. Only meaningful in ft
+// mode; dst must have length ≥ m.
+func (f *luFactor) saveSpike(dst []float64) { copy(dst[:f.m], f.vbuf[:f.m]) }
+
+// restoreSpike restores a spike saved by saveSpike as the pending
+// Forrest–Tomlin update vector.
+func (f *luFactor) restoreSpike(src []float64) { copy(f.vbuf[:f.m], src[:f.m]) }
+
 // btran solves Bᵀ·out = c. c is dense in basis-position space and is
 // zeroed on return; out is dense in original-row space and fully
 // overwritten.

@@ -261,6 +261,21 @@ type Solution struct {
 	WarmStartHits int
 	// Branching is the branching rule the search used (MILP only).
 	Branching BranchRule
+	// Pricing is the dual-simplex pricing rule the solve ran under
+	// (PricingDantzig when Options.DenseSimplex forced the dense tableau,
+	// which prices by largest violation only).
+	Pricing PricingRule
+	// BoundFlips counts nonbasic boxed variables the long-step dual ratio
+	// test moved bound-to-bound instead of pivoting on — each one walks
+	// through a degenerate vertex at the cost of one FTRAN instead of a
+	// basis change. 0 under Options.DenseSimplex.
+	BoundFlips int
+	// WeightResets counts pricing-weight reference resets: devex resets on
+	// every refactorization, steepest-edge only when numerical trouble
+	// invalidates the reference framework (falling back to Dantzig row
+	// selection until the next solve reinitializes the weights). 0 under
+	// PricingDantzig.
+	WeightResets int
 	// PresolveRows and PresolveCols count the constraint rows and variable
 	// columns the presolve layer eliminated before the search. Both are 0
 	// when Options.NoPresolve is set or presolve removed nothing; Values
@@ -321,6 +336,30 @@ const (
 	BranchPseudocost BranchRule = "pseudocost"
 )
 
+// PricingRule selects how the revised dual simplex picks the leaving row
+// at each pivot. The rule never changes what a solve proves — status and
+// objective at proven optimality are identical across rules — only how
+// many pivots it takes to get there.
+type PricingRule string
+
+const (
+	// PricingDantzig picks the row with the largest bound violation — the
+	// textbook rule the engine used before weighted pricing existed. Cheap
+	// per pivot but blind to the geometry, so degenerate instances can
+	// oscillate through long sequences of near-zero steps.
+	PricingDantzig PricingRule = "dantzig"
+	// PricingDevex scores each row's violation against an approximate
+	// reference weight maintained by the devex recurrence, resetting the
+	// reference framework on every refactorization. Nearly steepest-edge
+	// quality at no extra FTRAN/BTRAN work per pivot. The default.
+	PricingDevex PricingRule = "devex"
+	// PricingSteepestEdge maintains exact dual steepest-edge weights
+	// ‖B⁻ᵀe_i‖² via the Forrest–Goldfarb update, at the cost of one extra
+	// FTRAN per pivot. Fewest pivots per solve; worth it on instances
+	// where degeneracy, not factorization cost, is the bottleneck.
+	PricingSteepestEdge PricingRule = "steepest-edge"
+)
+
 // Options tune the MILP search.
 type Options struct {
 	// MaxNodes bounds branch-and-bound nodes (0 = default 200000).
@@ -347,6 +386,11 @@ type Options struct {
 	// pseudocost scores depend on the order workers report results, so
 	// the explored node count may vary run to run.
 	Branching BranchRule
+	// Pricing selects the dual-simplex pricing rule (default PricingDevex).
+	// Objective and Status at proven optimality are identical for every
+	// rule; pivot counts differ. Ignored under DenseSimplex, which always
+	// prices by largest violation (Dantzig).
+	Pricing PricingRule
 	// NoWarmStart disables dual-simplex warm starts: every node
 	// relaxation is solved cold with the two-phase primal simplex, as
 	// before warm starts existed. For ablation and debugging.
@@ -372,10 +416,12 @@ type Options struct {
 	// integer variables and pruning propagation-infeasible nodes without a
 	// solve. For ablation and debugging; mirrors NoWarmStart/NoPresolve.
 	NoNodePresolve bool
-	// MaxLPIter caps simplex pivots per LP solve call (each phase of the
-	// dense two-phase counts separately). 0 means the size-derived default.
-	// A solve that exhausts the cap returns IterLimit instead of claiming
-	// optimality.
+	// MaxLPIter caps simplex pivots per LP solve call, cumulative across
+	// everything the call runs: both dense two-phase passes, warm-start
+	// basis re-installation, and a revised→dense fallback (the dense
+	// engine only gets whatever budget the revised attempt left unspent).
+	// 0 means the size-derived default. A solve that exhausts the cap
+	// returns IterLimit instead of claiming optimality.
 	MaxLPIter int
 	// MaxVars is the variable-count guard model builders (plan, restore)
 	// enforce before constructing an exact MIP for these options; the
@@ -421,6 +467,14 @@ func (o Options) withDefaults() (Options, error) {
 	default:
 		return o, fmt.Errorf("solver: unknown branching rule %q (want %q or %q)",
 			o.Branching, BranchPseudocost, BranchMostFractional)
+	}
+	switch o.Pricing {
+	case "":
+		o.Pricing = PricingDevex
+	case PricingDantzig, PricingDevex, PricingSteepestEdge:
+	default:
+		return o, fmt.Errorf("solver: unknown pricing rule %q (want %q, %q, or %q)",
+			o.Pricing, PricingDantzig, PricingDevex, PricingSteepestEdge)
 	}
 	return o, nil
 }

@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"math"
+	"sort"
 )
 
 // Artificial-box policy for dual-infeasible columns at cold start (see
@@ -27,6 +28,16 @@ const (
 // θ·|α| per pivot, well inside feasTol for the step sizes these models
 // produce.
 const rxPivotSafety = 1e-7
+
+// Pricing-weight guards: rxWeightFloor keeps the weighted leaving-row
+// score finite when an updated weight has drifted toward zero, and
+// rxDevexCap bounds devex reference-weight growth — a weight past the cap
+// means the reference framework is long gone and the recurrence is only
+// amplifying noise, so the framework resets.
+const (
+	rxWeightFloor = 1e-10
+	rxDevexCap    = 1e7
+)
 
 // rxStatus is a column's role relative to the current basis.
 type rxStatus int8
@@ -94,11 +105,20 @@ type rxScratch struct {
 	alphaC []float64 // cached ρ·a_j per admissible column for the ratio test
 	dC     []float64 // cached reduced cost per admissible column
 	admis  []int32   // admissible columns of the current ratio test
+	cand   rxCands   // ratio-sorted candidate walk of the long-step ratio test
 	colBuf []float64 // dense original-row scratch (FTRAN input; zero between uses)
 	w      []float64 // FTRAN output: the spike B⁻¹a_enter
 	rho    []float64 // BTRAN(e_p), original-row space
 	y      []float64 // BTRAN(c_B), original-row space
 	posBuf []float64 // BTRAN input scratch, position space (zero between uses)
+
+	pricing   PricingRule // normalized leaving-row rule (never "")
+	weightsOK bool        // rowW valid; false falls row selection back to Dantzig
+	rowW      []float64   // per-row pricing weight (DSE: ‖B⁻ᵀe_i‖²; devex: reference weight)
+	tau       []float64   // DSE: τ = B⁻¹ρ_p, the extra FTRAN per pivot
+	flipJ     []int32     // columns the current ratio test bound-flips
+	flipW     []float64   // FTRAN output for the aggregated flip column
+	spikeSave []float64   // FT spike saved across the flip FTRAN
 
 	values []float64 // model-variable extraction buffer (aliased by Solutions)
 
@@ -109,6 +129,31 @@ type rxScratch struct {
 	ctx        context.Context // cancellation observed every ctxCheckMask+1 pivots (nil = never)
 	lastPivots int
 	usedArt    bool // solve placed artificial boxes: no snapshot, no fixings
+
+	nBoundFlips   int // cumulative over the scratch lifetime
+	nWeightResets int
+}
+
+// rxCands is the sorted candidate list of the long-step dual ratio test:
+// admissible columns ordered by (ratio, column index), walked in order so
+// boxed candidates whose ratio is passed can be flipped bound-to-bound.
+// Lives in the scratch and is re-sliced per iteration; sorting allocates
+// nothing.
+type rxCands struct {
+	j     []int32
+	ratio []float64
+}
+
+func (c *rxCands) Len() int { return len(c.j) }
+func (c *rxCands) Less(a, b int) bool {
+	if c.ratio[a] != c.ratio[b] {
+		return c.ratio[a] < c.ratio[b]
+	}
+	return c.j[a] < c.j[b]
+}
+func (c *rxCands) Swap(a, b int) {
+	c.j[a], c.j[b] = c.j[b], c.j[a]
+	c.ratio[a], c.ratio[b] = c.ratio[b], c.ratio[a]
 }
 
 // newRxScratch builds a revised-simplex scratch for m. etaFile selects the
@@ -148,6 +193,14 @@ func newRxScratch(m *Model, etaFile bool) *rxScratch {
 	rx.y = make([]float64, rx.nRows)
 	rx.posBuf = make([]float64, rx.nRows)
 	rx.values = make([]float64, rx.nCols)
+	rx.pricing = PricingDevex
+	rx.rowW = make([]float64, rx.nRows)
+	rx.tau = make([]float64, rx.nRows)
+	rx.flipJ = make([]int32, 0, 16)
+	rx.flipW = make([]float64, rx.nRows)
+	rx.spikeSave = make([]float64, rx.nRows)
+	rx.cand.j = make([]int32, 0, rx.nTot)
+	rx.cand.ratio = make([]float64, 0, rx.nTot)
 	// Slack bounds are fixed by the row relations; set once.
 	for r := 0; r < rx.nRows; r++ {
 		j := rx.nCols + r
@@ -161,6 +214,33 @@ func newRxScratch(m *Model, etaFile bool) *rxScratch {
 		}
 	}
 	return rx
+}
+
+// setPricing installs the leaving-row rule, normalizing the zero value to
+// the devex default so direct SolveLP callers get the same engine the
+// validated MILP path does.
+func (rx *rxScratch) setPricing(p PricingRule) {
+	if p == "" {
+		p = PricingDevex
+	}
+	rx.pricing = p
+}
+
+// resetWeights reinstalls the unit reference framework. For the all-slack
+// basis this is exact for steepest-edge too: B = I, so every row of B⁻ᵀ is
+// a unit vector and ‖B⁻ᵀe_i‖² = 1. For any other basis it is the standard
+// approximate restart — pricing quality degrades for a few pivots, never
+// correctness. counted selects whether the reset shows up in the
+// WeightResets counter (mid-solve resets do; per-solve initialization does
+// not).
+func (rx *rxScratch) resetWeights(counted bool) {
+	for i := range rx.rowW {
+		rx.rowW[i] = 1
+	}
+	rx.weightsOK = true
+	if counted {
+		rx.nWeightResets++
+	}
 }
 
 // resolveBounds loads the model bounds tightened by the node's bound-change
@@ -258,36 +338,77 @@ func (rx *rxScratch) priceCol(j int) (alpha, d float64) {
 
 // dualIterate runs bounded-variable dual simplex pivots from the current
 // (dual-feasible) basis until primal feasibility (rxOptimal), a violated
-// row with no admissible entering column (rxInfeasible), the pivot budget
-// (rxIterLimit), or numerical trouble (rxGiveUp). Row selection switches
-// to first-violated-index after a Bland-style threshold; the entering
-// ratio test breaks ties toward the smallest column index, so the pivot
-// sequence is deterministic.
+// row whose full long-step walk cannot absorb the violation
+// (rxInfeasible), the pivot budget (rxIterLimit), or numerical trouble
+// (rxGiveUp). The pivot budget is cumulative per solve: iterations already
+// recorded in lastPivots (by an earlier attempt of the same solve) count
+// against maxIter, so a cold solve retrying with an enlarged artificial
+// box cannot spend the cap twice.
+//
+// Row selection is weighted by the pricing rule — violation²/weight under
+// devex or steepest-edge, largest violation under Dantzig or when the
+// weights have gone stale — and switches to first-violated-index after a
+// Bland-style threshold. The entering column comes from a long-step ratio
+// test: admissible columns are walked in (ratio, index) order, and a boxed
+// candidate whose ratio is passed while the remaining violation still
+// exceeds feasTol is flipped to its opposite bound instead of pivoted on.
+// The walk stops at the first candidate it cannot flip past, and the
+// entering column is the max-|α| member of that candidate's feasTol ratio
+// tie group — the same discriminator as before the long step existed —
+// so the pivot sequence stays deterministic.
 func (rx *rxScratch) dualIterate() rxResult {
 	maxIter := rx.maxIter
 	if maxIter <= 0 {
 		maxIter = 100*(rx.nRows+rx.nTot) + 2000
 	}
+	budget := maxIter - rx.lastPivots
 	blandAfter := 20 * (rx.nRows + rx.nTot)
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := 0; iter < budget; iter++ {
 		if iter&ctxCheckMask == 0 && rx.ctx != nil && rx.ctx.Err() != nil {
 			return rxIterLimit
 		}
-		// Leaving row: largest bound violation among the basic values;
-		// sigma is the violation direction (+1 above ub, −1 below lb).
+		// Leaving row; sigma is the violation direction (+1 above ub, −1
+		// below lb). Weighted rules score violation²/weight — steepest
+		// edge's ‖B⁻ᵀe_i‖² normalizes the violation by the length of the
+		// dual ray the pivot would move along, devex approximates the same
+		// quantity — which is what breaks the degeneracy oscillation:
+		// Dantzig keeps re-picking rows whose large violation moves along a
+		// near-parallel ray, weighted pricing discounts exactly those.
 		p, sigma, worst := -1, 1.0, feasTol
-		for r := 0; r < rx.nRows; r++ {
-			bc := rx.basis[r]
-			xr := rx.xB[r]
-			if v := rx.lb[bc] - xr; v > worst {
-				worst, p, sigma = v, r, -1
-				if iter >= blandAfter {
-					break
+		if rx.pricing != PricingDantzig && rx.weightsOK && iter < blandAfter {
+			best := 0.0
+			for r := 0; r < rx.nRows; r++ {
+				bc := rx.basis[r]
+				xr := rx.xB[r]
+				v, s := rx.lb[bc]-xr, -1.0
+				if v <= feasTol {
+					if v = xr - rx.ub[bc]; v <= feasTol {
+						continue
+					}
+					s = 1
 				}
-			} else if v := xr - rx.ub[bc]; v > worst {
-				worst, p, sigma = v, r, 1
-				if iter >= blandAfter {
-					break
+				wr := rx.rowW[r]
+				if wr < rxWeightFloor {
+					wr = rxWeightFloor
+				}
+				if score := v * v / wr; score > best {
+					best, p, sigma, worst = score, r, s, v
+				}
+			}
+		} else {
+			for r := 0; r < rx.nRows; r++ {
+				bc := rx.basis[r]
+				xr := rx.xB[r]
+				if v := rx.lb[bc] - xr; v > worst {
+					worst, p, sigma = v, r, -1
+					if iter >= blandAfter {
+						break
+					}
+				} else if v := xr - rx.ub[bc]; v > worst {
+					worst, p, sigma = v, r, 1
+					if iter >= blandAfter {
+						break
+					}
 				}
 			}
 		}
@@ -306,6 +427,21 @@ func (rx *rxScratch) dualIterate() rxResult {
 		}
 		rx.lu.btran(rx.posBuf, rx.y)
 
+		// Steepest edge needs β_p = ρ·ρ — the exact current weight of row
+		// p, which anchors the Forrest–Goldfarb update against stored-weight
+		// drift — and τ = B⁻¹ρ, the one extra FTRAN each pivot costs. τ must
+		// run now, BEFORE the entering-column FTRANs, so the Forrest–Tomlin
+		// spike capture those leave behind is the one ftUpdate consumes.
+		betaP := 0.0
+		dse := rx.pricing == PricingSteepestEdge && rx.weightsOK
+		if dse {
+			for i := 0; i < rx.nRows; i++ {
+				betaP += rx.rho[i] * rx.rho[i]
+			}
+			copy(rx.colBuf, rx.rho)
+			rx.lu.ftran(rx.colBuf, rx.tau)
+		}
+
 		// Dual ratio test: among nonbasic columns whose movement pushes
 		// xB[p] toward its violated bound, the entering column must be one
 		// whose reduced cost hits zero first. One pricing pass caches every
@@ -319,7 +455,6 @@ func (rx *rxScratch) dualIterate() rxResult {
 		// numerically singular. Preferring the biggest pivot keeps steps —
 		// and the basis condition number — bounded.
 		rx.admis = rx.admis[:0]
-		bestRatio := math.Inf(1)
 		for j := 0; j < rx.nTot; j++ {
 			st := rx.status[j]
 			if st == rxBasic || rx.lb[j] == rx.ub[j] {
@@ -347,43 +482,97 @@ func (rx *rxScratch) dualIterate() rxResult {
 			rx.admis = append(rx.admis, int32(j))
 			rx.alphaC[j], rx.dC[j] = alpha, ratio
 		}
-		// The cached pass retries with the chosen column excluded whenever
-		// its FTRAN'd spike pivot comes out below rxPivotSafety — pivoting
-		// on a tiny α would hand the next refactorization a near-singular
-		// basis (see the constant's comment).
+		// Sort the candidates by (ratio, index) once; the tiny-pivot
+		// exclusion retry below redoes the walk, not the sort.
+		rx.cand.j = append(rx.cand.j[:0], rx.admis...)
+		rx.cand.ratio = rx.cand.ratio[:0]
+		for _, j32 := range rx.admis {
+			rx.cand.ratio = append(rx.cand.ratio, rx.dC[j32])
+		}
+		sort.Sort(&rx.cand)
+
+		// The walk retries with the chosen column excluded whenever its
+		// FTRAN'd spike pivot comes out below rxPivotSafety — pivoting on a
+		// tiny α would hand the next refactorization a near-singular basis
+		// (see the constant's comment).
 		rx.exclEp++
 		excluded := 0
 		enter := -1
 		var alphaP float64
 		for {
-			bestRatio = math.Inf(1)
-			for _, j32 := range rx.admis {
-				if j := int(j32); rx.excl[j] != rx.exclEp && rx.dC[j] < bestRatio {
-					bestRatio = rx.dC[j]
-				}
-			}
-			enter = -1
-			bestAbs := 0.0
-			for _, j32 := range rx.admis {
-				j := int(j32)
+			// Long-step walk in ratio order: δ is the dual-objective slope —
+			// the remaining violation of row p — which flipping a boxed
+			// candidate bound-to-bound shrinks by width·|α|. A candidate is
+			// passed (marked for flipping, applied only after the entering
+			// pivot survives the safety check) while δ stays above feasTol;
+			// the walk stops at the first candidate it cannot flip past —
+			// pivoting there lands the leaving variable exactly on its
+			// bound. Free and unboxed columns have infinite width and always
+			// stop the walk, so models without boxed columns behave exactly
+			// as before.
+			rx.flipJ = rx.flipJ[:0]
+			delta := worst
+			stop := -1
+			for ci := 0; ci < len(rx.cand.j); ci++ {
+				j := int(rx.cand.j[ci])
 				if rx.excl[j] == rx.exclEp {
 					continue
 				}
-				if a := math.Abs(rx.alphaC[j]); rx.dC[j] <= bestRatio+feasTol && a > bestAbs {
-					bestAbs = a
-					enter = j
+				if drop := (rx.ub[j] - rx.lb[j]) * math.Abs(rx.alphaC[j]); delta-drop > feasTol {
+					rx.flipJ = append(rx.flipJ, int32(j))
+					delta -= drop
+					continue
 				}
+				stop = ci
+				break
 			}
-			if enter < 0 {
+			if stop < 0 {
 				if excluded > 0 {
-					// Every tied column FTRANs to α ≈ 0: too
+					// Tiny-pivot exclusions ate the walk: too
 					// ill-conditioned to certify infeasibility here. The
 					// dense two-phase decides.
 					return rxGiveUp
 				}
-				// The violated row prices every admissible movement the
-				// wrong way: no feasible point exists under these bounds.
+				// Walking (and flipping) every admissible column leaves row
+				// p violated: the dual objective improves along this ray
+				// without bound, so no feasible point exists under these
+				// bounds. (With no admissible columns at all this is the
+				// classic dual-unbounded row certificate.)
 				return rxInfeasible
+			}
+			// Only candidates whose ratio the dual step STRICTLY passes stay
+			// flipped. A candidate in the stop's feasTol tie group keeps its
+			// bound: its reduced cost is ≈0 at the new dual point, so either
+			// bound is dual-feasible — and flipping it would move the primal
+			// point across a degenerate (θ ≈ 0) step with no dual progress,
+			// which is exactly the cycling the dual simplex is otherwise
+			// immune to. With the filter, any iteration that flips has
+			// θ > feasTol and strictly improves the dual objective, so flip
+			// sequences terminate.
+			stopRatio := rx.cand.ratio[stop]
+			keep := rx.flipJ[:0]
+			for _, j32 := range rx.flipJ {
+				if rx.dC[j32] < stopRatio-feasTol {
+					keep = append(keep, j32)
+				}
+			}
+			rx.flipJ = keep
+			// Entering column: max |α| within the stop's feasTol ratio tie
+			// group, including tie-group members the filter just unflipped.
+			enter = -1
+			bestAbs := 0.0
+			for ci := 0; ci < len(rx.cand.j); ci++ {
+				if rx.cand.ratio[ci] > stopRatio+feasTol {
+					break
+				}
+				j := int(rx.cand.j[ci])
+				if rx.excl[j] == rx.exclEp || rx.cand.ratio[ci] < stopRatio-feasTol {
+					continue
+				}
+				if a := math.Abs(rx.alphaC[j]); a > bestAbs {
+					bestAbs = a
+					enter = j
+				}
 			}
 
 			// Spike: w = B⁻¹a_enter.
@@ -397,8 +586,43 @@ func (rx *rxScratch) dualIterate() rxResult {
 			excluded++
 		}
 
+		// Apply the flips: every flipped column moves to its opposite bound
+		// in its admissible direction. One aggregated FTRAN updates the
+		// basic values for all of them together; the Forrest–Tomlin spike
+		// of the entering column is saved around it so ftUpdate still
+		// consumes the right vector.
+		if len(rx.flipJ) > 0 {
+			for _, j32 := range rx.flipJ {
+				j := int(j32)
+				dv := rx.ub[j] - rx.lb[j]
+				if rx.status[j] == rxAtUpper {
+					dv = -dv
+					rx.status[j] = rxAtLower
+				} else {
+					rx.status[j] = rxAtUpper
+				}
+				if j >= rx.nCols {
+					rx.colBuf[j-rx.nCols] += dv
+				} else {
+					for k := rx.csc.colPtr[j]; k < rx.csc.colPtr[j+1]; k++ {
+						rx.colBuf[rx.csc.rowIdx[k]] += dv * rx.csc.val[k]
+					}
+				}
+			}
+			if rx.lu.ft {
+				rx.lu.saveSpike(rx.spikeSave)
+			}
+			rx.lu.ftran(rx.colBuf, rx.flipW)
+			if rx.lu.ft {
+				rx.lu.restoreSpike(rx.spikeSave)
+			}
+			for i := 0; i < rx.nRows; i++ {
+				rx.xB[i] -= rx.flipW[i]
+			}
+		}
+
 		// Primal step: the leaving variable lands exactly on its violated
-		// bound; the entering variable absorbs the step.
+		// bound; the entering variable absorbs the (post-flip) step.
 		target := rx.ub[leave]
 		if sigma < 0 {
 			target = rx.lb[leave]
@@ -433,18 +657,120 @@ func (rx *rxScratch) dualIterate() rxResult {
 			rx.lu.appendEta(p, rx.w)
 			updated = true
 		}
-		if !updated && !rx.refactor() {
-			// The factorization had drifted far enough that the pivot we
-			// just made was priced from bad numbers and produced a
-			// numerically dependent basis. Undo the pivot, rebuild fresh
-			// factors for the previous basis (which was valid), and redo
-			// the iteration with accurate pricing.
-			rx.basis[p] = int32(leave)
-			rx.status[leave] = rxBasic
-			rx.status[enter] = enterPrev
-			rx.lastPivots--
+		if !updated {
 			if !rx.refactor() {
-				return rxGiveUp
+				// The factorization had drifted far enough that the pivot we
+				// just made was priced from bad numbers and produced a
+				// numerically dependent basis. Undo the pivot AND the flips
+				// (a flipped column's status is only dual-consistent across
+				// the step the rollback cancels), rebuild fresh factors for
+				// the previous basis (which was valid), and redo the
+				// iteration with accurate pricing. The weights were not yet
+				// updated, so they still describe the restored basis.
+				rx.basis[p] = int32(leave)
+				rx.status[leave] = rxBasic
+				rx.status[enter] = enterPrev
+				for _, j32 := range rx.flipJ {
+					j := int(j32)
+					if rx.status[j] == rxAtUpper {
+						rx.status[j] = rxAtLower
+					} else {
+						rx.status[j] = rxAtUpper
+					}
+				}
+				rx.lastPivots--
+				if !rx.refactor() {
+					return rxGiveUp
+				}
+				continue
+			}
+			// A successful refactorization invalidates the devex reference
+			// framework (devex weights are relative to the framework
+			// installed at the last reset); steepest-edge weights are basis
+			// properties and survive.
+			if rx.pricing == PricingDevex && rx.weightsOK {
+				rx.resetWeights(true)
+				rx.nBoundFlips += len(rx.flipJ)
+				continue
+			}
+		}
+		rx.nBoundFlips += len(rx.flipJ)
+
+		// Pricing-weight maintenance, all in terms of pre-pivot quantities:
+		// spike α = B⁻¹a_enter (rx.w), τ = B⁻¹ρ_p, and β_p = ρ·ρ — row p's
+		// exact pre-pivot weight, used instead of the stored rowW[p] so one
+		// drifted stored weight cannot poison the whole framework.
+		if dse {
+			// Forrest–Goldfarb: w_i' = w_i − 2(α_i/α_p)τ_i + (α_i/α_p)²β_p
+			// for rows the spike touches, and w_p' = β_p/α_p² for the row
+			// the entering column now owns (ρ' of row p is ρ/α_p).
+			ok := true
+			for i := 0; i < rx.nRows; i++ {
+				if i == p {
+					continue
+				}
+				if ai := rx.w[i]; ai != 0 {
+					r := ai / alphaP
+					nw := rx.rowW[i] - 2*r*rx.tau[i] + r*r*betaP
+					if math.IsNaN(nw) || math.IsInf(nw, 0) {
+						ok = false
+						break
+					}
+					if nw < rxWeightFloor {
+						nw = rxWeightFloor
+					}
+					rx.rowW[i] = nw
+				}
+			}
+			wp := betaP / (alphaP * alphaP)
+			if math.IsNaN(wp) || math.IsInf(wp, 0) {
+				ok = false
+			}
+			if !ok {
+				// Stale weights: fall back to Dantzig row selection until
+				// the next solve reinitializes the framework.
+				rx.weightsOK = false
+				rx.nWeightResets++
+			} else {
+				if wp < rxWeightFloor {
+					wp = rxWeightFloor
+				}
+				rx.rowW[p] = wp
+			}
+		} else if rx.pricing == PricingDevex && rx.weightsOK {
+			// Devex recurrence against the pre-update reference weight γ_p:
+			// γ_i' = max(γ_i, (α_i/α_p)²γ_p), γ_p' = max(γ_p/α_p², 1).
+			gp := rx.rowW[p]
+			inv := 1 / (alphaP * alphaP)
+			maxW := 1.0
+			for i := 0; i < rx.nRows; i++ {
+				if i == p {
+					continue
+				}
+				if ai := rx.w[i]; ai != 0 {
+					if cw := ai * ai * inv * gp; cw > rx.rowW[i] {
+						rx.rowW[i] = cw
+					}
+					if rx.rowW[i] > maxW {
+						maxW = rx.rowW[i]
+					}
+				}
+			}
+			gpNew := gp * inv
+			if gpNew < 1 {
+				gpNew = 1
+			}
+			rx.rowW[p] = gpNew
+			if gpNew > maxW {
+				maxW = gpNew
+			}
+			if math.IsNaN(maxW) || math.IsInf(maxW, 0) {
+				rx.weightsOK = false
+				rx.nWeightResets++
+			} else if maxW > rxDevexCap {
+				// The reference framework has decayed past usefulness:
+				// restart it rather than keep amplifying one direction.
+				rx.resetWeights(true)
 			}
 		}
 	}
@@ -569,6 +895,9 @@ func (rx *rxScratch) solveCold() (Solution, bool) {
 		if !rx.refactor() {
 			return Solution{}, false
 		}
+		// Unit weights are exact for the all-slack basis (B = I), so
+		// steepest edge starts from a true reference framework here.
+		rx.resetWeights(false)
 		switch rx.dualIterate() {
 		case rxOptimal:
 			if !art || !rx.artBoundActive() {
@@ -691,6 +1020,10 @@ func (rx *rxScratch) solveWarm(snap *rxSnap) (Solution, bool) {
 	if !rx.dualFeasible() {
 		return Solution{}, false
 	}
+	// The parent's basis is not all-slack, so unit weights are only the
+	// standard approximate restart — fine for pricing, which only has to
+	// rank rows, and warm-started repairs are short anyway.
+	rx.resetWeights(false)
 	return rx.finishDual()
 }
 
@@ -704,6 +1037,11 @@ func (rx *rxScratch) solveWarm(snap *rxSnap) (Solution, bool) {
 // resolveBounds + solveWarm/solveCold.
 func (rx *rxScratch) solveDive(changes []*boundChange) (Solution, bool) {
 	rx.lastPivots = 0
+	// The dive continues from the parent's final basis, which the weights
+	// still describe — keep them unless the parent solve left them stale.
+	if !rx.weightsOK {
+		rx.resetWeights(false)
+	}
 	for _, c := range changes {
 		j := int(c.v)
 		if c.upper {

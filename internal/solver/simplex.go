@@ -460,9 +460,12 @@ func (t *tableau) setCosts(c []float64) {
 
 // iterate runs primal simplex pivots to optimality, switching from
 // Dantzig's rule to Bland's rule when iterations exceed a threshold, which
-// guarantees termination within the pivot budget. Exhausting the budget
-// returns IterLimit: the current point is feasible for the phase being
-// solved but carries no optimality certificate.
+// guarantees termination within the pivot budget. The budget counts
+// cumulative tableau pivots (t.pivots), so phase 1, the inter-phase
+// artificial pivot-out, and phase 2 all draw from the same cap instead of
+// each phase getting a fresh one. Exhausting the budget returns IterLimit:
+// the current point is feasible for the phase being solved but carries no
+// optimality certificate.
 func (t *tableau) iterate() Status {
 	mRows := len(t.a)
 	nCols := len(t.cost)
@@ -471,7 +474,7 @@ func (t *tableau) iterate() Status {
 		maxIter = 200*(mRows+nCols) + 5000
 	}
 	blandAfter := 20 * (mRows + nCols)
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := 0; t.pivots < maxIter; iter++ {
 		if iter&ctxCheckMask == 0 && t.ctx != nil && t.ctx.Err() != nil {
 			return IterLimit
 		}
